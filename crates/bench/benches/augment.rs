@@ -1,0 +1,113 @@
+//! Augmentation and split-synthesis benchmarks: cost of computing
+//! lies (equal-cost vs override-with-pins vs Simple) and of rounding
+//! fractions to slots — the controller's per-reaction compute budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fib_core::prelude::*;
+use fib_igp::builders::{attach_prefixes, random_connected};
+use fib_igp::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn scenario(n: u32) -> (Topology, WeightedDag) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut t = random_connected(&mut rng, n, n / 2, 4);
+    attach_prefixes(&mut t, &[RouterId(n)]);
+    let prefix = Prefix::net24(1);
+    // Requirement: router 1 splits over up to two extra *downstream*
+    // neighbors (strictly closer to the prefix, as optimizer-produced
+    // plans are) with weight 2 each, on top of its natural hops.
+    let natural = compute_routes(&t, RouterId(1));
+    let my_dist = natural.route(prefix).expect("reachable").dist;
+    let mut hops: Vec<(RouterId, u32)> = natural
+        .nexthops(prefix)
+        .iter()
+        .map(|h| (h.router, 1))
+        .collect();
+    let downstream: Vec<RouterId> = t
+        .links(RouterId(1))
+        .iter()
+        .map(|l| l.to)
+        .filter(|nb| {
+            compute_routes(&t, *nb)
+                .route(prefix)
+                .map(|r| r.dist < my_dist)
+                .unwrap_or(false)
+        })
+        .collect();
+    for nb in downstream.iter().take(2) {
+        if !hops.iter().any(|(r, _)| r == nb) {
+            hops.push((*nb, 2));
+        }
+    }
+    let mut dag = WeightedDag::new(prefix);
+    dag.require(RouterId(1), &hops);
+    (t, dag)
+}
+
+fn bench_augment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("augment");
+    g.sample_size(10);
+    for n in [10u32, 25, 50] {
+        let (t, dag) = scenario(n);
+        g.bench_with_input(BenchmarkId::new("plan", n), &(t, dag), |b, (t, dag)| {
+            b.iter(|| {
+                let mut alloc = LieAllocator::new();
+                augment(t, dag, &mut alloc).expect("realizable")
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("augment_reduce");
+    g.sample_size(10);
+    let (t, dag) = scenario(25);
+    let mut alloc = LieAllocator::new();
+    let plan = augment(&t, &dag, &mut alloc).expect("realizable");
+    g.bench_function("merger_style_reduce_n25", |b| {
+        b.iter(|| reduce(&t, &dag, &plan.lies));
+    });
+    g.finish();
+}
+
+fn bench_split(c: &mut Criterion) {
+    let mut g = c.benchmark_group("split_synthesis");
+    let fractions = [0.123, 0.456, 0.421];
+    for budget in [8u32, 32, 128] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(budget),
+            &budget,
+            |b, budget| {
+                b.iter(|| plan_split(&fractions, *budget).expect("valid"));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_minmax(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimizer");
+    g.sample_size(10);
+    for n in [10u32, 25] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut t = random_connected(&mut rng, n, n / 2, 4);
+        attach_prefixes(&mut t, &[RouterId(n)]);
+        let caps = t.all_links().map(|(a, b, _)| ((a, b), 100.0)).collect();
+        let demands = vec![(RouterId(1), 150.0), (RouterId(2), 120.0)];
+        g.bench_with_input(
+            BenchmarkId::new("plan_paths", n),
+            &(t, caps, demands),
+            |b, (t, caps, demands)| {
+                b.iter(|| {
+                    plan_paths(t, Prefix::net24(1), demands, caps, 0.7, 8).expect("feasible")
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_augment, bench_reduce, bench_split, bench_minmax);
+criterion_main!(benches);

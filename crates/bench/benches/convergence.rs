@@ -1,0 +1,75 @@
+//! Protocol-level benchmarks: cold-start convergence of the full IGP
+//! (adjacencies, database exchange, flooding, SPF) and end-to-end
+//! lie propagation latency — the wall-clock cost behind the demo's
+//! reaction time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fib_igp::harness::Harness;
+use fib_igp::prelude::*;
+
+fn line_harness(n: u32) -> Harness {
+    let mut h = Harness::new();
+    for i in 1..=n {
+        h.add_router(RouterId(i));
+    }
+    for i in 1..n {
+        h.connect(
+            RouterId(i),
+            RouterId(i + 1),
+            Metric(1),
+            Dur::from_millis(1),
+        );
+    }
+    h.instance_mut(RouterId(n)).announce(Prefix::net24(1), Metric::ZERO);
+    h
+}
+
+fn bench_cold_convergence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("igp_cold_convergence");
+    g.sample_size(10);
+    for n in [5u32, 10, 20] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut h = line_harness(n);
+                h.start_all();
+                assert!(h.run_until_converged(Timestamp::from_secs(60)));
+                h.delivered
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_lie_propagation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lie_propagation");
+    g.sample_size(10);
+    g.bench_function("inject_to_quiescent_line10", |b| {
+        b.iter_with_setup(
+            || {
+                let mut h = line_harness(10);
+                h.start_all();
+                assert!(h.run_until_converged(Timestamp::from_secs(60)));
+                h
+            },
+            |mut h| {
+                h.instance_mut(RouterId(1))
+                    .inject_fake(
+                        RouterId::fake(0),
+                        RouterId(5),
+                        Metric(1),
+                        Prefix::net24(1),
+                        Metric(1),
+                        FwAddr::primary(RouterId(6)),
+                    )
+                    .unwrap();
+                let t = h.now();
+                assert!(h.run_until_converged(t + Dur::from_secs(30)));
+                h.delivered
+            },
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cold_convergence, bench_lie_propagation);
+criterion_main!(benches);

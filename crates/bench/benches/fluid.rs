@@ -1,0 +1,48 @@
+//! Fluid allocator benchmarks: max-min fair allocation cost vs flow
+//! count (what bounds the simulator's event throughput under churn).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fib_netsim::fluid::{max_min_allocation, FluidFlow};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn workload(n_links: usize, n_flows: usize, seed: u64) -> (Vec<f64>, Vec<FluidFlow>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let caps: Vec<f64> = (0..n_links).map(|_| rng.gen_range(1e5..1e7)).collect();
+    let flows: Vec<FluidFlow> = (0..n_flows)
+        .map(|_| {
+            let hops = rng.gen_range(1..=5usize);
+            let mut links: Vec<usize> = (0..hops).map(|_| rng.gen_range(0..n_links)).collect();
+            links.sort();
+            links.dedup();
+            FluidFlow {
+                links,
+                cap: if rng.gen_bool(0.5) {
+                    Some(rng.gen_range(1e4..1e6))
+                } else {
+                    None
+                },
+            }
+        })
+        .collect();
+    (caps, flows)
+}
+
+fn bench_fluid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fluid_maxmin");
+    g.sample_size(20);
+    for n_flows in [10usize, 100, 500, 2000] {
+        let (caps, flows) = workload(64, n_flows, 42);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(n_flows),
+            &(caps, flows),
+            |b, (caps, flows)| {
+                b.iter(|| max_min_allocation(caps, flows));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fluid);
+criterion_main!(benches);

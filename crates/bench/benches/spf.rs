@@ -1,0 +1,74 @@
+//! SPF micro-benchmarks: full Dijkstra vs the partial route phase on
+//! lie churn (the ablation behind Fibbing's low control-plane cost),
+//! and scaling with topology size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fib_igp::builders::{attach_prefixes, random_connected};
+use fib_igp::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn topo_with_lie(n: u32) -> (Topology, Topology) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut t = random_connected(&mut rng, n, n / 2, 8);
+    let sinks: Vec<RouterId> = vec![RouterId(n)];
+    attach_prefixes(&mut t, &sinks);
+    let plain = t.clone();
+    // One lie at router 1 pointing at its first neighbor.
+    let nh = t.links(RouterId(1))[0].to;
+    let dist = compute_routes(&t, RouterId(1))
+        .route(Prefix::net24(1))
+        .map(|r| r.dist)
+        .unwrap_or(Metric(4));
+    t.add_fake_node(
+        RouterId::fake(0),
+        FakeAttrs {
+            attach: RouterId(1),
+            attach_metric: Metric(1),
+            prefix: Prefix::net24(1),
+            prefix_metric: dist.sub(Metric(1)),
+            fw: FwAddr::secondary(nh, 1),
+        },
+    )
+    .unwrap();
+    (plain, t)
+}
+
+fn bench_spf_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spf_full");
+    g.sample_size(20);
+    for n in [20u32, 50, 100, 200] {
+        let (t, _) = topo_with_lie(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &t, |b, t| {
+            b.iter(|| compute_routes(t, RouterId(1)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_partial_vs_full(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spf_lie_churn");
+    g.sample_size(20);
+    let (plain, lied) = topo_with_lie(100);
+    g.bench_function("full_recompute", |b| {
+        b.iter(|| {
+            // Cold engine: every lie churn pays a full Dijkstra.
+            let mut e = SpfEngine::new();
+            let _ = e.compute(&plain, RouterId(1));
+            let _ = e.compute(&lied, RouterId(1));
+        });
+    });
+    g.bench_function("partial_route_phase", |b| {
+        // Warm engine: the real graph is unchanged by lies, so only
+        // the route phase reruns.
+        let mut e = SpfEngine::new();
+        let _ = e.compute(&plain, RouterId(1));
+        b.iter(|| {
+            let _ = e.compute(&lied, RouterId(1));
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_spf_scaling, bench_partial_vs_full);
+criterion_main!(benches);

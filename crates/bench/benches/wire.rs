@@ -1,0 +1,58 @@
+//! Wire codec benchmarks: encode/decode throughput of flooding-sized
+//! LS Update packets (what bounds the controller's injection rate).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fib_igp::prelude::*;
+use fib_igp::wire::{decode, encode, LsUpdate, Packet};
+
+fn update_packet(n_lsas: u32) -> Packet {
+    let lsas: Vec<Lsa> = (0..n_lsas)
+        .map(|i| {
+            if i % 2 == 0 {
+                Lsa::router(
+                    RouterId(i),
+                    SeqNum(7),
+                    (0..8)
+                        .map(|j| fib_igp::lsa::LsaLink {
+                            to: RouterId(100 + j),
+                            metric: Metric(j + 1),
+                        })
+                        .collect(),
+                )
+            } else {
+                Lsa::fake(
+                    RouterId::fake(i),
+                    SeqNum(3),
+                    RouterId(i),
+                    Metric(1),
+                    Prefix::net24((i % 200) as u8),
+                    Metric(1),
+                    FwAddr::secondary(RouterId(i + 1), 1),
+                )
+            }
+        })
+        .collect();
+    Packet::LsUpdate(LsUpdate { lsas })
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let pkt = update_packet(16);
+    let encoded: Bytes = encode(&pkt, RouterId(1));
+    let mut g = c.benchmark_group("wire");
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("encode_lsu16", |b| {
+        b.iter(|| encode(&pkt, RouterId(1)));
+    });
+    g.bench_function("decode_lsu16", |b| {
+        b.iter(|| decode(encoded.clone()).expect("valid"));
+    });
+    g.bench_function("fletcher16_1500B", |b| {
+        let data = vec![0xa5u8; 1500];
+        b.iter(|| fib_igp::wire::fletcher16(&data));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

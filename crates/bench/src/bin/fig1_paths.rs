@@ -1,0 +1,102 @@
+//! Regenerates Fig. 1 (panels a–d): paths, overload, lies, balance.
+//!
+//! Run: `cargo run -p fib-bench --bin fig1_paths`
+
+use fib_bench::{f, Table};
+use fibbing::demo::{link_name, name, paper_capacities, paper_topology, A, B, BLUE};
+use fibbing::prelude::*;
+
+fn load_table(
+    title: &str,
+    loads: &std::collections::BTreeMap<(RouterId, RouterId), f64>,
+) -> Table {
+    let mut t = Table::new(&[title, "load (relative units)"]);
+    for ((from, to), l) in loads {
+        t.row(&[link_name(*from, *to), f(*l)]);
+    }
+    t
+}
+
+fn main() {
+    let topo = paper_topology();
+    let demands = [
+        Demand {
+            src: A,
+            prefix: BLUE,
+            rate: 100.0,
+        },
+        Demand {
+            src: B,
+            prefix: BLUE,
+            rate: 100.0,
+        },
+    ];
+    let caps = paper_capacities(100.0);
+
+    // --- Fig. 1a: shortest paths ------------------------------------
+    println!("== Fig. 1a: IGP shortest paths toward the blue prefix ==\n");
+    let mut t1a = Table::new(&["source", "equal-cost shortest paths", "cost"]);
+    for src in [A, B] {
+        let paths = enumerate_paths(&topo, src, BLUE, 8);
+        let cost = compute_routes(&topo, src).route(BLUE).unwrap().dist;
+        let rendered: Vec<String> = paths
+            .iter()
+            .map(|p| {
+                p.iter()
+                    .map(|r| name(*r).to_string())
+                    .collect::<Vec<_>>()
+                    .join("-")
+            })
+            .collect();
+        t1a.row(&[
+            name(src).to_string(),
+            rendered.join(" ; "),
+            format!("{cost}"),
+        ]);
+    }
+    t1a.emit("fig1a_paths");
+    println!("(paths from A and B overlap along B-R2-C, as the caption says)\n");
+
+    // --- Fig. 1b: overload ------------------------------------------
+    println!("== Fig. 1b: data-plane loads during the surge (no Fibbing) ==\n");
+    let loads_b = spread(&topo, &demands).expect("routable");
+    load_table("link (Fig. 1b)", &loads_b).emit("fig1b_loads");
+    println!(
+        "max relative load: {} (capacity 100 → the B-R2-C links are overloaded)\n",
+        f(max_utilization(&loads_b, &caps) * 100.0)
+    );
+
+    // --- Fig. 1c: the lies ------------------------------------------
+    println!("== Fig. 1c: the augmentation Fibbing computes ==\n");
+    let plan = plan_paths(&topo, BLUE, &[(A, 100.0), (B, 100.0)], &caps, 0.5, 8).unwrap();
+    let mut alloc = LieAllocator::new();
+    let aug = augment(&topo, &plan.dag, &mut alloc).unwrap();
+    let lies = reduce(&topo, &plan.dag, &aug.lies);
+    let mut t1c = Table::new(&["fake node", "attached to", "announces at cost", "resolves to"]);
+    for lie in &lies {
+        t1c.row(&[
+            format!("{}", lie.fake_id),
+            name(lie.attach).to_string(),
+            format!("{}", lie.cost_at_attach()),
+            format!("{} (addr {})", name(lie.fw.router), lie.fw.addr),
+        ]);
+    }
+    t1c.emit("fig1c_lies");
+    let augmented = apply_all(&topo, &lies);
+    println!(
+        "B now has {} equal-cost slots; A has {} (1 via B + 2 via R1)\n",
+        compute_routes(&augmented, B).nexthops(BLUE).len(),
+        compute_routes(&augmented, A).nexthops(BLUE).len(),
+    );
+
+    // --- Fig. 1d: balanced loads ------------------------------------
+    println!("== Fig. 1d: data-plane loads on the augmented topology ==\n");
+    let loads_d = spread(&augmented, &demands).expect("routable");
+    load_table("link (Fig. 1d)", &loads_d).emit("fig1d_loads");
+    println!(
+        "max relative load: {} — down from {} (the fractional optimum θ* = {})",
+        f(max_utilization(&loads_d, &caps) * 100.0),
+        f(max_utilization(&loads_b, &caps) * 100.0),
+        f(min_max_theta(&topo, BLUE, &[(A, 100.0), (B, 100.0)], &caps).unwrap() * 100.0),
+    );
+}

@@ -1,0 +1,527 @@
+//! The Fibbing controller of the demo (Sec. 3 of the paper).
+//!
+//! The controller is an ordinary IGP speaker attached to one router
+//! (R3 in the demo). It:
+//!
+//! 1. **monitors link loads using SNMP** — polling ifOutOctets at a
+//!    fixed interval through the telemetry pipeline (EWMA rates,
+//!    hysteresis alarms), and
+//! 2. **is notified by the servers when they have a new client** —
+//!    flow notifications feed a demand book, letting the controller
+//!    react *predictively*: it spreads the known demands over the
+//!    forwarding state in its own LSDB and acts when the predicted
+//!    utilization crosses the threshold, typically before queues
+//!    build.
+//!
+//! Reaction: compute a path plan (min-cost flow at the utilization
+//! budget, [`crate::optimizer::plan_paths`]), realize it with lies
+//! ([`crate::augmentation::augment`]), optionally reduce the lie set,
+//! and reconcile with what is already installed (inject new lies,
+//! retract obsolete ones). When demand subsides so the *natural*
+//! (lie-free) routing would stay below the low watermark, every lie is
+//! retracted and the network falls back to its original state.
+
+use crate::augmentation::{augment, reduce};
+use crate::lie::{Lie, LieAllocator};
+use fib_igp::loadmodel::{max_utilization, spread, Demand};
+use fib_igp::time::Dur;
+use fib_igp::types::{Prefix, RouterId};
+use fib_netsim::api::{App, SimApi};
+use fib_netsim::flow::{FlowId, FlowInfo};
+use fib_netsim::link::LinkKey;
+use fib_telemetry::alarm::Threshold;
+use fib_telemetry::counters::CounterWidth;
+use fib_telemetry::mib::{oids, Value};
+use fib_telemetry::monitor::LoadMonitor;
+use std::collections::BTreeMap;
+
+/// Controller tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// The controller's IGP speaker id (added to the simulation via
+    /// [`fib_netsim::sim::Sim::add_controller_speaker`]).
+    pub speaker: RouterId,
+    /// Tick/poll cadence.
+    pub poll_interval: Dur,
+    /// Utilization (predicted or measured) that triggers a reaction.
+    pub util_hi: f64,
+    /// Natural utilization below which lies are retracted.
+    pub util_lo: f64,
+    /// Hold-down for the SNMP alarm path.
+    pub hold: Dur,
+    /// Utilization budget handed to the optimizer.
+    pub target_util: f64,
+    /// Max ECMP slots per router when rounding splits.
+    pub slot_budget: u32,
+    /// EWMA weight for SNMP rates.
+    pub ewma_alpha: f64,
+    /// Demand assumed for flows announcing no rate cap.
+    pub default_flow_rate: f64,
+    /// Run the Merger-style reduction on computed plans.
+    pub reduce_lies: bool,
+    /// React to flow notifications immediately (predictive mode); if
+    /// `false` the controller only reacts to SNMP alarms — the
+    /// ablation the reaction-time table quantifies.
+    pub predictive: bool,
+    /// Poll SNMP counters (can be disabled for pure-predictive runs).
+    pub use_snmp: bool,
+}
+
+impl ControllerConfig {
+    /// Defaults mirroring the demo: 1 s polling, react at 80%
+    /// predicted utilization, optimize to 70%, retract below 30%.
+    pub fn new(speaker: RouterId) -> ControllerConfig {
+        ControllerConfig {
+            speaker,
+            poll_interval: Dur::from_secs(1),
+            util_hi: 0.8,
+            util_lo: 0.3,
+            hold: Dur::ZERO,
+            target_util: 0.7,
+            slot_budget: 8,
+            ewma_alpha: 0.5,
+            default_flow_rate: 125_000.0, // 1 Mb/s video
+            reduce_lies: true,
+            predictive: true,
+            use_snmp: true,
+        }
+    }
+}
+
+/// Observable controller counters (reaction-time and overhead tables).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControllerStats {
+    /// Reactions computed (plan attempts on congestion).
+    pub reactions: u64,
+    /// Lies injected.
+    pub injections: u64,
+    /// Lies retracted.
+    pub retractions: u64,
+    /// SNMP poll sweeps performed.
+    pub snmp_sweeps: u64,
+    /// Evaluations (trigger checks) performed.
+    pub evaluations: u64,
+    /// Plans that failed (optimizer or augmentation error).
+    pub failures: u64,
+}
+
+/// The demo's Fibbing controller (a netsim [`App`]).
+pub struct FibbingController {
+    cfg: ControllerConfig,
+    monitor: LoadMonitor<LinkKey>,
+    iface_map: BTreeMap<(RouterId, u32), LinkKey>,
+    caps: BTreeMap<(RouterId, RouterId), f64>,
+    book: BTreeMap<FlowId, FlowInfo>,
+    installed: BTreeMap<Prefix, Vec<Lie>>,
+    alloc: LieAllocator,
+    /// Observable counters.
+    pub stats: ControllerStats,
+}
+
+impl FibbingController {
+    /// Build a controller with the given configuration.
+    pub fn new(cfg: ControllerConfig) -> FibbingController {
+        let monitor = LoadMonitor::new(
+            CounterWidth::C64,
+            cfg.ewma_alpha,
+            Threshold::new(cfg.util_hi, cfg.util_lo, cfg.hold),
+        );
+        FibbingController {
+            cfg,
+            monitor,
+            iface_map: BTreeMap::new(),
+            caps: BTreeMap::new(),
+            book: BTreeMap::new(),
+            installed: BTreeMap::new(),
+            alloc: LieAllocator::new(),
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// Lies currently installed for a prefix.
+    pub fn installed_lies(&self, prefix: Prefix) -> &[Lie] {
+        self.installed
+            .get(&prefix)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Total number of installed lies.
+    pub fn installed_count(&self) -> usize {
+        self.installed.values().map(|v| v.len()).sum()
+    }
+
+    fn demands_by_prefix(&self) -> BTreeMap<Prefix, Vec<(RouterId, f64)>> {
+        let mut agg: BTreeMap<Prefix, BTreeMap<RouterId, f64>> = BTreeMap::new();
+        for info in self.book.values() {
+            let rate = info.cap.unwrap_or(self.cfg.default_flow_rate);
+            *agg.entry(info.dst)
+                .or_default()
+                .entry(info.src)
+                .or_insert(0.0) += rate;
+        }
+        agg.into_iter()
+            .map(|(p, m)| (p, m.into_iter().collect()))
+            .collect()
+    }
+
+    fn all_demands(&self) -> Vec<Demand> {
+        self.demands_by_prefix()
+            .into_iter()
+            .flat_map(|(prefix, v)| {
+                v.into_iter().map(move |(src, rate)| Demand {
+                    src,
+                    prefix,
+                    rate,
+                })
+            })
+            .collect()
+    }
+
+    fn poll_snmp(&mut self, api: &mut dyn SimApi) {
+        self.stats.snmp_sweeps += 1;
+        let now = api.now();
+        let routers: Vec<RouterId> = {
+            let mut v: Vec<RouterId> = self.caps.keys().map(|(f, _)| *f).collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        for r in routers {
+            let column = api.snmp_walk(r, &oids::if_out_octets());
+            for (oid, value) in column {
+                let Some(&idx) = oid.0.last() else { continue };
+                let Some(key) = self.iface_map.get(&(r, idx)).copied() else {
+                    continue;
+                };
+                if let Value::Counter(c) = value {
+                    // Alarm edges are consumed via is_alarmed() below.
+                    let _ = self.monitor.on_sample(&key, now, c);
+                }
+            }
+        }
+    }
+
+    /// Signature used to reconcile planned lies with installed ones.
+    fn sig(l: &Lie) -> (RouterId, RouterId, u32) {
+        (l.attach, l.fw.router, l.cost_at_attach().0)
+    }
+
+    fn reconcile(
+        &mut self,
+        api: &mut dyn SimApi,
+        prefix: Prefix,
+        new_lies: Vec<Lie>,
+    ) {
+        let old = self.installed.remove(&prefix).unwrap_or_default();
+        let mut old_by_sig: BTreeMap<(RouterId, RouterId, u32), Vec<Lie>> = BTreeMap::new();
+        for l in old {
+            old_by_sig.entry(Self::sig(&l)).or_default().push(l);
+        }
+        let mut final_set: Vec<Lie> = Vec::new();
+        let mut to_inject: Vec<Lie> = Vec::new();
+        for l in new_lies {
+            match old_by_sig.get_mut(&Self::sig(&l)).and_then(|v| v.pop()) {
+                Some(kept) => final_set.push(kept), // already installed
+                None => {
+                    to_inject.push(l);
+                    final_set.push(l);
+                }
+            }
+        }
+        // Whatever remains in old_by_sig is obsolete.
+        for (_, leftovers) in old_by_sig {
+            for l in leftovers {
+                if api.retract_fake(self.cfg.speaker, l.fake_id).is_ok() {
+                    self.stats.retractions += 1;
+                }
+            }
+        }
+        for l in &to_inject {
+            if api
+                .inject_fake(
+                    self.cfg.speaker,
+                    l.fake_id,
+                    l.attach,
+                    l.attach_metric,
+                    l.prefix,
+                    l.prefix_metric,
+                    l.fw,
+                )
+                .is_ok()
+            {
+                self.stats.injections += 1;
+            }
+        }
+        if !final_set.is_empty() {
+            self.installed.insert(prefix, final_set);
+        }
+    }
+
+    fn retract_all(&mut self, api: &mut dyn SimApi, prefix: Prefix) {
+        if let Some(lies) = self.installed.remove(&prefix) {
+            for l in lies {
+                if api.retract_fake(self.cfg.speaker, l.fake_id).is_ok() {
+                    self.stats.retractions += 1;
+                }
+            }
+        }
+    }
+
+    fn evaluate(&mut self, api: &mut dyn SimApi) {
+        self.stats.evaluations += 1;
+        let Some(view) = api.topology_view(self.cfg.speaker) else {
+            return;
+        };
+        let real = view.without_fakes();
+        let demands = self.all_demands();
+        let by_prefix = self.demands_by_prefix();
+
+        // Predicted utilization on the *current* forwarding state (the
+        // controller's LSDB already contains its own lies).
+        let predicted = match spread(&view, &demands) {
+            Ok(loads) => max_utilization(&loads, &self.caps),
+            Err(_) => return, // transient (convergence in progress)
+        };
+        let measured = if self.cfg.use_snmp {
+            self.monitor.max_utilization()
+        } else {
+            0.0
+        };
+        let alarmed = self.cfg.use_snmp && !self.monitor.alarmed_keys().is_empty();
+        let congested = (self.cfg.predictive && predicted >= self.cfg.util_hi)
+            || alarmed
+            || measured >= self.cfg.util_hi;
+
+        let prefixes: Vec<Prefix> = {
+            let mut v: Vec<Prefix> = by_prefix.keys().copied().collect();
+            for p in self.installed.keys() {
+                if !v.contains(p) {
+                    v.push(*p);
+                }
+            }
+            v.sort();
+            v
+        };
+
+        for prefix in prefixes {
+            let dem = by_prefix.get(&prefix).cloned().unwrap_or_default();
+            // Natural (lie-free) utilization decides retraction.
+            let natural = match spread(&real, &self.all_demands()) {
+                Ok(loads) => max_utilization(&loads, &self.caps),
+                Err(_) => continue,
+            };
+            if self.installed.contains_key(&prefix) && natural <= self.cfg.util_lo {
+                self.retract_all(api, prefix);
+                continue;
+            }
+            if !congested || dem.is_empty() {
+                continue;
+            }
+            self.stats.reactions += 1;
+            let plan = match crate::optimizer::plan_paths(
+                &real,
+                prefix,
+                &dem,
+                &self.caps,
+                self.cfg.target_util,
+                self.cfg.slot_budget,
+            ) {
+                Ok(p) => p,
+                Err(_) => {
+                    self.stats.failures += 1;
+                    continue;
+                }
+            };
+            let aug = match augment(&real, &plan.dag, &mut self.alloc) {
+                Ok(a) => a,
+                Err(_) => {
+                    self.stats.failures += 1;
+                    continue;
+                }
+            };
+            let lies = if self.cfg.reduce_lies {
+                reduce(&real, &plan.dag, &aug.lies)
+            } else {
+                aug.lies
+            };
+            self.reconcile(api, prefix, lies);
+        }
+    }
+}
+
+impl App for FibbingController {
+    fn name(&self) -> &str {
+        "fibbing-controller"
+    }
+
+    fn tick_interval(&self) -> Option<Dur> {
+        Some(self.cfg.poll_interval)
+    }
+
+    fn on_start(&mut self, api: &mut dyn SimApi) {
+        // Learn the provisioning: every data link's capacity and its
+        // SNMP interface index. Management links (touching the
+        // speaker) are excluded from optimization and monitoring.
+        for info in api.links() {
+            if info.key.from == self.cfg.speaker || info.key.to == self.cfg.speaker {
+                continue;
+            }
+            self.caps.insert((info.key.from, info.key.to), info.capacity);
+            self.monitor.add(info.key, info.capacity);
+            if let Some(idx) = api.ifindex_for(info.key.from, info.key.to) {
+                self.iface_map.insert((info.key.from, idx), info.key);
+            }
+        }
+    }
+
+    fn on_tick(&mut self, api: &mut dyn SimApi) {
+        if self.cfg.use_snmp {
+            self.poll_snmp(api);
+        }
+        self.evaluate(api);
+    }
+
+    fn on_flow_started(&mut self, api: &mut dyn SimApi, info: &FlowInfo) {
+        self.book.insert(info.id, info.clone());
+        if self.cfg.predictive {
+            self.evaluate(api);
+        }
+    }
+
+    fn on_flow_stopped(&mut self, api: &mut dyn SimApi, info: &FlowInfo) {
+        self.book.remove(&info.id);
+        if self.cfg.predictive {
+            self.evaluate(api);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fib_igp::time::Timestamp;
+    use fib_igp::types::Metric;
+    use fib_netsim::flow::FlowSpec;
+    use fib_netsim::link::LinkSpec;
+    use fib_netsim::sim::{Sim, SimConfig};
+
+    fn r(n: u32) -> RouterId {
+        RouterId(n)
+    }
+
+    /// Triangle with a slow alternative: 1-2 (1), 2-3 (1), 1-3 (5).
+    /// Prefix at r3; capacity 1 MB/s per link. Controller at r100 on
+    /// r2.
+    fn sim_with_controller(cfg: ControllerConfig) -> Sim {
+        let mut sim = Sim::new(SimConfig::default());
+        for i in 1..=3 {
+            sim.add_router(r(i));
+        }
+        sim.add_link(LinkSpec::new(r(1), r(2), Metric(1), 1e6));
+        sim.add_link(LinkSpec::new(r(2), r(3), Metric(1), 1e6));
+        sim.add_link(LinkSpec::new(r(1), r(3), Metric(5), 1e6));
+        sim.announce_prefix(r(3), Prefix::net24(1));
+        sim.add_controller_speaker(r(100), r(2));
+        sim.add_app(Box::new(FibbingController::new(cfg)));
+        sim
+    }
+
+    #[test]
+    fn controller_reacts_to_predicted_congestion() {
+        let cfg = ControllerConfig::new(r(100));
+        let mut sim = sim_with_controller(cfg);
+        // 12 video flows of 100 kB/s from r1: 1.2 MB/s > 1 MB/s link.
+        for i in 0..12 {
+            sim.schedule_flow(
+                Timestamp::from_secs(10) + Dur::from_millis(i * 10),
+                FlowSpec::new(r(1), Prefix::net24(1)).with_cap(1e5),
+            );
+        }
+        sim.start();
+        sim.run_until(Timestamp::from_secs(30));
+        // r1 must have gained an extra ECMP slot toward r3.
+        let hops = {
+            let api = sim.api();
+            api.fib_nexthops(r(1), Prefix::net24(1))
+        };
+        assert!(
+            hops.len() >= 2,
+            "expected extra ECMP slots at r1, got {hops:?}"
+        );
+        assert!(hops.iter().any(|h| h.router == r(3)));
+        // No link should be overloaded any more.
+        let l12 = sim.link_rate(r(1), r(2)).unwrap();
+        let l13 = sim.link_rate(r(1), r(3)).unwrap();
+        assert!(l12 <= 1e6 + 1.0 && l13 <= 1e6 + 1.0);
+        assert!(
+            (l12 + l13 - 1.2e6).abs() < 1.0,
+            "all traffic must be delivered: {l12} + {l13}"
+        );
+    }
+
+    #[test]
+    fn controller_retracts_when_demand_subsides() {
+        let cfg = ControllerConfig::new(r(100));
+        let mut sim = sim_with_controller(cfg);
+        let mut ids = Vec::new();
+        for i in 0..12 {
+            ids.push(sim.schedule_flow(
+                Timestamp::from_secs(10) + Dur::from_millis(i * 10),
+                FlowSpec::new(r(1), Prefix::net24(1)).with_cap(1e5),
+            ));
+        }
+        // Stop all flows at t=40.
+        for id in &ids {
+            sim.schedule_flow_stop(Timestamp::from_secs(40), *id);
+        }
+        sim.start();
+        sim.run_until(Timestamp::from_secs(35));
+        assert!(
+            sim.api().fib_nexthops(r(1), Prefix::net24(1)).len() >= 2,
+            "lies installed during the crowd"
+        );
+        sim.run_until(Timestamp::from_secs(60));
+        // After retraction, r1 falls back to the single natural hop.
+        let hops = sim.api().fib_nexthops(r(1), Prefix::net24(1));
+        assert_eq!(hops.len(), 1, "lies must be retracted, got {hops:?}");
+        assert_eq!(hops[0].router, r(2));
+    }
+
+    #[test]
+    fn small_demand_triggers_no_reaction() {
+        let cfg = ControllerConfig::new(r(100));
+        let mut sim = sim_with_controller(cfg);
+        sim.schedule_flow(
+            Timestamp::from_secs(10),
+            FlowSpec::new(r(1), Prefix::net24(1)).with_cap(1e5),
+        );
+        sim.start();
+        sim.run_until(Timestamp::from_secs(30));
+        let hops = sim.api().fib_nexthops(r(1), Prefix::net24(1));
+        assert_eq!(hops.len(), 1, "no lies expected, got {hops:?}");
+    }
+
+    #[test]
+    fn snmp_only_controller_reacts_later_but_reacts() {
+        let mut cfg = ControllerConfig::new(r(100));
+        cfg.predictive = false; // only the SNMP path
+        cfg.hold = Dur::from_secs(2);
+        let mut sim = sim_with_controller(cfg);
+        for i in 0..12 {
+            sim.schedule_flow(
+                Timestamp::from_secs(10) + Dur::from_millis(i * 10),
+                FlowSpec::new(r(1), Prefix::net24(1)).with_cap(1e5),
+            );
+        }
+        sim.start();
+        sim.run_until(Timestamp::from_secs(13));
+        // Too early: counters haven't shown sustained overload yet.
+        assert_eq!(sim.api().fib_nexthops(r(1), Prefix::net24(1)).len(), 1);
+        sim.run_until(Timestamp::from_secs(40));
+        assert!(
+            sim.api().fib_nexthops(r(1), Prefix::net24(1)).len() >= 2,
+            "SNMP path must eventually react"
+        );
+    }
+}

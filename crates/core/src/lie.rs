@@ -1,0 +1,209 @@
+//! Lies: the unit of Fibbing control.
+//!
+//! A [`Lie`] describes one fake node: where it attaches, what it
+//! announces at what cost, and which forwarding address the attachment
+//! router resolves it to. Lies compile 1:1 to fake LSAs
+//! ([`fib_igp::lsa::LsaBody::Fake`]) and can be applied directly to a
+//! [`Topology`] for offline planning/verification.
+//!
+//! [`LieAllocator`] hands out collision-free fake node ids and
+//! secondary forwarding-address indexes (each lie at a given router
+//! resolving to the same neighbor needs a distinct gateway address to
+//! occupy its own ECMP slot).
+
+use fib_igp::topology::{FakeAttrs, Topology};
+use fib_igp::types::{FwAddr, Metric, Prefix, RouterId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One fake node to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lie {
+    /// Fake node identifier (in the fake id range).
+    pub fake_id: RouterId,
+    /// Real router the fake node hangs off.
+    pub attach: RouterId,
+    /// Metric of the directed `attach → fake` link.
+    pub attach_metric: Metric,
+    /// The prefix the lie announces.
+    pub prefix: Prefix,
+    /// Announcement metric at the fake node.
+    pub prefix_metric: Metric,
+    /// Gateway the fake next-hop resolves to at `attach`.
+    pub fw: FwAddr,
+}
+
+impl Lie {
+    /// The total cost of the prefix via this lie as seen at the
+    /// attachment router.
+    pub fn cost_at_attach(&self) -> Metric {
+        self.attach_metric.add(self.prefix_metric)
+    }
+
+    /// The fake-node attributes to install into a topology.
+    pub fn attrs(&self) -> FakeAttrs {
+        FakeAttrs {
+            attach: self.attach,
+            attach_metric: self.attach_metric,
+            prefix: self.prefix,
+            prefix_metric: self.prefix_metric,
+            fw: self.fw,
+        }
+    }
+
+    /// Apply the lie to a topology (offline planning view).
+    pub fn apply(&self, topo: &mut Topology) -> Result<(), fib_igp::error::TopologyError> {
+        topo.add_fake_node(self.fake_id, self.attrs())
+    }
+}
+
+impl fmt::Display for Lie {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lie {}@{}: {} cost {} via {}",
+            self.fake_id,
+            self.attach,
+            self.prefix,
+            self.cost_at_attach(),
+            self.fw
+        )
+    }
+}
+
+/// Apply a whole plan to a copy of the topology.
+pub fn apply_all(topo: &Topology, lies: &[Lie]) -> Topology {
+    let mut t = topo.clone();
+    for lie in lies {
+        lie.apply(&mut t).expect("lie must be applicable");
+    }
+    t
+}
+
+/// Allocates fake ids and secondary address indexes without collisions.
+#[derive(Debug, Default)]
+pub struct LieAllocator {
+    next_fake: u32,
+    // (attach, fw router) → next secondary address index.
+    next_addr: BTreeMap<(RouterId, RouterId), u16>,
+}
+
+impl LieAllocator {
+    /// A fresh allocator.
+    pub fn new() -> LieAllocator {
+        LieAllocator::default()
+    }
+
+    /// An allocator whose fake ids start at `base` (to avoid clashing
+    /// with lies injected by earlier plans still in the network).
+    pub fn starting_at(base: u32) -> LieAllocator {
+        LieAllocator {
+            next_fake: base,
+            next_addr: BTreeMap::new(),
+        }
+    }
+
+    /// Next unused fake node id.
+    pub fn fake_id(&mut self) -> RouterId {
+        let id = RouterId::fake(self.next_fake);
+        self.next_fake += 1;
+        id
+    }
+
+    /// Next unused secondary address of `fw_router` for lies attached
+    /// at `attach` (indexes start at 1; 0 is the primary address).
+    pub fn fw_addr(&mut self, attach: RouterId, fw_router: RouterId) -> FwAddr {
+        let slot = self.next_addr.entry((attach, fw_router)).or_insert(1);
+        let fw = FwAddr::secondary(fw_router, *slot);
+        *slot += 1;
+        fw
+    }
+
+    /// Build a complete lie announcing `prefix` at `attach` with the
+    /// given total cost (split 1 + rest between link and announcement)
+    /// resolving to a fresh secondary address of `nexthop`.
+    pub fn make(
+        &mut self,
+        attach: RouterId,
+        nexthop: RouterId,
+        prefix: Prefix,
+        total_cost: Metric,
+    ) -> Lie {
+        let attach_metric = Metric(1.min(total_cost.0.max(1)));
+        let prefix_metric = total_cost.sub(attach_metric);
+        Lie {
+            fake_id: self.fake_id(),
+            attach,
+            attach_metric,
+            prefix,
+            prefix_metric,
+            fw: self.fw_addr(attach, nexthop),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u32) -> RouterId {
+        RouterId(n)
+    }
+
+    #[test]
+    fn allocator_never_collides() {
+        let mut a = LieAllocator::new();
+        let f1 = a.fake_id();
+        let f2 = a.fake_id();
+        assert_ne!(f1, f2);
+        assert!(f1.is_fake() && f2.is_fake());
+        let w1 = a.fw_addr(r(1), r(2));
+        let w2 = a.fw_addr(r(1), r(2));
+        let w3 = a.fw_addr(r(3), r(2));
+        assert_ne!(w1, w2);
+        // Different attach routers may reuse indexes (different FIBs).
+        assert_eq!(w3.addr, 1);
+        assert!(w1.addr >= 1 && w2.addr >= 1);
+    }
+
+    #[test]
+    fn make_splits_cost() {
+        let mut a = LieAllocator::new();
+        let lie = a.make(r(1), r(2), Prefix::net24(1), Metric(5));
+        assert_eq!(lie.cost_at_attach(), Metric(5));
+        assert_eq!(lie.attach_metric, Metric(1));
+        assert_eq!(lie.prefix_metric, Metric(4));
+        assert_eq!(lie.fw.router, r(2));
+        assert!(lie.fw.addr >= 1);
+    }
+
+    #[test]
+    fn make_handles_cost_one() {
+        let mut a = LieAllocator::new();
+        let lie = a.make(r(1), r(2), Prefix::net24(1), Metric(1));
+        assert_eq!(lie.cost_at_attach(), Metric(1));
+    }
+
+    #[test]
+    fn apply_installs_fake_node() {
+        let mut topo = Topology::new();
+        topo.add_router(r(1));
+        topo.add_router(r(2));
+        topo.add_link_sym(r(1), r(2), Metric(1)).unwrap();
+        let mut a = LieAllocator::new();
+        let lie = a.make(r(1), r(2), Prefix::net24(1), Metric(2));
+        let augmented = apply_all(&topo, &[lie]);
+        assert_eq!(augmented.fake_count(), 1);
+        assert_eq!(
+            augmented.fake_attrs(lie.fake_id).unwrap().cost_at_attach(),
+            Metric(2)
+        );
+        assert!(format!("{lie}").contains("via r2#1"));
+    }
+
+    #[test]
+    fn starting_at_skips_ids() {
+        let mut a = LieAllocator::starting_at(100);
+        assert_eq!(a.fake_id(), RouterId::fake(100));
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests of the full planning pipeline on random topologies:
+//! optimizer → augmentation → reduction → verification. These are the
+//! invariants that make the controller trustworthy on *any* network,
+//! not just the paper's.
+
+use fib_core::prelude::*;
+use fib_igp::builders::random_connected;
+use fib_igp::loadmodel::{max_utilization, spread, Demand};
+use fib_igp::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Build a random connected scenario: topology, sink prefix, two
+/// demand sources, uniform capacities.
+fn scenario(
+    seed: u64,
+    n: u32,
+) -> (
+    Topology,
+    Prefix,
+    Vec<(RouterId, f64)>,
+    BTreeMap<(RouterId, RouterId), f64>,
+) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut topo = random_connected(&mut rng, n, n / 2, 4);
+    let routers: Vec<RouterId> = topo.routers().collect();
+    let sink = routers[rng.gen_range(0..routers.len())];
+    let prefix = Prefix::net24(1);
+    topo.announce_prefix(sink, prefix, Metric::ZERO).unwrap();
+    let mut demands = Vec::new();
+    while demands.len() < 2 {
+        let s = routers[rng.gen_range(0..routers.len())];
+        if s != sink && !demands.iter().any(|(r, _)| *r == s) {
+            demands.push((s, rng.gen_range(50.0..150.0)));
+        }
+    }
+    let caps: BTreeMap<(RouterId, RouterId), f64> =
+        topo.all_links().map(|(a, b, _)| ((a, b), 100.0)).collect();
+    (topo, prefix, demands, caps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The optimizer's plan, realized as lies, always (a) verifies
+    /// (constrained fractions hold, unconstrained routers untouched,
+    /// loop-free) and (b) carries every unit of demand.
+    #[test]
+    fn optimizer_plans_realize_and_verify(seed in 0u64..500, n in 6u32..14) {
+        let (topo, prefix, demands, caps) = scenario(seed, n);
+        // An intentionally tight budget forces the θ* fallback — the
+        // interesting (multi-path, uneven) regime.
+        let plan = match plan_paths(&topo, prefix, &demands, &caps, 0.05, 8) {
+            Ok(p) => p,
+            Err(_) => return Ok(()), // disconnected demand: nothing to check
+        };
+        prop_assert_eq!(plan.dag.find_internal_loop(), None);
+        let mut alloc = LieAllocator::new();
+        let aug = match augment(&topo, &plan.dag, &mut alloc) {
+            Ok(a) => a,
+            // Rare: override planning can hit the cost floor on
+            // degenerate graphs; the controller treats this as "no
+            // reaction", which is safe.
+            Err(AugmentError::CostUnderflow(_)) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("augment failed: {e}"))),
+        };
+        let lies = reduce(&topo, &plan.dag, &aug.lies);
+        let augmented = apply_all(&topo, &lies);
+        let report = check_preserving(&topo, &augmented, &aug.effective_dag);
+        prop_assert!(report.ok(), "verification failed: {report}");
+
+        // All demand is delivered (spreads without error, loads sum up).
+        let dem: Vec<Demand> = demands
+            .iter()
+            .map(|(src, rate)| Demand { src: *src, prefix, rate: *rate })
+            .collect();
+        let loads = spread(&augmented, &dem).expect("routable after augmentation");
+        let _ = max_utilization(&loads, &caps);
+    }
+
+    /// Reduction never breaks a plan and never grows it.
+    #[test]
+    fn reduction_is_sound_and_shrinking(seed in 0u64..500, n in 6u32..12) {
+        let (topo, prefix, demands, caps) = scenario(seed, n);
+        let plan = match plan_paths(&topo, prefix, &demands, &caps, 0.05, 8) {
+            Ok(p) => p,
+            Err(_) => return Ok(()),
+        };
+        let mut alloc = LieAllocator::new();
+        let aug = match augment(&topo, &plan.dag, &mut alloc) {
+            Ok(a) => a,
+            Err(_) => return Ok(()),
+        };
+        let reduced = reduce(&topo, &plan.dag, &aug.lies);
+        prop_assert!(reduced.len() <= aug.lies.len());
+        let augmented = apply_all(&topo, &reduced);
+        let report = check_preserving(&topo, &augmented, &plan.dag);
+        prop_assert!(report.ok(), "reduced plan broke: {report}");
+    }
+
+    /// Splitting plans always hit the requested weights exactly when
+    /// realized as ECMP slots on a star (analytical check).
+    #[test]
+    fn split_plans_realize_exact_slot_fractions(
+        raw in proptest::collection::vec(0.1f64..1.0, 2..4),
+        budget in 4u32..16,
+    ) {
+        let sum: f64 = raw.iter().sum();
+        let fractions: Vec<f64> = raw.iter().map(|v| v / sum).collect();
+        if budget < fractions.len() as u32 {
+            return Ok(());
+        }
+        let plan = plan_split(&fractions, budget).unwrap();
+        let total: u32 = plan.weights.iter().sum();
+        for (w, frac) in plan.weights.iter().zip(&fractions) {
+            let realized = f64::from(*w) / f64::from(total);
+            prop_assert!((realized - frac).abs() <= plan.max_error + 1e-12);
+        }
+    }
+}

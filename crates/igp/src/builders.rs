@@ -1,0 +1,184 @@
+//! Topology builders for tests, benchmarks, and experiments.
+//!
+//! All builders produce plain [`Topology`] values (no protocol state).
+//! Random builders take explicit RNGs so every experiment is seedable
+//! and reproducible.
+
+use crate::topology::Topology;
+use crate::types::{Metric, Prefix, RouterId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A line of `n` routers `r1 - r2 - … - rn` with unit metrics.
+pub fn line(n: u32) -> Topology {
+    let mut t = Topology::new();
+    for i in 1..=n {
+        t.add_router(RouterId(i));
+    }
+    for i in 1..n {
+        t.add_link_sym(RouterId(i), RouterId(i + 1), Metric(1))
+            .expect("line link");
+    }
+    t
+}
+
+/// A ring of `n >= 3` routers with unit metrics.
+pub fn ring(n: u32) -> Topology {
+    assert!(n >= 3, "a ring needs at least 3 routers");
+    let mut t = line(n);
+    t.add_link_sym(RouterId(n), RouterId(1), Metric(1))
+        .expect("ring closure");
+    t
+}
+
+/// A `rows × cols` grid with unit metrics. Router ids are
+/// `row * cols + col + 1`.
+pub fn grid(rows: u32, cols: u32) -> Topology {
+    let mut t = Topology::new();
+    let id = |r: u32, c: u32| RouterId(r * cols + c + 1);
+    for r in 0..rows {
+        for c in 0..cols {
+            t.add_router(id(r, c));
+        }
+    }
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                t.add_link_sym(id(r, c), id(r, c + 1), Metric(1)).unwrap();
+            }
+            if r + 1 < rows {
+                t.add_link_sym(id(r, c), id(r + 1, c), Metric(1)).unwrap();
+            }
+        }
+    }
+    t
+}
+
+/// A full mesh over `n` routers with unit metrics.
+pub fn full_mesh(n: u32) -> Topology {
+    let mut t = Topology::new();
+    for i in 1..=n {
+        t.add_router(RouterId(i));
+    }
+    for i in 1..=n {
+        for j in i + 1..=n {
+            t.add_link_sym(RouterId(i), RouterId(j), Metric(1)).unwrap();
+        }
+    }
+    t
+}
+
+/// A random connected graph: a random spanning tree plus `extra_edges`
+/// random chords, metrics uniform in `1..=max_metric`.
+pub fn random_connected<R: Rng>(
+    rng: &mut R,
+    n: u32,
+    extra_edges: u32,
+    max_metric: u32,
+) -> Topology {
+    assert!(n >= 2);
+    let mut t = Topology::new();
+    for i in 1..=n {
+        t.add_router(RouterId(i));
+    }
+    // Random spanning tree: shuffle, then attach each node to a random
+    // earlier node.
+    let mut order: Vec<u32> = (1..=n).collect();
+    order.shuffle(rng);
+    for idx in 1..order.len() {
+        let child = order[idx];
+        let parent = order[rng.gen_range(0..idx)];
+        let m = Metric(rng.gen_range(1..=max_metric));
+        t.add_link_sym(RouterId(child), RouterId(parent), m)
+            .expect("tree link");
+    }
+    // Chords.
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < extra_edges && attempts < extra_edges * 20 {
+        attempts += 1;
+        let a = RouterId(rng.gen_range(1..=n));
+        let b = RouterId(rng.gen_range(1..=n));
+        if a == b || t.has_link(a, b) {
+            continue;
+        }
+        let m = Metric(rng.gen_range(1..=max_metric));
+        t.add_link_sym(a, b, m).expect("chord");
+        added += 1;
+    }
+    t
+}
+
+/// Attach one distinct /24 prefix (`Prefix::net24(i)`) to each of the
+/// given routers at metric 0. Returns the prefixes in order.
+pub fn attach_prefixes(t: &mut Topology, routers: &[RouterId]) -> Vec<Prefix> {
+    let mut out = Vec::with_capacity(routers.len());
+    for (i, r) in routers.iter().enumerate() {
+        let p = Prefix::net24((i + 1) as u8);
+        t.announce_prefix(*r, p, Metric::ZERO).expect("attach prefix");
+        out.push(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spf::shortest_paths;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn line_and_ring_shapes() {
+        let l = line(5);
+        assert_eq!(l.router_count(), 5);
+        assert_eq!(l.all_links().count(), 8); // 4 symmetric links
+        let r = ring(5);
+        assert_eq!(r.all_links().count(), 10);
+        let sp = shortest_paths(&r, RouterId(1));
+        // In a 5-ring the far node is 2 hops either way → ECMP.
+        assert_eq!(sp.dist_to(RouterId(3)), Metric(2));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.router_count(), 12);
+        // Edges: 3*3 horizontal + 2*4 vertical = 17 symmetric = 34 directed.
+        assert_eq!(g.all_links().count(), 34);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn mesh_shape() {
+        let m = full_mesh(4);
+        assert_eq!(m.all_links().count(), 12);
+        let sp = shortest_paths(&m, RouterId(1));
+        assert_eq!(sp.dist_to(RouterId(4)), Metric(1));
+    }
+
+    #[test]
+    fn random_graph_is_connected_and_deterministic() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = random_connected(&mut rng, 30, 20, 10);
+        t.validate().unwrap();
+        let sp = shortest_paths(&t, RouterId(1));
+        for r in t.routers() {
+            assert!(sp.dist_to(r).is_finite(), "router {r} unreachable");
+        }
+        // Determinism: same seed, same graph.
+        let mut rng2 = StdRng::seed_from_u64(42);
+        let t2 = random_connected(&mut rng2, 30, 20, 10);
+        let links1: Vec<_> = t.all_links().collect();
+        let links2: Vec<_> = t2.all_links().collect();
+        assert_eq!(links1, links2);
+    }
+
+    #[test]
+    fn prefix_attachment_helper() {
+        let mut t = line(3);
+        let ps = attach_prefixes(&mut t, &[RouterId(1), RouterId(3)]);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(t.prefixes_at(RouterId(3)), &[(ps[1], Metric::ZERO)]);
+    }
+}

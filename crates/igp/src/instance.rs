@@ -1,0 +1,1428 @@
+//! A sans-IO link-state protocol speaker.
+//!
+//! [`Instance`] is one router's (or the Fibbing controller's) protocol
+//! engine. It owns the interfaces, neighbor state machines, LSDB,
+//! flooding/retransmission machinery, self-origination, and SPF
+//! scheduling — but performs no IO and reads no clock. A harness (the
+//! network simulator, or [`crate::harness`] in tests) drives it:
+//!
+//! * deliver received datagrams with [`Instance::handle_packet`],
+//! * fire due timers with [`Instance::poll_timers`] (next deadline via
+//!   [`Instance::next_timer`]),
+//! * collect emissions (packets to send, FIB downloads, adjacency
+//!   events) with [`Instance::drain_output`].
+//!
+//! The Fibbing controller is *just another speaker*: it forms an
+//! adjacency with one real router and floods fake LSAs through the
+//! ordinary machinery via [`Instance::inject_fake`] /
+//! [`Instance::retract_fake`] — exactly how the original system
+//! piggybacks on OSPF.
+
+use crate::error::InstanceError;
+use crate::lsa::{Freshness, Lsa, LsaHeader, LsaKey, LsaKind, LsaLink, MAX_AGE};
+use crate::lsdb::{Install, Lsdb};
+use crate::rib::RouteTable;
+use crate::spf::SpfEngine;
+use crate::time::{Dur, Timestamp};
+use crate::types::{FwAddr, IfaceId, Metric, Prefix, RouterId, SeqNum};
+use crate::wire::{self, Dbd, Hello, LsAck, LsRequest, LsUpdate, Packet};
+use bytes::Bytes;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Maximum LSA headers per DBD packet.
+const MAX_DBD_HEADERS: usize = 64;
+/// Maximum keys per LS request packet.
+const MAX_REQ_KEYS: usize = 64;
+/// Maximum LSAs per flooded LS update packet.
+const MAX_UPD_LSAS: usize = 16;
+
+/// Static configuration of an instance.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// This speaker's router id.
+    pub router_id: RouterId,
+    /// Hello emission period.
+    pub hello_interval: Dur,
+    /// Silence after which a neighbor is declared dead.
+    pub dead_interval: Dur,
+    /// Retransmission period for unacked LSAs and DBDs.
+    pub rxmt_interval: Dur,
+    /// Delay between an LSDB change and the SPF run (batching).
+    pub spf_delay: Dur,
+    /// If `false`, the instance computes no routes (controller mode —
+    /// the Fibbing controller participates in flooding but needs no
+    /// FIB).
+    pub compute_routes: bool,
+}
+
+impl Config {
+    /// Defaults mirroring fast modern IGP timers: hello 1 s, dead 4 s,
+    /// retransmit 1 s, SPF delay 50 ms.
+    pub fn new(router_id: RouterId) -> Config {
+        Config {
+            router_id,
+            hello_interval: Dur::from_secs(1),
+            dead_interval: Dur::from_secs(4),
+            rxmt_interval: Dur::from_secs(1),
+            spf_delay: Dur::from_millis(50),
+            compute_routes: true,
+        }
+    }
+}
+
+/// Adjacency state (condensed OSPF neighbor FSM for p2p links).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NbrState {
+    /// Nothing heard recently.
+    Down,
+    /// Heard the neighbor, not yet seen ourselves in its hellos.
+    Init,
+    /// Bidirectional; negotiating exchange roles.
+    ExStart,
+    /// Database description exchange in progress.
+    Exchange,
+    /// Requesting LSAs the neighbor had fresher.
+    Loading,
+    /// Fully adjacent: flooding enabled, link advertised.
+    Full,
+}
+
+/// Events and data an instance emits for its harness.
+#[derive(Debug, Clone)]
+pub enum Output {
+    /// Transmit a datagram on an interface.
+    Send {
+        /// Egress interface.
+        iface: IfaceId,
+        /// Encoded packet.
+        data: Bytes,
+    },
+    /// Download a freshly computed route table into the FIB.
+    FibUpdate(RouteTable),
+    /// An adjacency changed state (up = reached Full / down = lost).
+    NeighborChange {
+        /// Interface of the adjacency.
+        iface: IfaceId,
+        /// Neighbor router id.
+        neighbor: RouterId,
+        /// `true` when the adjacency reached Full.
+        up: bool,
+    },
+}
+
+#[derive(Debug)]
+struct NeighborSm {
+    state: NbrState,
+    id: RouterId,
+    last_heard: Timestamp,
+    /// `true` once we have appeared in the neighbor's hello `seen` list.
+    two_way: bool,
+    // --- database exchange ---
+    master: bool,
+    dd_seq: u32,
+    snapshot: Vec<LsaHeader>,
+    next_chunk: usize,
+    peer_done: bool,
+    self_done: bool,
+    last_dbd: Option<Bytes>,
+    last_dbd_at: Timestamp,
+    // --- loading ---
+    req_list: Vec<LsaKey>,
+    last_req_at: Timestamp,
+    // --- flooding ---
+    rxmt: BTreeMap<LsaKey, Lsa>,
+    last_rxmt_at: Timestamp,
+}
+
+impl NeighborSm {
+    fn new(id: RouterId, now: Timestamp) -> NeighborSm {
+        NeighborSm {
+            state: NbrState::Init,
+            id,
+            last_heard: now,
+            two_way: false,
+            master: false,
+            dd_seq: 0,
+            snapshot: Vec::new(),
+            next_chunk: 0,
+            peer_done: false,
+            self_done: false,
+            last_dbd: None,
+            last_dbd_at: Timestamp::ZERO,
+            req_list: Vec::new(),
+            last_req_at: Timestamp::ZERO,
+            rxmt: BTreeMap::new(),
+            last_rxmt_at: Timestamp::ZERO,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Iface {
+    id: IfaceId,
+    cost: Metric,
+    enabled: bool,
+    neighbor: Option<NeighborSm>,
+}
+
+/// Counters exposed for benchmarks and the overhead tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Packets sent, by any type.
+    pub pkts_sent: u64,
+    /// Packets received and accepted.
+    pub pkts_recv: u64,
+    /// Bytes sent.
+    pub bytes_sent: u64,
+    /// LSAs this instance originated or re-originated.
+    pub lsas_originated: u64,
+    /// LSA instances flooded onward (per neighbor enqueue).
+    pub lsas_flooded: u64,
+    /// SPF route computations performed.
+    pub spf_runs: u64,
+    /// Packets dropped due to decode errors.
+    pub decode_errors: u64,
+}
+
+/// A sans-IO protocol instance. See module docs.
+pub struct Instance {
+    cfg: Config,
+    ifaces: BTreeMap<IfaceId, Iface>,
+    lsdb: Lsdb,
+    originated: BTreeMap<LsaKey, SeqNum>,
+    announced: BTreeMap<Prefix, (u32, Metric)>,
+    next_prefix_id: u32,
+    spf: SpfEngine,
+    spf_at: Option<Timestamp>,
+    last_spf_version: Option<crate::lsdb::DbVersion>,
+    last_table: Option<RouteTable>,
+    next_hello: Timestamp,
+    dd_seq_counter: u32,
+    out: VecDeque<Output>,
+    started: bool,
+    /// Observable counters.
+    pub stats: Stats,
+}
+
+impl std::fmt::Debug for Instance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Instance")
+            .field("router_id", &self.cfg.router_id)
+            .field("ifaces", &self.ifaces.len())
+            .field("lsdb_len", &self.lsdb.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Instance {
+    /// Create a stopped instance. Add interfaces and announcements,
+    /// then call [`Instance::start`].
+    pub fn new(cfg: Config) -> Instance {
+        Instance {
+            cfg,
+            ifaces: BTreeMap::new(),
+            lsdb: Lsdb::new(),
+            originated: BTreeMap::new(),
+            announced: BTreeMap::new(),
+            next_prefix_id: 0,
+            spf: SpfEngine::new(),
+            spf_at: None,
+            last_spf_version: None,
+            last_table: None,
+            next_hello: Timestamp::ZERO,
+            dd_seq_counter: 1,
+            out: VecDeque::new(),
+            started: false,
+            stats: Stats::default(),
+        }
+    }
+
+    /// This speaker's router id.
+    pub fn router_id(&self) -> RouterId {
+        self.cfg.router_id
+    }
+
+    /// Immutable view of the LSDB.
+    pub fn lsdb(&self) -> &Lsdb {
+        &self.lsdb
+    }
+
+    /// The most recently computed route table, if any.
+    pub fn route_table(&self) -> Option<&RouteTable> {
+        self.last_table.as_ref()
+    }
+
+    /// Add a point-to-point interface with the given cost.
+    pub fn add_iface(&mut self, id: IfaceId, cost: Metric) {
+        self.ifaces.insert(
+            id,
+            Iface {
+                id,
+                cost,
+                enabled: true,
+                neighbor: None,
+            },
+        );
+    }
+
+    /// Change an interface cost; triggers re-origination if adjacent.
+    pub fn set_iface_cost(&mut self, id: IfaceId, cost: Metric) -> Result<(), InstanceError> {
+        let iface = self
+            .ifaces
+            .get_mut(&id)
+            .ok_or(InstanceError::UnknownIface(id.0))?;
+        iface.cost = cost;
+        if self.started {
+            self.originate_router_lsa();
+        }
+        Ok(())
+    }
+
+    /// Administratively enable/disable an interface. Disabling kills
+    /// the adjacency immediately.
+    pub fn set_iface_enabled(
+        &mut self,
+        id: IfaceId,
+        enabled: bool,
+        now: Timestamp,
+    ) -> Result<(), InstanceError> {
+        let iface = self
+            .ifaces
+            .get_mut(&id)
+            .ok_or(InstanceError::UnknownIface(id.0))?;
+        if iface.enabled == enabled {
+            return Ok(());
+        }
+        iface.enabled = enabled;
+        if !enabled {
+            if let Some(n) = iface.neighbor.take() {
+                if n.state == NbrState::Full {
+                    self.out.push_back(Output::NeighborChange {
+                        iface: id,
+                        neighbor: n.id,
+                        up: false,
+                    });
+                    self.originate_router_lsa();
+                }
+            }
+        }
+        let _ = now;
+        Ok(())
+    }
+
+    /// Neighbor state on an interface (Down if none).
+    pub fn neighbor_state(&self, id: IfaceId) -> NbrState {
+        self.ifaces
+            .get(&id)
+            .and_then(|i| i.neighbor.as_ref())
+            .map(|n| n.state)
+            .unwrap_or(NbrState::Down)
+    }
+
+    /// Ids of fully adjacent neighbors.
+    pub fn full_neighbors(&self) -> Vec<RouterId> {
+        self.ifaces
+            .values()
+            .filter_map(|i| i.neighbor.as_ref())
+            .filter(|n| n.state == NbrState::Full)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Announce a prefix at the given metric (originates a prefix LSA
+    /// once started).
+    pub fn announce(&mut self, prefix: Prefix, metric: Metric) {
+        let id = match self.announced.get(&prefix) {
+            Some((id, _)) => *id,
+            None => {
+                let id = self.next_prefix_id;
+                self.next_prefix_id += 1;
+                id
+            }
+        };
+        self.announced.insert(prefix, (id, metric));
+        if self.started {
+            self.originate_prefix_lsa(prefix);
+        }
+    }
+
+    /// Withdraw a prefix announcement (purges the LSA network-wide).
+    pub fn withdraw(&mut self, prefix: Prefix) {
+        if let Some((id, _)) = self.announced.remove(&prefix) {
+            let key = LsaKey {
+                origin: self.cfg.router_id,
+                kind: LsaKind::Prefix,
+                id,
+            };
+            self.purge_own(key);
+        }
+    }
+
+    /// Inject a Fibbing lie: a fake node `fake_id` attached to `attach`
+    /// announcing `prefix`, resolving to forwarding address `fw`.
+    ///
+    /// The LSA floods through normal machinery; re-injecting the same
+    /// `fake_id` replaces the lie (fresher sequence number).
+    pub fn inject_fake(
+        &mut self,
+        fake_id: RouterId,
+        attach: RouterId,
+        attach_metric: Metric,
+        prefix: Prefix,
+        prefix_metric: Metric,
+        fw: FwAddr,
+    ) -> Result<(), InstanceError> {
+        if !fake_id.is_fake() {
+            return Err(InstanceError::BadInjection {
+                prefix,
+                reason: "fake node id must be in the fake range",
+            });
+        }
+        let key = LsaKey {
+            origin: fake_id,
+            kind: LsaKind::Fake,
+            id: 0,
+        };
+        let seq = self.next_seq(key);
+        let lsa = Lsa::fake(
+            fake_id,
+            seq,
+            attach,
+            attach_metric,
+            prefix,
+            prefix_metric,
+            fw,
+        );
+        self.originate(lsa);
+        Ok(())
+    }
+
+    /// Retract a previously injected lie (floods a MaxAge purge).
+    pub fn retract_fake(&mut self, fake_id: RouterId) -> Result<(), InstanceError> {
+        let key = LsaKey {
+            origin: fake_id,
+            kind: LsaKind::Fake,
+            id: 0,
+        };
+        if !self.originated.contains_key(&key) {
+            return Err(InstanceError::NotOriginator { origin: fake_id });
+        }
+        self.purge_own(key);
+        Ok(())
+    }
+
+    /// Start the instance: originate own LSAs, arm the hello timer.
+    pub fn start(&mut self, now: Timestamp) {
+        self.started = true;
+        self.next_hello = now; // fire immediately on first poll
+        self.originate_router_lsa();
+        let prefixes: Vec<Prefix> = self.announced.keys().copied().collect();
+        for p in prefixes {
+            self.originate_prefix_lsa(p);
+        }
+        self.schedule_spf(now);
+    }
+
+    /// Earliest pending deadline, if any.
+    pub fn next_timer(&self) -> Option<Timestamp> {
+        if !self.started {
+            return None;
+        }
+        let mut t = self.next_hello;
+        if let Some(s) = self.spf_at {
+            t = t.min(s);
+        }
+        for iface in self.ifaces.values() {
+            let Some(n) = iface.neighbor.as_ref() else {
+                continue;
+            };
+            // Dead timer.
+            t = t.min(n.last_heard + self.cfg.dead_interval);
+            // DBD retransmit (master only, mid-exchange).
+            if n.last_dbd.is_some() && matches!(n.state, NbrState::ExStart | NbrState::Exchange) {
+                t = t.min(n.last_dbd_at + self.cfg.rxmt_interval);
+            }
+            // Request retransmit.
+            if n.state == NbrState::Loading && !n.req_list.is_empty() {
+                t = t.min(n.last_req_at + self.cfg.rxmt_interval);
+            }
+            // LSA retransmit.
+            if !n.rxmt.is_empty() {
+                t = t.min(n.last_rxmt_at + self.cfg.rxmt_interval);
+            }
+        }
+        Some(t)
+    }
+
+    /// Fire every timer due at `now`.
+    pub fn poll_timers(&mut self, now: Timestamp) {
+        if !self.started {
+            return;
+        }
+        // Hellos.
+        if now >= self.next_hello {
+            self.send_hellos(now);
+            self.next_hello = now + self.cfg.hello_interval;
+        }
+        // SPF.
+        if let Some(at) = self.spf_at {
+            if now >= at {
+                self.spf_at = None;
+                self.run_spf();
+            }
+        }
+        // Per-neighbor timers.
+        let iface_ids: Vec<IfaceId> = self.ifaces.keys().copied().collect();
+        for id in iface_ids {
+            self.poll_neighbor_timers(id, now);
+        }
+        // Opportunistic MaxAge sweep: purge LSAs no longer awaiting acks.
+        self.try_sweep();
+    }
+
+    fn poll_neighbor_timers(&mut self, id: IfaceId, now: Timestamp) {
+        let Some(iface) = self.ifaces.get_mut(&id) else {
+            return;
+        };
+        if !iface.enabled {
+            return;
+        }
+        let Some(n) = iface.neighbor.as_mut() else {
+            return;
+        };
+        // Dead timer.
+        if now >= n.last_heard + self.cfg.dead_interval {
+            let was_full = n.state == NbrState::Full;
+            let nid = n.id;
+            iface.neighbor = None;
+            if was_full {
+                self.out.push_back(Output::NeighborChange {
+                    iface: id,
+                    neighbor: nid,
+                    up: false,
+                });
+                self.originate_router_lsa();
+            }
+            return;
+        }
+        // DBD retransmit.
+        if matches!(n.state, NbrState::ExStart | NbrState::Exchange) {
+            if let Some(data) = n.last_dbd.clone() {
+                if now >= n.last_dbd_at + self.cfg.rxmt_interval {
+                    n.last_dbd_at = now;
+                    self.push_send(id, data);
+                }
+            }
+        }
+        // Request retransmit.
+        if self.ifaces[&id]
+            .neighbor
+            .as_ref()
+            .map(|n| n.state == NbrState::Loading && !n.req_list.is_empty())
+            .unwrap_or(false)
+        {
+            let n = self.ifaces.get_mut(&id).unwrap().neighbor.as_mut().unwrap();
+            if now >= n.last_req_at + self.cfg.rxmt_interval {
+                n.last_req_at = now;
+                let keys: Vec<LsaKey> = n.req_list.iter().take(MAX_REQ_KEYS).copied().collect();
+                self.send_packet(id, Packet::LsRequest(LsRequest { keys }));
+            }
+        }
+        // LSA retransmit.
+        if self.ifaces[&id]
+            .neighbor
+            .as_ref()
+            .map(|n| !n.rxmt.is_empty())
+            .unwrap_or(false)
+        {
+            let n = self.ifaces.get_mut(&id).unwrap().neighbor.as_mut().unwrap();
+            if now >= n.last_rxmt_at + self.cfg.rxmt_interval {
+                n.last_rxmt_at = now;
+                let lsas: Vec<Lsa> = n.rxmt.values().take(MAX_UPD_LSAS).cloned().collect();
+                self.send_packet(id, Packet::LsUpdate(LsUpdate { lsas }));
+            }
+        }
+    }
+
+    /// Handle a datagram received on `iface`.
+    pub fn handle_packet(
+        &mut self,
+        iface: IfaceId,
+        data: Bytes,
+        now: Timestamp,
+    ) -> Result<(), InstanceError> {
+        if !self.ifaces.contains_key(&iface) {
+            return Err(InstanceError::UnknownIface(iface.0));
+        }
+        if !self.ifaces[&iface].enabled {
+            return Ok(()); // silently dropped, interface is down
+        }
+        let (sender, packet) = match wire::decode(data) {
+            Ok(x) => x,
+            Err(e) => {
+                self.stats.decode_errors += 1;
+                return Err(e.into());
+            }
+        };
+        self.stats.pkts_recv += 1;
+        match packet {
+            Packet::Hello(h) => self.on_hello(iface, sender, h, now),
+            Packet::Dbd(d) => self.on_dbd(iface, sender, d, now),
+            Packet::LsRequest(r) => self.on_request(iface, sender, r),
+            Packet::LsUpdate(u) => self.on_update(iface, sender, u, now),
+            Packet::LsAck(a) => self.on_ack(iface, sender, a),
+        }
+        Ok(())
+    }
+
+    /// Drain all pending outputs.
+    pub fn drain_output(&mut self) -> Vec<Output> {
+        self.out.drain(..).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Packet handlers
+    // ------------------------------------------------------------------
+
+    fn on_hello(&mut self, iface_id: IfaceId, sender: RouterId, h: Hello, now: Timestamp) {
+        let my_id = self.cfg.router_id;
+        let iface = self.ifaces.get_mut(&iface_id).expect("checked");
+        let n = iface
+            .neighbor
+            .get_or_insert_with(|| NeighborSm::new(sender, now));
+        if n.id != sender {
+            // Different router appeared on the p2p link: reset.
+            *n = NeighborSm::new(sender, now);
+        }
+        n.last_heard = now;
+        let sees_us = h.seen.contains(&my_id);
+        if sees_us {
+            n.two_way = true;
+        }
+        if n.state == NbrState::Init && n.two_way {
+            // Bidirectional: begin database exchange.
+            n.state = NbrState::ExStart;
+            n.master = my_id > sender;
+            n.dd_seq = self.dd_seq_counter;
+            self.dd_seq_counter += 1;
+            // The database summary snapshot is NOT taken here: LSAs
+            // can still arrive during negotiation and would be neither
+            // in the snapshot nor flooded (flooding requires state >=
+            // Exchange). It is taken at the Exchange transition, as in
+            // RFC 2328.
+            n.snapshot.clear();
+            n.next_chunk = 0;
+            n.peer_done = false;
+            n.self_done = false;
+            if n.master {
+                let pkt = Packet::Dbd(Dbd {
+                    init: true,
+                    more: true,
+                    master: true,
+                    dd_seq: n.dd_seq,
+                    headers: vec![],
+                });
+                let data = wire::encode(&pkt, my_id);
+                n.last_dbd = Some(data.clone());
+                n.last_dbd_at = now;
+                self.push_send(iface_id, data);
+            }
+        } else if n.state != NbrState::Init && !sees_us {
+            // Neighbor restarted and forgot us: fall back to Init.
+            let was_full = n.state == NbrState::Full;
+            let nid = n.id;
+            *n = NeighborSm::new(sender, now);
+            if was_full {
+                self.out.push_back(Output::NeighborChange {
+                    iface: iface_id,
+                    neighbor: nid,
+                    up: false,
+                });
+                self.originate_router_lsa();
+            }
+        }
+    }
+
+    fn chunk(snapshot: &[LsaHeader], idx: usize) -> (Vec<LsaHeader>, bool) {
+        let start = idx * MAX_DBD_HEADERS;
+        if start >= snapshot.len() {
+            return (Vec::new(), false);
+        }
+        let end = (start + MAX_DBD_HEADERS).min(snapshot.len());
+        let more = end < snapshot.len();
+        (snapshot[start..end].to_vec(), more)
+    }
+
+    fn on_dbd(&mut self, iface_id: IfaceId, sender: RouterId, d: Dbd, now: Timestamp) {
+        let my_id = self.cfg.router_id;
+        // Plan inside a scoped borrow of the neighbor; act afterwards.
+        enum Act {
+            None,
+            Send(Bytes),
+            SendAndMaybeFinish(Bytes, bool),
+            MasterReply,
+        }
+        let act = {
+            let Some(n) = self
+                .ifaces
+                .get_mut(&iface_id)
+                .and_then(|i| i.neighbor.as_mut())
+            else {
+                return;
+            };
+            if n.id != sender {
+                return;
+            }
+            n.last_heard = now;
+            match n.state {
+                NbrState::ExStart => {
+                    if d.init && d.master && sender > my_id {
+                        // Peer is master; adopt its sequence and respond
+                        // with our first chunk. The summary snapshot is
+                        // taken now: anything installed later floods to
+                        // this neighbor directly (state >= Exchange).
+                        n.master = false;
+                        n.dd_seq = d.dd_seq;
+                        n.state = NbrState::Exchange;
+                        n.snapshot = self.lsdb.headers();
+                        let (headers, more) = Self::chunk(&n.snapshot, 0);
+                        n.next_chunk = 1;
+                        n.self_done = !more;
+                        let pkt = Packet::Dbd(Dbd {
+                            init: false,
+                            more,
+                            master: false,
+                            dd_seq: d.dd_seq,
+                            headers,
+                        });
+                        let data = wire::encode(&pkt, my_id);
+                        n.last_dbd = Some(data.clone());
+                        n.last_dbd_at = now;
+                        Act::Send(data)
+                    } else if !d.init && n.master && d.dd_seq == n.dd_seq {
+                        // Slave's reply to our init: move to Exchange
+                        // and process as a normal reply. Snapshot the
+                        // summary now (see above).
+                        n.state = NbrState::Exchange;
+                        n.snapshot = self.lsdb.headers();
+                        Act::MasterReply
+                    } else {
+                        // Ignore (e.g. peer's init while we are master —
+                        // our init packet will teach it).
+                        Act::None
+                    }
+                }
+                NbrState::Exchange => {
+                    if n.master {
+                        if !d.init && d.dd_seq == n.dd_seq {
+                            Act::MasterReply
+                        } else {
+                            // Stale replies are ignored; the retransmit
+                            // timer resends our last DBD if needed.
+                            Act::None
+                        }
+                    } else {
+                        // Slave: master sent the next chunk (or
+                        // repeated the last one).
+                        if d.dd_seq == n.dd_seq && !d.init {
+                            // Duplicate of the chunk we already
+                            // answered: resend last response.
+                            match n.last_dbd.clone() {
+                                Some(data) => {
+                                    n.last_dbd_at = now;
+                                    Act::Send(data)
+                                }
+                                None => Act::None,
+                            }
+                        } else if d.dd_seq != n.dd_seq + 1 {
+                            Act::None // out-of-order
+                        } else {
+                            n.dd_seq = d.dd_seq;
+                            for k in Self::headers_we_want(&self.lsdb, &d.headers) {
+                                if !n.req_list.contains(&k) {
+                                    n.req_list.push(k);
+                                }
+                            }
+                            if !d.more {
+                                n.peer_done = true;
+                            }
+                            let (headers, more) = Self::chunk(&n.snapshot, n.next_chunk);
+                            n.next_chunk += 1;
+                            n.self_done = !more;
+                            let pkt = Packet::Dbd(Dbd {
+                                init: false,
+                                more,
+                                master: false,
+                                dd_seq: d.dd_seq,
+                                headers,
+                            });
+                            let data = wire::encode(&pkt, my_id);
+                            n.last_dbd = Some(data.clone());
+                            n.last_dbd_at = now;
+                            Act::SendAndMaybeFinish(data, n.peer_done && n.self_done)
+                        }
+                    }
+                }
+                _ => {
+                    // DBD after the exchange finished: a duplicate from
+                    // a peer that missed our last packet. A slave
+                    // re-answers the master's repeated chunk; a master
+                    // re-sends its final chunk when the slave is still
+                    // replying to the previous sequence number.
+                    let slave_dup = !n.master && !d.init && d.dd_seq == n.dd_seq;
+                    let master_dup =
+                        n.master && !d.init && d.dd_seq.wrapping_add(1) == n.dd_seq;
+                    if slave_dup || master_dup {
+                        match n.last_dbd.clone() {
+                            Some(data) => {
+                                n.last_dbd_at = now;
+                                Act::Send(data)
+                            }
+                            None => Act::None,
+                        }
+                    } else {
+                        Act::None
+                    }
+                }
+            }
+        };
+        match act {
+            Act::None => {}
+            Act::Send(data) => self.push_send(iface_id, data),
+            Act::SendAndMaybeFinish(data, finish) => {
+                self.push_send(iface_id, data);
+                if finish {
+                    self.finish_exchange(iface_id, now);
+                }
+            }
+            Act::MasterReply => self.master_process_reply(iface_id, d, now),
+        }
+    }
+
+    fn master_process_reply(&mut self, iface_id: IfaceId, d: Dbd, now: Timestamp) {
+        let my_id = self.cfg.router_id;
+        let wanted = {
+            let n = self
+                .ifaces
+                .get_mut(&iface_id)
+                .and_then(|i| i.neighbor.as_mut())
+                .expect("caller checked");
+            let wanted = Self::headers_we_want(&self.lsdb, &d.headers);
+            for k in wanted {
+                if !n.req_list.contains(&k) {
+                    n.req_list.push(k);
+                }
+            }
+            if !d.more {
+                n.peer_done = true;
+            }
+            // Send next chunk of ours.
+            let (headers, more) = Self::chunk(&n.snapshot, n.next_chunk);
+            n.next_chunk += 1;
+            n.self_done = !more;
+            n.dd_seq += 1;
+            let done = n.peer_done && n.self_done;
+            if !done || !headers.is_empty() || more {
+                let pkt = Packet::Dbd(Dbd {
+                    init: false,
+                    more,
+                    master: true,
+                    dd_seq: n.dd_seq,
+                    headers,
+                });
+                let data = wire::encode(&pkt, my_id);
+                n.last_dbd = Some(data.clone());
+                n.last_dbd_at = now;
+                Some((data, done))
+            } else {
+                n.last_dbd = None;
+                Some((Bytes::new(), done))
+            }
+        };
+        if let Some((data, done)) = wanted {
+            if !data.is_empty() {
+                self.push_send(iface_id, data);
+            }
+            if done {
+                self.finish_exchange(iface_id, now);
+            }
+        }
+    }
+
+    fn headers_we_want(lsdb: &Lsdb, headers: &[LsaHeader]) -> Vec<LsaKey> {
+        headers
+            .iter()
+            .filter(|h| h.age < MAX_AGE && lsdb.freshness_of(h) == Freshness::Newer)
+            .map(|h| h.key)
+            .collect()
+    }
+
+    fn finish_exchange(&mut self, iface_id: IfaceId, now: Timestamp) {
+        let my_id = self.cfg.router_id;
+        let (reached_full, nid, req) = {
+            let n = self
+                .ifaces
+                .get_mut(&iface_id)
+                .and_then(|i| i.neighbor.as_mut())
+                .expect("caller checked");
+            // Keep the last DBD: if our final chunk was lost, the
+            // peer's duplicate reply must be answerable even after we
+            // leave Exchange (RFC 2328 §10.8's lingering behaviour).
+            if n.req_list.is_empty() {
+                n.state = NbrState::Full;
+                (true, n.id, Vec::new())
+            } else {
+                n.state = NbrState::Loading;
+                n.last_req_at = now;
+                let keys: Vec<LsaKey> = n.req_list.iter().take(MAX_REQ_KEYS).copied().collect();
+                (false, n.id, keys)
+            }
+        };
+        if reached_full {
+            self.on_full(iface_id, nid);
+        } else {
+            let pkt = Packet::LsRequest(LsRequest { keys: req });
+            let data = wire::encode(&pkt, my_id);
+            self.push_send(iface_id, data);
+        }
+    }
+
+    fn on_full(&mut self, iface_id: IfaceId, neighbor: RouterId) {
+        self.out.push_back(Output::NeighborChange {
+            iface: iface_id,
+            neighbor,
+            up: true,
+        });
+        self.originate_router_lsa();
+    }
+
+    fn on_request(&mut self, iface_id: IfaceId, sender: RouterId, r: LsRequest) {
+        let my_id = self.cfg.router_id;
+        let known = {
+            let Some(n) = self
+                .ifaces
+                .get(&iface_id)
+                .and_then(|i| i.neighbor.as_ref())
+            else {
+                return;
+            };
+            n.id == sender && n.state >= NbrState::Exchange
+        };
+        if !known {
+            return;
+        }
+        let lsas: Vec<Lsa> = r
+            .keys
+            .iter()
+            .filter_map(|k| self.lsdb.get(k).cloned())
+            .collect();
+        for batch in lsas.chunks(MAX_UPD_LSAS) {
+            let pkt = Packet::LsUpdate(LsUpdate {
+                lsas: batch.to_vec(),
+            });
+            let data = wire::encode(&pkt, my_id);
+            self.push_send(iface_id, data);
+        }
+    }
+
+    fn on_update(&mut self, iface_id: IfaceId, sender: RouterId, u: LsUpdate, now: Timestamp) {
+        let my_id = self.cfg.router_id;
+        {
+            let Some(n) = self
+                .ifaces
+                .get_mut(&iface_id)
+                .and_then(|i| i.neighbor.as_mut())
+            else {
+                return;
+            };
+            if n.id != sender || n.state < NbrState::Exchange {
+                return;
+            }
+            n.last_heard = now;
+        }
+        let mut acks: Vec<LsaHeader> = Vec::new();
+        for lsa in u.lsas {
+            let hdr = lsa.header();
+            // Implicit ack: if this instance (or newer) sits on the
+            // sender's retransmit list, it is now acknowledged.
+            if let Some(n) = self
+                .ifaces
+                .get_mut(&iface_id)
+                .and_then(|i| i.neighbor.as_mut())
+            {
+                if let Some(pending) = n.rxmt.get(&hdr.key) {
+                    if !matches!(lsa.freshness_vs(pending), Freshness::Older) {
+                        n.rxmt.remove(&hdr.key);
+                    }
+                }
+                // Loading: strike from request list.
+                if n.state == NbrState::Loading {
+                    n.req_list.retain(|k| *k != hdr.key);
+                }
+            }
+
+            // Self-originated LSA arriving from elsewhere, fresher than
+            // our record: we must out-originate it (RFC 2328 §13.4).
+            if self.is_self_originated(&hdr.key) {
+                let our_seq = self.originated.get(&hdr.key).copied();
+                if our_seq.map(|s| hdr.seq >= s).unwrap_or(false) && hdr.age < MAX_AGE {
+                    acks.push(hdr);
+                    self.reoriginate_over(hdr);
+                    continue;
+                }
+            }
+
+            match self.lsdb.install(lsa.clone()) {
+                Install::New | Install::Updated => {
+                    acks.push(hdr);
+                    self.flood(lsa, Some(iface_id), now);
+                    self.schedule_spf(now);
+                }
+                Install::Duplicate | Install::PurgeUnknown => {
+                    acks.push(hdr);
+                }
+                Install::Stale => {
+                    // Send our fresher copy straight back.
+                    if let Some(ours) = self.lsdb.get(&hdr.key).cloned() {
+                        let pkt = Packet::LsUpdate(LsUpdate { lsas: vec![ours] });
+                        let data = wire::encode(&pkt, my_id);
+                        self.push_send(iface_id, data);
+                    }
+                }
+            }
+        }
+        // Loading complete?
+        let became_full = {
+            if let Some(n) = self
+                .ifaces
+                .get_mut(&iface_id)
+                .and_then(|i| i.neighbor.as_mut())
+            {
+                if n.state == NbrState::Loading && n.req_list.is_empty() {
+                    n.state = NbrState::Full;
+                    Some(n.id)
+                } else {
+                    None
+                }
+            } else {
+                None
+            }
+        };
+        if let Some(nid) = became_full {
+            self.on_full(iface_id, nid);
+        }
+        if !acks.is_empty() {
+            let pkt = Packet::LsAck(LsAck { headers: acks });
+            let data = wire::encode(&pkt, my_id);
+            self.push_send(iface_id, data);
+        }
+        self.try_sweep();
+    }
+
+    fn on_ack(&mut self, iface_id: IfaceId, sender: RouterId, a: LsAck) {
+        let Some(n) = self
+            .ifaces
+            .get_mut(&iface_id)
+            .and_then(|i| i.neighbor.as_mut())
+        else {
+            return;
+        };
+        if n.id != sender {
+            return;
+        }
+        for h in a.headers {
+            if let Some(pending) = n.rxmt.get(&h.key) {
+                let pend_hdr = pending.header();
+                if crate::lsa::compare_freshness(h.seq, h.age, pend_hdr.seq, pend_hdr.age)
+                    != Freshness::Older
+                {
+                    n.rxmt.remove(&h.key);
+                }
+            }
+        }
+        self.try_sweep();
+    }
+
+    // ------------------------------------------------------------------
+    // Origination & flooding
+    // ------------------------------------------------------------------
+
+    fn is_self_originated(&self, key: &LsaKey) -> bool {
+        key.origin == self.cfg.router_id || self.originated.contains_key(key)
+    }
+
+    fn next_seq(&mut self, key: LsaKey) -> SeqNum {
+        let seq = match self.originated.get(&key) {
+            Some(s) => s.next(),
+            None => {
+                // If the network still holds an instance (e.g. we
+                // restarted), continue above it.
+                match self.lsdb.get(&key) {
+                    Some(l) => l.seq.next(),
+                    None => SeqNum::INITIAL,
+                }
+            }
+        };
+        self.originated.insert(key, seq);
+        seq
+    }
+
+    fn reoriginate_over(&mut self, received: LsaHeader) {
+        let key = received.key;
+        self.originated.insert(key, received.seq);
+        match key.kind {
+            LsaKind::Router if key.origin == self.cfg.router_id => self.originate_router_lsa(),
+            LsaKind::Prefix if key.origin == self.cfg.router_id => {
+                let prefix = self
+                    .announced
+                    .iter()
+                    .find(|(_, (id, _))| *id == key.id)
+                    .map(|(p, _)| *p);
+                match prefix {
+                    Some(p) => self.originate_prefix_lsa(p),
+                    None => self.purge_own(key),
+                }
+            }
+            LsaKind::Fake => {
+                // A fresher copy of a lie we no longer claim: purge it.
+                if let Some(ours) = self.lsdb.get(&key).cloned() {
+                    let mut p = ours.to_purge();
+                    p.seq = received.seq.next();
+                    self.originated.insert(key, p.seq);
+                    self.install_and_flood(p);
+                } else {
+                    self.originated.remove(&key);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn originate_router_lsa(&mut self) {
+        if !self.started {
+            return;
+        }
+        let links: Vec<LsaLink> = self
+            .ifaces
+            .values()
+            .filter(|i| i.enabled)
+            .filter_map(|i| {
+                i.neighbor
+                    .as_ref()
+                    .filter(|n| n.state == NbrState::Full)
+                    .map(|n| LsaLink {
+                        to: n.id,
+                        metric: i.cost,
+                    })
+            })
+            .collect();
+        let key = LsaKey {
+            origin: self.cfg.router_id,
+            kind: LsaKind::Router,
+            id: 0,
+        };
+        let seq = self.next_seq(key);
+        let lsa = Lsa::router(self.cfg.router_id, seq, links);
+        self.originate(lsa);
+    }
+
+    fn originate_prefix_lsa(&mut self, prefix: Prefix) {
+        let Some((id, metric)) = self.announced.get(&prefix).copied() else {
+            return;
+        };
+        let key = LsaKey {
+            origin: self.cfg.router_id,
+            kind: LsaKind::Prefix,
+            id,
+        };
+        let seq = self.next_seq(key);
+        let lsa = Lsa::prefix(self.cfg.router_id, id, seq, prefix, metric);
+        self.originate(lsa);
+    }
+
+    fn originate(&mut self, lsa: Lsa) {
+        self.stats.lsas_originated += 1;
+        self.install_and_flood(lsa);
+    }
+
+    fn purge_own(&mut self, key: LsaKey) {
+        let Some(current) = self.lsdb.get(&key).cloned() else {
+            self.originated.remove(&key);
+            return;
+        };
+        let purge = current.to_purge();
+        self.originated.insert(key, purge.seq);
+        self.install_and_flood(purge);
+    }
+
+    fn install_and_flood(&mut self, lsa: Lsa) {
+        let outcome = self.lsdb.install(lsa.clone());
+        if matches!(outcome, Install::New | Install::Updated) {
+            self.schedule_spf_now();
+        }
+        self.flood(lsa, None, Timestamp::ZERO);
+        self.try_sweep();
+    }
+
+    /// Flood an LSA to every sufficiently adjacent neighbor except the
+    /// one it came from, placing it on retransmit lists.
+    fn flood(&mut self, lsa: Lsa, except: Option<IfaceId>, now: Timestamp) {
+        let my_id = self.cfg.router_id;
+        let targets: Vec<IfaceId> = self
+            .ifaces
+            .values()
+            .filter(|i| i.enabled && Some(i.id) != except)
+            .filter(|i| {
+                i.neighbor
+                    .as_ref()
+                    .map(|n| n.state >= NbrState::Exchange)
+                    .unwrap_or(false)
+            })
+            .map(|i| i.id)
+            .collect();
+        for t in targets {
+            let n = self
+                .ifaces
+                .get_mut(&t)
+                .and_then(|i| i.neighbor.as_mut())
+                .expect("filtered above");
+            if n.rxmt.is_empty() {
+                n.last_rxmt_at = now;
+            }
+            n.rxmt.insert(lsa.key, lsa.clone());
+            self.stats.lsas_flooded += 1;
+            let pkt = Packet::LsUpdate(LsUpdate {
+                lsas: vec![lsa.clone()],
+            });
+            let data = wire::encode(&pkt, my_id);
+            self.push_send(t, data);
+        }
+    }
+
+    /// Sweep MaxAge LSAs once no neighbor still owes an ack for them.
+    fn try_sweep(&mut self) {
+        let pending: Vec<LsaKey> = self
+            .ifaces
+            .values()
+            .filter_map(|i| i.neighbor.as_ref())
+            .flat_map(|n| n.rxmt.keys().copied())
+            .collect();
+        let dead: Vec<LsaKey> = self
+            .lsdb
+            .iter()
+            .filter(|l| l.is_max_age() && !pending.contains(&l.key))
+            .map(|l| l.key)
+            .collect();
+        for k in dead {
+            self.lsdb.remove(&k);
+            if self.originated.contains_key(&k) {
+                // Keep the seq record so a future re-injection
+                // continues above the purged instance.
+            }
+            self.schedule_spf_now();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // SPF
+    // ------------------------------------------------------------------
+
+    fn schedule_spf(&mut self, now: Timestamp) {
+        if !self.cfg.compute_routes {
+            return;
+        }
+        let at = now + self.cfg.spf_delay;
+        self.spf_at = Some(match self.spf_at {
+            Some(cur) => cur.min(at),
+            None => at,
+        });
+    }
+
+    /// Schedule SPF relative to an unknown "now": the harness will fire
+    /// it on the next poll (deadline 0 = immediately due).
+    fn schedule_spf_now(&mut self) {
+        if !self.cfg.compute_routes {
+            return;
+        }
+        if self.spf_at.is_none() {
+            self.spf_at = Some(Timestamp::ZERO);
+        }
+    }
+
+    fn run_spf(&mut self) {
+        if !self.cfg.compute_routes {
+            return;
+        }
+        let version = self.lsdb.version();
+        if Some(version) == self.last_spf_version {
+            return;
+        }
+        self.last_spf_version = Some(version);
+        let topo = self.lsdb.to_topology();
+        let table = self.spf.compute(&topo, self.cfg.router_id);
+        self.stats.spf_runs += 1;
+        if self.last_table.as_ref() != Some(&table) {
+            self.last_table = Some(table.clone());
+            self.out.push_back(Output::FibUpdate(table));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    fn send_hellos(&mut self, _now: Timestamp) {
+        let my_id = self.cfg.router_id;
+        let hello_interval = (self.cfg.hello_interval.0 / 1_000_000_000) as u16;
+        let dead_interval = (self.cfg.dead_interval.0 / 1_000_000_000) as u16;
+        let targets: Vec<(IfaceId, Vec<RouterId>)> = self
+            .ifaces
+            .values()
+            .filter(|i| i.enabled)
+            .map(|i| {
+                let seen = i.neighbor.as_ref().map(|n| vec![n.id]).unwrap_or_default();
+                (i.id, seen)
+            })
+            .collect();
+        for (id, seen) in targets {
+            let pkt = Packet::Hello(Hello {
+                hello_interval,
+                dead_interval,
+                seen,
+            });
+            let data = wire::encode(&pkt, my_id);
+            self.push_send(id, data);
+        }
+    }
+
+    fn send_packet(&mut self, iface: IfaceId, pkt: Packet) {
+        let data = wire::encode(&pkt, self.cfg.router_id);
+        self.push_send(iface, data);
+    }
+
+    fn push_send(&mut self, iface: IfaceId, data: Bytes) {
+        self.stats.pkts_sent += 1;
+        self.stats.bytes_sent += data.len() as u64;
+        self.out.push_back(Output::Send { iface, data });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_starts_and_emits_hellos() {
+        let mut inst = Instance::new(Config::new(RouterId(1)));
+        inst.add_iface(IfaceId(0), Metric(10));
+        inst.start(Timestamp::ZERO);
+        inst.poll_timers(Timestamp::ZERO);
+        let out = inst.drain_output();
+        let hellos = out
+            .iter()
+            .filter(|o| matches!(o, Output::Send { .. }))
+            .count();
+        assert!(hellos >= 1, "expected at least one hello, got {out:?}");
+    }
+
+    #[test]
+    fn announce_before_start_is_originated_at_start() {
+        let mut inst = Instance::new(Config::new(RouterId(1)));
+        inst.announce(Prefix::net24(1), Metric(0));
+        inst.start(Timestamp::ZERO);
+        assert!(inst
+            .lsdb()
+            .iter()
+            .any(|l| matches!(l.body, crate::lsa::LsaBody::Prefix { .. })));
+    }
+
+    #[test]
+    fn inject_fake_requires_fake_id() {
+        let mut inst = Instance::new(Config::new(RouterId(1)));
+        inst.start(Timestamp::ZERO);
+        let err = inst.inject_fake(
+            RouterId(5),
+            RouterId(1),
+            Metric(1),
+            Prefix::net24(1),
+            Metric(1),
+            FwAddr::primary(RouterId(2)),
+        );
+        assert!(err.is_err());
+        assert!(inst
+            .inject_fake(
+                RouterId::fake(0),
+                RouterId(1),
+                Metric(1),
+                Prefix::net24(1),
+                Metric(1),
+                FwAddr::primary(RouterId(2)),
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn retract_unknown_fake_is_error() {
+        let mut inst = Instance::new(Config::new(RouterId(1)));
+        inst.start(Timestamp::ZERO);
+        assert!(matches!(
+            inst.retract_fake(RouterId::fake(9)),
+            Err(InstanceError::NotOriginator { .. })
+        ));
+    }
+
+    #[test]
+    fn reinjection_uses_fresher_sequence() {
+        let mut inst = Instance::new(Config::new(RouterId(1)));
+        inst.start(Timestamp::ZERO);
+        let f = RouterId::fake(0);
+        let key = LsaKey {
+            origin: f,
+            kind: LsaKind::Fake,
+            id: 0,
+        };
+        inst.inject_fake(
+            f,
+            RouterId(1),
+            Metric(1),
+            Prefix::net24(1),
+            Metric(1),
+            FwAddr::primary(RouterId(2)),
+        )
+        .unwrap();
+        let s1 = inst.lsdb().get(&key).unwrap().seq;
+        inst.inject_fake(
+            f,
+            RouterId(1),
+            Metric(1),
+            Prefix::net24(1),
+            Metric(2),
+            FwAddr::primary(RouterId(2)),
+        )
+        .unwrap();
+        let s2 = inst.lsdb().get(&key).unwrap().seq;
+        assert!(s2 > s1);
+    }
+
+    #[test]
+    fn packet_on_unknown_iface_is_error() {
+        let mut inst = Instance::new(Config::new(RouterId(1)));
+        inst.start(Timestamp::ZERO);
+        let err = inst.handle_packet(IfaceId(7), Bytes::from_static(b"xx"), Timestamp::ZERO);
+        assert!(matches!(err, Err(InstanceError::UnknownIface(7))));
+    }
+
+    #[test]
+    fn garbage_packet_counts_decode_error() {
+        let mut inst = Instance::new(Config::new(RouterId(1)));
+        inst.add_iface(IfaceId(0), Metric(1));
+        inst.start(Timestamp::ZERO);
+        let err = inst.handle_packet(
+            IfaceId(0),
+            Bytes::from_static(b"not a packet at all"),
+            Timestamp::ZERO,
+        );
+        assert!(err.is_err());
+        assert_eq!(inst.stats.decode_errors, 1);
+    }
+}

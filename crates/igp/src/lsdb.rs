@@ -1,0 +1,414 @@
+//! The link-state database.
+//!
+//! Every router (and the Fibbing controller) maintains an [`Lsdb`]: the
+//! set of freshest LSA instances it has heard. Installation follows the
+//! freshness rules of [`crate::lsa::compare_freshness`]; MaxAge
+//! instances linger only long enough to be flooded, then fall out via
+//! [`Lsdb::sweep`]. The database can materialize the augmented
+//! [`Topology`] that SPF runs on, applying the two-way connectivity
+//! check to real links and trusting fake-node LSAs as complete
+//! descriptions of lies.
+
+use crate::lsa::{compare_freshness, Freshness, Lsa, LsaBody, LsaHeader, LsaKey, MAX_AGE};
+use crate::topology::{FakeAttrs, Topology};
+use crate::types::RouterId;
+use std::collections::BTreeMap;
+
+/// Outcome of trying to install an LSA instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Install {
+    /// The instance was new (no previous instance of this key).
+    New,
+    /// The instance replaced an older one.
+    Updated,
+    /// The exact same instance was already present.
+    Duplicate,
+    /// The database already holds a fresher instance.
+    Stale,
+    /// A MaxAge instance for an unknown key — nothing to purge, drop it.
+    PurgeUnknown,
+}
+
+/// A monotonically increasing database version, bumped on every
+/// content-changing installation. Consumers (SPF scheduling) compare
+/// versions to know whether recomputation is needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DbVersion(pub u64);
+
+/// The link-state database.
+#[derive(Debug, Clone, Default)]
+pub struct Lsdb {
+    entries: BTreeMap<LsaKey, Lsa>,
+    version: u64,
+}
+
+impl Lsdb {
+    /// An empty database.
+    pub fn new() -> Self {
+        Lsdb::default()
+    }
+
+    /// Current content version.
+    pub fn version(&self) -> DbVersion {
+        DbVersion(self.version)
+    }
+
+    /// Number of stored LSAs (including MaxAge ones not yet swept).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the database holds no LSAs.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up the stored instance for a key.
+    pub fn get(&self, key: &LsaKey) -> Option<&Lsa> {
+        self.entries.get(key)
+    }
+
+    /// Freshness of a candidate header against the stored instance.
+    /// `Newer` if we have nothing stored.
+    pub fn freshness_of(&self, hdr: &LsaHeader) -> Freshness {
+        match self.entries.get(&hdr.key) {
+            None => Freshness::Newer,
+            Some(stored) => compare_freshness(hdr.seq, hdr.age, stored.seq, stored.age),
+        }
+    }
+
+    /// Try to install an LSA instance, enforcing freshness rules.
+    ///
+    /// Content-changing outcomes bump the database version.
+    pub fn install(&mut self, lsa: Lsa) -> Install {
+        match self.entries.get(&lsa.key) {
+            None => {
+                if lsa.is_max_age() {
+                    // Purge for something we never heard of: ack it but
+                    // do not create state (RFC 2328 §13 step 5 nuance).
+                    return Install::PurgeUnknown;
+                }
+                self.entries.insert(lsa.key, lsa);
+                self.version += 1;
+                Install::New
+            }
+            Some(stored) => match lsa.freshness_vs(stored) {
+                Freshness::Newer => {
+                    self.entries.insert(lsa.key, lsa);
+                    self.version += 1;
+                    Install::Updated
+                }
+                Freshness::Same => Install::Duplicate,
+                Freshness::Older => Install::Stale,
+            },
+        }
+    }
+
+    /// Remove MaxAge LSAs. Returns the purged headers. A real router
+    /// does this once the purge has been acked everywhere; the instance
+    /// layer calls it when retransmit lists drain.
+    pub fn sweep(&mut self) -> Vec<LsaHeader> {
+        let dead: Vec<LsaKey> = self
+            .entries
+            .iter()
+            .filter(|(_, l)| l.is_max_age())
+            .map(|(k, _)| *k)
+            .collect();
+        let mut headers = Vec::with_capacity(dead.len());
+        for k in dead {
+            if let Some(l) = self.entries.remove(&k) {
+                headers.push(l.header());
+                self.version += 1;
+            }
+        }
+        headers
+    }
+
+    /// Remove one LSA by key regardless of age (used when the
+    /// originator re-learns a self-originated LSA it no longer wants).
+    pub fn remove(&mut self, key: &LsaKey) -> Option<Lsa> {
+        let removed = self.entries.remove(key);
+        if removed.is_some() {
+            self.version += 1;
+        }
+        removed
+    }
+
+    /// Advance every LSA's age by `secs`, clamping at MaxAge. Returns
+    /// keys of self-expired LSAs that just hit MaxAge (so the caller can
+    /// flood the purge).
+    pub fn age_all(&mut self, secs: u16) -> Vec<LsaKey> {
+        let mut expired = Vec::new();
+        for (k, l) in self.entries.iter_mut() {
+            if l.age >= MAX_AGE {
+                continue;
+            }
+            let new_age = l.age.saturating_add(secs).min(MAX_AGE);
+            if new_age == MAX_AGE {
+                expired.push(*k);
+            }
+            l.age = new_age;
+        }
+        if !expired.is_empty() {
+            self.version += 1;
+        }
+        expired
+    }
+
+    /// Iterate over all stored LSAs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = &Lsa> {
+        self.entries.values()
+    }
+
+    /// Headers of all stored LSAs (for database description packets).
+    pub fn headers(&self) -> Vec<LsaHeader> {
+        self.entries.values().map(|l| l.header()).collect()
+    }
+
+    /// Materialize the augmented topology this database describes.
+    ///
+    /// Real links pass the two-way check: a directed link `u → v`
+    /// appears only if `v`'s router LSA also reports a link back to
+    /// `u`. Fake-node LSAs are self-contained and exempt (that is the
+    /// lie); their attachment link appears as long as the attachment
+    /// router exists and the forwarding address is one of its
+    /// neighbors. MaxAge LSAs are ignored.
+    pub fn to_topology(&self) -> Topology {
+        let mut topo = Topology::new();
+        // Pass 1: create all real routers that have a live router LSA.
+        for lsa in self.entries.values() {
+            if lsa.is_max_age() {
+                continue;
+            }
+            if let LsaBody::Router { .. } = &lsa.body {
+                if lsa.key.origin.is_real() {
+                    topo.add_router(lsa.key.origin);
+                }
+            }
+        }
+        // Pass 2: two-way-checked links.
+        let reports = |from: RouterId, to: RouterId| -> Option<crate::types::Metric> {
+            let key = LsaKey {
+                origin: from,
+                kind: crate::lsa::LsaKind::Router,
+                id: 0,
+            };
+            let lsa = self.entries.get(&key)?;
+            if lsa.is_max_age() {
+                return None;
+            }
+            if let LsaBody::Router { links } = &lsa.body {
+                links.iter().find(|l| l.to == to).map(|l| l.metric)
+            } else {
+                None
+            }
+        };
+        for lsa in self.entries.values() {
+            if lsa.is_max_age() {
+                continue;
+            }
+            let LsaBody::Router { links } = &lsa.body else {
+                continue;
+            };
+            let from = lsa.key.origin;
+            if from.is_fake() {
+                continue;
+            }
+            for l in links {
+                if !topo.contains(l.to) {
+                    continue;
+                }
+                if reports(l.to, from).is_some() {
+                    // Two-way check passed; duplicates impossible since
+                    // router LSAs are unique per origin.
+                    let _ = topo.add_link(from, l.to, l.metric);
+                }
+            }
+        }
+        // Pass 3: prefix announcements on live routers.
+        for lsa in self.entries.values() {
+            if lsa.is_max_age() {
+                continue;
+            }
+            if let LsaBody::Prefix { prefix, metric } = &lsa.body {
+                if topo.contains(lsa.key.origin) {
+                    let _ = topo.announce_prefix(lsa.key.origin, *prefix, *metric);
+                }
+            }
+        }
+        // Pass 4: fake nodes (lies). Invalid lies (dangling attachment
+        // or forwarding address) are skipped, mirroring how a router
+        // ignores a type-5 LSA whose forwarding address is unreachable.
+        for lsa in self.entries.values() {
+            if lsa.is_max_age() {
+                continue;
+            }
+            if let LsaBody::Fake {
+                attach,
+                attach_metric,
+                prefix,
+                prefix_metric,
+                fw,
+            } = &lsa.body
+            {
+                let attrs = FakeAttrs {
+                    attach: *attach,
+                    attach_metric: *attach_metric,
+                    prefix: *prefix,
+                    prefix_metric: *prefix_metric,
+                    fw: *fw,
+                };
+                let _ = topo.add_fake_node(lsa.key.origin, attrs);
+            }
+        }
+        topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lsa::{LsaKind, LsaLink};
+    use crate::types::{FwAddr, Metric, Prefix, SeqNum};
+
+    fn router_lsa(origin: u32, seq: i32, neighbors: &[(u32, u32)]) -> Lsa {
+        Lsa::router(
+            RouterId(origin),
+            SeqNum(seq),
+            neighbors
+                .iter()
+                .map(|&(to, m)| LsaLink {
+                    to: RouterId(to),
+                    metric: Metric(m),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn install_follows_freshness() {
+        let mut db = Lsdb::new();
+        let v0 = db.version();
+        assert_eq!(db.install(router_lsa(1, 1, &[])), Install::New);
+        assert!(db.version() > v0);
+        assert_eq!(db.install(router_lsa(1, 1, &[])), Install::Duplicate);
+        assert_eq!(db.install(router_lsa(1, 2, &[(2, 1)])), Install::Updated);
+        assert_eq!(db.install(router_lsa(1, 1, &[])), Install::Stale);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn purge_for_unknown_key_creates_no_state() {
+        let mut db = Lsdb::new();
+        let mut l = router_lsa(9, 4, &[]);
+        l.age = MAX_AGE;
+        assert_eq!(db.install(l), Install::PurgeUnknown);
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn sweep_removes_max_age() {
+        let mut db = Lsdb::new();
+        db.install(router_lsa(1, 1, &[]));
+        db.install(router_lsa(2, 1, &[]));
+        let purge = db.get(&LsaKey {
+            origin: RouterId(1),
+            kind: LsaKind::Router,
+            id: 0,
+        })
+        .unwrap()
+        .to_purge();
+        assert_eq!(db.install(purge), Install::Updated);
+        let swept = db.sweep();
+        assert_eq!(swept.len(), 1);
+        assert_eq!(swept[0].key.origin, RouterId(1));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn aging_expires_lsas() {
+        let mut db = Lsdb::new();
+        db.install(router_lsa(1, 1, &[]));
+        let expired = db.age_all(MAX_AGE - 1);
+        assert!(expired.is_empty());
+        let expired = db.age_all(5);
+        assert_eq!(expired.len(), 1);
+        assert!(db.get(&expired[0]).unwrap().is_max_age());
+        // Aging an already-MaxAge LSA does not re-report it.
+        assert!(db.age_all(5).is_empty());
+    }
+
+    #[test]
+    fn topology_applies_two_way_check() {
+        let mut db = Lsdb::new();
+        db.install(router_lsa(1, 1, &[(2, 10), (3, 5)]));
+        db.install(router_lsa(2, 1, &[(1, 10)]));
+        // Router 3 exists but does not report the link back to 1.
+        db.install(router_lsa(3, 1, &[]));
+        let topo = db.to_topology();
+        assert!(topo.has_link(RouterId(1), RouterId(2)));
+        assert!(topo.has_link(RouterId(2), RouterId(1)));
+        assert!(!topo.has_link(RouterId(1), RouterId(3)));
+    }
+
+    #[test]
+    fn topology_includes_prefixes_and_fakes() {
+        let mut db = Lsdb::new();
+        db.install(router_lsa(1, 1, &[(2, 1)]));
+        db.install(router_lsa(2, 1, &[(1, 1)]));
+        let p = Prefix::net24(7);
+        db.install(Lsa::prefix(RouterId(2), 0, SeqNum(1), p, Metric(0)));
+        db.install(Lsa::fake(
+            RouterId::fake(0),
+            SeqNum(1),
+            RouterId(1),
+            Metric(1),
+            p,
+            Metric(1),
+            FwAddr::secondary(RouterId(2), 1),
+        ));
+        let topo = db.to_topology();
+        assert_eq!(topo.prefixes_at(RouterId(2)), &[(p, Metric(0))]);
+        assert_eq!(topo.fake_count(), 1);
+        let (fid, attrs) = topo.fake_nodes().next().unwrap();
+        assert_eq!(fid, RouterId::fake(0));
+        assert_eq!(attrs.fw, FwAddr::secondary(RouterId(2), 1));
+        topo.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_fake_lsa_is_ignored_in_topology() {
+        let mut db = Lsdb::new();
+        db.install(router_lsa(1, 1, &[(2, 1)]));
+        db.install(router_lsa(2, 1, &[(1, 1)]));
+        // Forwarding address r9 is not a neighbor of the attachment.
+        db.install(Lsa::fake(
+            RouterId::fake(0),
+            SeqNum(1),
+            RouterId(1),
+            Metric(1),
+            Prefix::net24(7),
+            Metric(1),
+            FwAddr::primary(RouterId(9)),
+        ));
+        let topo = db.to_topology();
+        assert_eq!(topo.fake_count(), 0);
+    }
+
+    #[test]
+    fn max_age_lsas_do_not_contribute_to_topology() {
+        let mut db = Lsdb::new();
+        db.install(router_lsa(1, 1, &[(2, 1)]));
+        db.install(router_lsa(2, 1, &[(1, 1)]));
+        let key = LsaKey {
+            origin: RouterId(2),
+            kind: LsaKind::Router,
+            id: 0,
+        };
+        let purge = db.get(&key).unwrap().to_purge();
+        db.install(purge);
+        let topo = db.to_topology();
+        assert!(!topo.contains(RouterId(2)));
+        assert!(!topo.has_link(RouterId(1), RouterId(2)));
+    }
+}

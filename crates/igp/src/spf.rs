@@ -1,0 +1,604 @@
+//! Shortest-path-first computation with full ECMP support.
+//!
+//! The SPF engine computes, per source router:
+//!
+//! 1. **Node distances and first-hop sets** over the *real* part of the
+//!    topology (Dijkstra). First-hop sets carry every equal-cost first
+//!    hop, which is what ECMP FIBs are built from.
+//! 2. **Per-prefix routes** over the *augmented* topology: prefix
+//!    announcements at real nodes extend paths by a leaf edge; fake
+//!    nodes extend paths from their attachment router. Because fake
+//!    nodes never carry transit traffic (no outgoing links), they can
+//!    never change real-node distances — so a change that only touches
+//!    lies needs only the cheap route phase, not a new Dijkstra. This
+//!    is the *partial SPF* behaviour real routers exhibit for OSPF
+//!    type-5 churn, and it is why Fibbing's control-plane overhead is
+//!    low. [`SpfEngine`] exploits it by fingerprinting the real graph.
+//!
+//! Next-hop identity is a [`FwAddr`]: routes deduplicate by forwarding
+//! *address*, not by neighbor router, so two lies resolving to distinct
+//! addresses of the same neighbor yield two ECMP slots (uneven splits).
+
+use crate::rib::{Route, RouteTable};
+use crate::topology::Topology;
+use crate::types::{FwAddr, Metric, Prefix, RouterId};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::hash::{Hash, Hasher};
+
+/// Distances and ECMP first-hop sets from one source over the real
+/// graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShortestPaths {
+    /// The source router.
+    pub source: RouterId,
+    /// Distance to every reachable real node.
+    pub dist: BTreeMap<RouterId, Metric>,
+    /// Equal-cost first hops (neighbors of the source) toward every
+    /// reachable real node. The source itself maps to an empty set.
+    pub first_hops: BTreeMap<RouterId, Vec<RouterId>>,
+}
+
+impl ShortestPaths {
+    /// Distance to `node`, or `Metric::INF` if unreachable.
+    pub fn dist_to(&self, node: RouterId) -> Metric {
+        self.dist.get(&node).copied().unwrap_or(Metric::INF)
+    }
+
+    /// First hops toward `node` (empty if unreachable or the source).
+    pub fn first_hops_to(&self, node: RouterId) -> &[RouterId] {
+        self.first_hops
+            .get(&node)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+/// Dijkstra over the real part of `topo` from `source`, computing
+/// distances and merged equal-cost first-hop sets.
+pub fn shortest_paths(topo: &Topology, source: RouterId) -> ShortestPaths {
+    let mut dist: BTreeMap<RouterId, Metric> = BTreeMap::new();
+    let mut fh: BTreeMap<RouterId, Vec<RouterId>> = BTreeMap::new();
+    let mut heap: BinaryHeap<std::cmp::Reverse<(Metric, RouterId)>> = BinaryHeap::new();
+
+    if !topo.contains(source) || source.is_fake() {
+        return ShortestPaths {
+            source,
+            dist,
+            first_hops: fh,
+        };
+    }
+
+    dist.insert(source, Metric::ZERO);
+    fh.insert(source, Vec::new());
+    heap.push(std::cmp::Reverse((Metric::ZERO, source)));
+
+    while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+        if dist.get(&u).copied().unwrap_or(Metric::INF) != d {
+            continue; // stale heap entry
+        }
+        for link in topo.links(u) {
+            if link.to.is_fake() {
+                continue; // fakes handled in the route phase
+            }
+            if !link.metric.is_finite() {
+                continue;
+            }
+            let nd = d.add(link.metric);
+            let cur = dist.get(&link.to).copied().unwrap_or(Metric::INF);
+            // First hops propagated to link.to through u.
+            let inherit: Vec<RouterId> = if u == source {
+                vec![link.to]
+            } else {
+                fh.get(&u).cloned().unwrap_or_default()
+            };
+            if nd < cur {
+                dist.insert(link.to, nd);
+                fh.insert(link.to, inherit);
+                heap.push(std::cmp::Reverse((nd, link.to)));
+            } else if nd == cur {
+                let set = fh.entry(link.to).or_default();
+                for h in inherit {
+                    if !set.contains(&h) {
+                        set.push(h);
+                    }
+                }
+                set.sort();
+            }
+        }
+    }
+    for set in fh.values_mut() {
+        set.sort();
+        set.dedup();
+    }
+    ShortestPaths {
+        source,
+        dist,
+        first_hops: fh,
+    }
+}
+
+/// Compute the per-prefix route table for `source`, given precomputed
+/// real-graph shortest paths (the cheap "partial SPF" phase).
+pub fn route_table_from(topo: &Topology, sp: &ShortestPaths) -> RouteTable {
+    let source = sp.source;
+    // For every prefix collect (cost, contributing next-hop addresses).
+    let mut best: BTreeMap<Prefix, (Metric, Vec<FwAddr>, bool)> = BTreeMap::new();
+
+    let consider = |prefix: Prefix,
+                        cost: Metric,
+                        hops: Vec<FwAddr>,
+                        local: bool,
+                        best: &mut BTreeMap<Prefix, (Metric, Vec<FwAddr>, bool)>| {
+        if !cost.is_finite() {
+            return;
+        }
+        match best.get_mut(&prefix) {
+            None => {
+                best.insert(prefix, (cost, hops, local));
+            }
+            Some((bc, bh, bl)) => {
+                if cost < *bc {
+                    *bc = cost;
+                    *bh = hops;
+                    *bl = local;
+                } else if cost == *bc {
+                    for h in hops {
+                        if !bh.contains(&h) {
+                            bh.push(h);
+                        }
+                    }
+                    *bl = *bl || local;
+                }
+            }
+        }
+    };
+
+    // Real announcements.
+    for (node, prefix, m) in topo.all_announcements() {
+        if node.is_fake() {
+            continue;
+        }
+        if node == source {
+            consider(prefix, m, Vec::new(), true, &mut best);
+            continue;
+        }
+        let d = sp.dist_to(node);
+        let cost = d.add(m);
+        let hops: Vec<FwAddr> = sp
+            .first_hops_to(node)
+            .iter()
+            .map(|&n| FwAddr::primary(n))
+            .collect();
+        if !hops.is_empty() {
+            consider(prefix, cost, hops, false, &mut best);
+        }
+    }
+
+    // Lies: fake node f attached at `attach` announcing `prefix`.
+    for (_fid, attrs) in topo.fake_nodes() {
+        let via_cost = attrs.attach_metric.add(attrs.prefix_metric);
+        if attrs.attach == source {
+            // The lie targets this very router: the fake next-hop
+            // resolves to the lie's forwarding address.
+            consider(
+                attrs.prefix,
+                via_cost,
+                vec![attrs.fw],
+                false,
+                &mut best,
+            );
+        } else {
+            let d = sp.dist_to(attrs.attach);
+            let cost = d.add(via_cost);
+            let hops: Vec<FwAddr> = sp
+                .first_hops_to(attrs.attach)
+                .iter()
+                .map(|&n| FwAddr::primary(n))
+                .collect();
+            if !hops.is_empty() {
+                consider(attrs.prefix, cost, hops, false, &mut best);
+            }
+        }
+    }
+
+    let mut routes = BTreeMap::new();
+    for (prefix, (cost, mut hops, local)) in best {
+        if local {
+            // Local attachment always wins within equal cost; a router
+            // never forwards traffic for its own connected prefix.
+            routes.insert(
+                prefix,
+                Route {
+                    dist: cost,
+                    nexthops: Vec::new(),
+                    local: true,
+                },
+            );
+        } else {
+            hops.sort();
+            hops.dedup();
+            routes.insert(
+                prefix,
+                Route {
+                    dist: cost,
+                    nexthops: hops,
+                    local: false,
+                },
+            );
+        }
+    }
+    RouteTable { source, routes }
+}
+
+/// One-shot convenience: full SPF + route phase for one source.
+pub fn compute_routes(topo: &Topology, source: RouterId) -> RouteTable {
+    let sp = shortest_paths(topo, source);
+    route_table_from(topo, &sp)
+}
+
+/// Route tables for every real router in the topology.
+pub fn compute_all_routes(topo: &Topology) -> BTreeMap<RouterId, RouteTable> {
+    topo.routers()
+        .map(|r| (r, compute_routes(topo, r)))
+        .collect()
+}
+
+/// Caching SPF engine exploiting partial SPF for lie-only changes.
+///
+/// The engine fingerprints the *real* part of the topology (routers,
+/// links, metrics). When only fake nodes or prefix announcements
+/// changed, the cached Dijkstra result is reused and only the route
+/// phase reruns — this is the ablation point contrasting Fibbing's
+/// type-5-style churn with full topology churn.
+#[derive(Debug, Default)]
+pub struct SpfEngine {
+    cache: BTreeMap<RouterId, (u64, ShortestPaths)>,
+    /// Counts of full Dijkstra runs (for benchmarks/ablation).
+    pub full_runs: u64,
+    /// Counts of cache hits where only the route phase ran.
+    pub partial_runs: u64,
+}
+
+/// Fingerprint of the real graph: routers + real links with metrics.
+pub fn real_graph_fingerprint(topo: &Topology) -> u64 {
+    let mut h = DefaultHasher::new();
+    for r in topo.routers() {
+        r.0.hash(&mut h);
+        for l in topo.links(r) {
+            if l.to.is_real() {
+                l.to.0.hash(&mut h);
+                l.metric.0.hash(&mut h);
+            }
+        }
+        0xffff_ffffu32.hash(&mut h); // node separator
+    }
+    h.finish()
+}
+
+impl SpfEngine {
+    /// A fresh engine with an empty cache.
+    pub fn new() -> Self {
+        SpfEngine::default()
+    }
+
+    /// Compute the route table for `source`, reusing the cached
+    /// Dijkstra result when the real graph is unchanged.
+    pub fn compute(&mut self, topo: &Topology, source: RouterId) -> RouteTable {
+        let fp = real_graph_fingerprint(topo);
+        let need_full = match self.cache.get(&source) {
+            Some((cached_fp, _)) => *cached_fp != fp,
+            None => true,
+        };
+        if need_full {
+            let sp = shortest_paths(topo, source);
+            self.cache.insert(source, (fp, sp));
+            self.full_runs += 1;
+        } else {
+            self.partial_runs += 1;
+        }
+        let (_, sp) = self.cache.get(&source).expect("just inserted");
+        route_table_from(topo, sp)
+    }
+
+    /// Drop all cached state.
+    pub fn invalidate(&mut self) {
+        self.cache.clear();
+    }
+}
+
+/// Enumerate complete equal-cost shortest paths from `source` to
+/// `prefix` (sequences of node ids ending at the announcing node, fake
+/// nodes included). Stops after `limit` paths.
+pub fn enumerate_paths(
+    topo: &Topology,
+    source: RouterId,
+    prefix: Prefix,
+    limit: usize,
+) -> Vec<Vec<RouterId>> {
+    let sp = shortest_paths(topo, source);
+    // Total best cost to the prefix (through real or fake announcers).
+    let mut best = Metric::INF;
+    for (node, p, m) in topo.all_announcements() {
+        if p != prefix {
+            continue;
+        }
+        let cost = if node.is_fake() {
+            let attrs = topo.fake_attrs(node).expect("fake announcer has attrs");
+            sp.dist_to(attrs.attach).add(attrs.attach_metric).add(m)
+        } else {
+            sp.dist_to(node).add(m)
+        };
+        if cost < best {
+            best = cost;
+        }
+    }
+    if !best.is_finite() {
+        return Vec::new();
+    }
+
+    // DFS forward from source following distance-consistent edges.
+    let mut out = Vec::new();
+    let mut stack = vec![source];
+    dfs_paths(topo, &sp, source, prefix, best, Metric::ZERO, &mut stack, &mut out, limit);
+    out.sort();
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs_paths(
+    topo: &Topology,
+    sp: &ShortestPaths,
+    node: RouterId,
+    prefix: Prefix,
+    best: Metric,
+    spent: Metric,
+    stack: &mut Vec<RouterId>,
+    out: &mut Vec<Vec<RouterId>>,
+    limit: usize,
+) {
+    if out.len() >= limit {
+        return;
+    }
+    // Does `node` announce the prefix at exactly the remaining cost?
+    for (p, m) in topo.prefixes_at(node) {
+        if *p == prefix && spent.add(*m) == best {
+            out.push(stack.clone());
+            if out.len() >= limit {
+                return;
+            }
+        }
+    }
+    for link in topo.links(node) {
+        let next_spent = spent.add(link.metric);
+        if next_spent > best {
+            continue;
+        }
+        if link.to.is_fake() {
+            let Some(attrs) = topo.fake_attrs(link.to) else {
+                continue;
+            };
+            if attrs.prefix == prefix && next_spent.add(attrs.prefix_metric) == best {
+                stack.push(link.to);
+                out.push(stack.clone());
+                stack.pop();
+                if out.len() >= limit {
+                    return;
+                }
+            }
+            continue;
+        }
+        // Only descend along globally shortest sub-paths: the distance
+        // of link.to from the source must equal spent + metric.
+        if sp.dist_to(link.to) == next_spent && !stack.contains(&link.to) {
+            stack.push(link.to);
+            dfs_paths(topo, sp, link.to, prefix, best, next_spent, stack, out, limit);
+            stack.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::FakeAttrs;
+
+    fn r(n: u32) -> RouterId {
+        RouterId(n)
+    }
+
+    /// Square: 1 -2- 2, 1 -1- 3, 3 -1- 2 (so 1→2 has two equal paths of
+    /// cost 2), prefix at 2.
+    fn square() -> Topology {
+        let mut t = Topology::new();
+        for i in 1..=3 {
+            t.add_router(r(i));
+        }
+        t.add_link_sym(r(1), r(2), Metric(2)).unwrap();
+        t.add_link_sym(r(1), r(3), Metric(1)).unwrap();
+        t.add_link_sym(r(3), r(2), Metric(1)).unwrap();
+        t.announce_prefix(r(2), Prefix::net24(1), Metric(0)).unwrap();
+        t
+    }
+
+    #[test]
+    fn dijkstra_distances_and_ecmp_first_hops() {
+        let t = square();
+        let sp = shortest_paths(&t, r(1));
+        assert_eq!(sp.dist_to(r(2)), Metric(2));
+        assert_eq!(sp.dist_to(r(3)), Metric(1));
+        assert_eq!(sp.first_hops_to(r(2)), &[r(2), r(3)]);
+        assert_eq!(sp.first_hops_to(r(1)), &[] as &[RouterId]);
+    }
+
+    #[test]
+    fn unreachable_nodes_are_absent() {
+        let mut t = square();
+        t.add_router(r(9)); // isolated
+        let sp = shortest_paths(&t, r(1));
+        assert_eq!(sp.dist_to(r(9)), Metric::INF);
+        assert!(sp.first_hops_to(r(9)).is_empty());
+    }
+
+    #[test]
+    fn route_table_merges_equal_cost_nexthops() {
+        let t = square();
+        let rt = compute_routes(&t, r(1));
+        let route = rt.routes.get(&Prefix::net24(1)).unwrap();
+        assert_eq!(route.dist, Metric(2));
+        assert_eq!(
+            route.nexthops,
+            vec![FwAddr::primary(r(2)), FwAddr::primary(r(3))]
+        );
+        assert!(!route.local);
+    }
+
+    #[test]
+    fn local_announcement_wins() {
+        let t = square();
+        let rt = compute_routes(&t, r(2));
+        let route = rt.routes.get(&Prefix::net24(1)).unwrap();
+        assert!(route.local);
+        assert!(route.nexthops.is_empty());
+        assert_eq!(route.dist, Metric(0));
+    }
+
+    #[test]
+    fn fake_node_adds_equal_cost_path_at_attach() {
+        let mut t = square();
+        // At r1 the shortest cost is 2; add a lie via r3's secondary
+        // address at exactly cost 2 → 3 ECMP slots at r1.
+        t.add_fake_node(
+            RouterId::fake(0),
+            FakeAttrs {
+                attach: r(1),
+                attach_metric: Metric(1),
+                prefix: Prefix::net24(1),
+                prefix_metric: Metric(1),
+                fw: FwAddr::secondary(r(3), 1),
+            },
+        )
+        .unwrap();
+        let rt = compute_routes(&t, r(1));
+        let route = rt.routes.get(&Prefix::net24(1)).unwrap();
+        assert_eq!(route.dist, Metric(2));
+        assert_eq!(
+            route.nexthops,
+            vec![
+                FwAddr::primary(r(2)),
+                FwAddr::primary(r(3)),
+                FwAddr::secondary(r(3), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn fake_node_cheaper_than_real_overrides() {
+        let mut t = square();
+        t.add_fake_node(
+            RouterId::fake(0),
+            FakeAttrs {
+                attach: r(1),
+                attach_metric: Metric(1),
+                prefix: Prefix::net24(1),
+                prefix_metric: Metric::ZERO,
+                fw: FwAddr::secondary(r(3), 1),
+            },
+        )
+        .unwrap();
+        let rt = compute_routes(&t, r(1));
+        let route = rt.routes.get(&Prefix::net24(1)).unwrap();
+        assert_eq!(route.dist, Metric(1));
+        assert_eq!(route.nexthops, vec![FwAddr::secondary(r(3), 1)]);
+    }
+
+    #[test]
+    fn fake_node_visible_from_remote_routers_via_attach() {
+        let mut t = square();
+        // Lie at r3 (cost 1 there, equal to its real path cost via r2).
+        t.add_fake_node(
+            RouterId::fake(0),
+            FakeAttrs {
+                attach: r(3),
+                attach_metric: Metric(1),
+                prefix: Prefix::net24(1),
+                prefix_metric: Metric::ZERO,
+                fw: FwAddr::secondary(r(1), 1),
+            },
+        )
+        .unwrap();
+        // From r1, path via the lie costs dist(r3)+1 = 2 == shortest →
+        // contributes first hop r3 (already present) — dedup keeps 2.
+        let rt = compute_routes(&t, r(1));
+        let route = rt.routes.get(&Prefix::net24(1)).unwrap();
+        assert_eq!(
+            route.nexthops,
+            vec![FwAddr::primary(r(2)), FwAddr::primary(r(3))]
+        );
+    }
+
+    #[test]
+    fn engine_partial_runs_on_lie_churn() {
+        let mut t = square();
+        let mut eng = SpfEngine::new();
+        let _ = eng.compute(&t, r(1));
+        assert_eq!((eng.full_runs, eng.partial_runs), (1, 0));
+        // Lie-only change: no new Dijkstra.
+        t.add_fake_node(
+            RouterId::fake(0),
+            FakeAttrs {
+                attach: r(1),
+                attach_metric: Metric(1),
+                prefix: Prefix::net24(1),
+                prefix_metric: Metric(1),
+                fw: FwAddr::secondary(r(3), 1),
+            },
+        )
+        .unwrap();
+        let rt = eng.compute(&t, r(1));
+        assert_eq!((eng.full_runs, eng.partial_runs), (1, 1));
+        assert_eq!(rt.routes[&Prefix::net24(1)].nexthops.len(), 3);
+        // Real-graph change: full run.
+        t.set_metric(r(1), r(3), Metric(5)).unwrap();
+        let _ = eng.compute(&t, r(1));
+        assert_eq!((eng.full_runs, eng.partial_runs), (2, 1));
+    }
+
+    #[test]
+    fn path_enumeration_lists_equal_cost_paths() {
+        let t = square();
+        let paths = enumerate_paths(&t, r(1), Prefix::net24(1), 16);
+        assert_eq!(
+            paths,
+            vec![vec![r(1), r(2)], vec![r(1), r(3), r(2)]]
+        );
+    }
+
+    #[test]
+    fn path_enumeration_includes_fake_terminals() {
+        let mut t = square();
+        t.add_fake_node(
+            RouterId::fake(0),
+            FakeAttrs {
+                attach: r(1),
+                attach_metric: Metric(1),
+                prefix: Prefix::net24(1),
+                prefix_metric: Metric(1),
+                fw: FwAddr::secondary(r(3), 1),
+            },
+        )
+        .unwrap();
+        let paths = enumerate_paths(&t, r(1), Prefix::net24(1), 16);
+        assert_eq!(paths.len(), 3);
+        assert!(paths.contains(&vec![r(1), RouterId::fake(0)]));
+    }
+
+    #[test]
+    fn spf_from_missing_or_fake_source_is_empty() {
+        let t = square();
+        let sp = shortest_paths(&t, r(77));
+        assert!(sp.dist.is_empty());
+        let sp = shortest_paths(&t, RouterId::fake(1));
+        assert!(sp.dist.is_empty());
+    }
+}

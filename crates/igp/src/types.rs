@@ -1,0 +1,381 @@
+//! Core identifier and scalar types shared by the whole stack.
+//!
+//! The types here deliberately mirror what a link-state IGP actually
+//! manipulates on the wire: 32-bit router identifiers, prefixes with a
+//! length, 32-bit metrics with an "infinity" sentinel, and forwarding
+//! addresses (a router may own several addresses; ECMP FIB entries are
+//! keyed by *address*, not by router — the distinction is load-bearing
+//! for Fibbing's uneven splitting, see [`FwAddr`]).
+
+use std::fmt;
+
+/// Base of the identifier range reserved for fake (lied-about) nodes.
+///
+/// Real routers must have identifiers strictly below this value. The
+/// Fibbing controller allocates fake-node identifiers at or above it,
+/// which lets every layer (SPF, FIB resolution, tracing) distinguish
+/// lies from real topology without extra bookkeeping.
+pub const FAKE_NODE_BASE: u32 = 0x8000_0000;
+
+/// Identifier of a node in the (possibly augmented) IGP topology.
+///
+/// Identifiers at or above [`FAKE_NODE_BASE`] denote fake nodes injected
+/// by a Fibbing controller; all others are real routers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RouterId(pub u32);
+
+impl RouterId {
+    /// Construct the `n`-th fake-node identifier.
+    pub const fn fake(n: u32) -> Self {
+        RouterId(FAKE_NODE_BASE + n)
+    }
+
+    /// `true` if this identifier denotes a fake (injected) node.
+    pub const fn is_fake(self) -> bool {
+        self.0 >= FAKE_NODE_BASE
+    }
+
+    /// `true` if this identifier denotes a real router.
+    pub const fn is_real(self) -> bool {
+        !self.is_fake()
+    }
+
+    /// Index of a fake node within the fake range.
+    ///
+    /// Returns `None` for real routers.
+    pub const fn fake_index(self) -> Option<u32> {
+        if self.is_fake() {
+            Some(self.0 - FAKE_NODE_BASE)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Debug for RouterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(n) = self.fake_index() {
+            write!(f, "fake{n}")
+        } else {
+            write!(f, "r{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for RouterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u32> for RouterId {
+    fn from(v: u32) -> Self {
+        RouterId(v)
+    }
+}
+
+/// Per-router interface index (point-to-point interfaces only).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IfaceId(pub u16);
+
+impl fmt::Debug for IfaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "if{}", self.0)
+    }
+}
+
+impl fmt::Display for IfaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// An IPv4-style destination prefix.
+///
+/// The simulator does not assign addresses to hosts; prefixes are opaque
+/// routing destinations. They still carry address/length so that wire
+/// encodings, display, and containment checks behave like the real thing.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Prefix {
+    addr: u32,
+    len: u8,
+}
+
+impl Prefix {
+    /// Create a prefix from a 32-bit address and a mask length.
+    ///
+    /// Host bits below the mask are cleared, so `Prefix::new(x, l)` is
+    /// always in canonical form.
+    pub const fn new(addr: u32, len: u8) -> Self {
+        assert!(len <= 32);
+        let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
+        Prefix {
+            addr: addr & mask,
+            len,
+        }
+    }
+
+    /// Convenience constructor: `10.0.<n>.0/24`.
+    pub const fn net24(n: u8) -> Self {
+        Prefix::new(0x0A00_0000 | ((n as u32) << 8), 24)
+    }
+
+    /// The (canonicalized) base address.
+    pub const fn addr(self) -> u32 {
+        self.addr
+    }
+
+    /// The mask length.
+    pub const fn len(self) -> u8 {
+        self.len
+    }
+
+    /// `true` for the zero-length default prefix.
+    pub const fn is_default(self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` if `other` is fully contained in `self`.
+    pub const fn contains(self, other: Prefix) -> bool {
+        if other.len < self.len {
+            return false;
+        }
+        let mask = if self.len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.len)
+        };
+        (other.addr & mask) == self.addr
+    }
+}
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let a = self.addr;
+        write!(
+            f,
+            "{}.{}.{}.{}/{}",
+            a >> 24,
+            (a >> 16) & 0xff,
+            (a >> 8) & 0xff,
+            a & 0xff,
+            self.len
+        )
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// An IGP link or route metric.
+///
+/// Metrics are unsigned 24-bit-ish quantities in real protocols; we use
+/// `u32` with [`Metric::INF`] as the unreachable sentinel and saturating
+/// arithmetic so that cost computations can never wrap.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Metric(pub u32);
+
+impl Metric {
+    /// The unreachable sentinel. Greater than every finite metric.
+    pub const INF: Metric = Metric(u32::MAX);
+    /// The zero metric.
+    pub const ZERO: Metric = Metric(0);
+
+    /// `true` unless this is the unreachable sentinel.
+    pub const fn is_finite(self) -> bool {
+        self.0 != u32::MAX
+    }
+
+    /// Saturating addition that also absorbs infinity.
+    #[must_use]
+    pub const fn add(self, rhs: Metric) -> Metric {
+        if !self.is_finite() || !rhs.is_finite() {
+            return Metric::INF;
+        }
+        let sum = self.0.saturating_add(rhs.0);
+        if sum == u32::MAX {
+            Metric(u32::MAX - 1)
+        } else {
+            Metric(sum)
+        }
+    }
+
+    /// Saturating subtraction; `INF - x = INF`.
+    #[must_use]
+    pub const fn sub(self, rhs: Metric) -> Metric {
+        if !self.is_finite() {
+            return Metric::INF;
+        }
+        Metric(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Debug for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_finite() {
+            write!(f, "{}", self.0)
+        } else {
+            write!(f, "inf")
+        }
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u32> for Metric {
+    fn from(v: u32) -> Self {
+        Metric(v)
+    }
+}
+
+/// A forwarding address: one of possibly several addresses owned by a
+/// physical router.
+///
+/// Link-state FIBs key ECMP entries by *gateway address*. Two routes
+/// whose gateways are distinct addresses of the same neighbor occupy two
+/// ECMP slots — this is precisely the mechanism Fibbing exploits to
+/// realise uneven splitting ratios with zero data-plane overhead: `k`
+/// fake nodes resolving to `k` distinct addresses of the same next-hop
+/// give that next-hop a `k/n` share of hashed flows.
+///
+/// Address index `0` is the router's primary address, used by all real
+/// (non-injected) routes; indexes `>= 1` are secondary addresses that
+/// only lies reference.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FwAddr {
+    /// The physical router owning the address.
+    pub router: RouterId,
+    /// Which of the router's addresses (0 = primary).
+    pub addr: u16,
+}
+
+impl FwAddr {
+    /// The primary address of `router`.
+    pub const fn primary(router: RouterId) -> Self {
+        FwAddr { router, addr: 0 }
+    }
+
+    /// A secondary address of `router` (index must be >= 1 to be
+    /// distinct from real-route gateways).
+    pub const fn secondary(router: RouterId, addr: u16) -> Self {
+        FwAddr { router, addr }
+    }
+}
+
+impl fmt::Debug for FwAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.addr == 0 {
+            write!(f, "{}", self.router)
+        } else {
+            write!(f, "{}#{}", self.router, self.addr)
+        }
+    }
+}
+
+impl fmt::Display for FwAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// LSA sequence number with OSPF-style signed wrapping comparison.
+///
+/// Sequence numbers start at [`SeqNum::INITIAL`] and increment on each
+/// re-origination. Comparison is a plain signed comparison (the signed
+/// space gives ~2^31 re-originations before wrap, which the simulator
+/// never approaches, matching RFC 2328's linear sequence space).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SeqNum(pub i32);
+
+impl SeqNum {
+    /// First sequence number used by a fresh origination.
+    pub const INITIAL: SeqNum = SeqNum(i32::MIN + 1);
+    /// Largest representable sequence number.
+    pub const MAX: SeqNum = SeqNum(i32::MAX);
+
+    /// The next sequence number.
+    #[must_use]
+    pub fn next(self) -> SeqNum {
+        assert!(self.0 < i32::MAX, "LSA sequence space exhausted");
+        SeqNum(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seq({:#x})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fake_router_ids_are_distinguished() {
+        let r = RouterId(7);
+        let f = RouterId::fake(3);
+        assert!(r.is_real() && !r.is_fake());
+        assert!(f.is_fake() && !f.is_real());
+        assert_eq!(f.fake_index(), Some(3));
+        assert_eq!(r.fake_index(), None);
+        assert_eq!(format!("{f}"), "fake3");
+        assert_eq!(format!("{r}"), "r7");
+    }
+
+    #[test]
+    fn prefix_is_canonicalized() {
+        let p = Prefix::new(0x0A00_01FF, 24);
+        assert_eq!(p.addr(), 0x0A00_0100);
+        assert_eq!(format!("{p}"), "10.0.1.0/24");
+        assert_eq!(Prefix::net24(1), p);
+    }
+
+    #[test]
+    fn prefix_containment() {
+        let wide = Prefix::new(0x0A00_0000, 8);
+        let narrow = Prefix::net24(5);
+        assert!(wide.contains(narrow));
+        assert!(!narrow.contains(wide));
+        assert!(narrow.contains(narrow));
+        let deflt = Prefix::new(0, 0);
+        assert!(deflt.contains(wide));
+        assert!(deflt.is_default());
+    }
+
+    #[test]
+    fn metric_saturates_and_absorbs_infinity() {
+        assert_eq!(Metric(2).add(Metric(3)), Metric(5));
+        assert_eq!(Metric::INF.add(Metric(1)), Metric::INF);
+        assert_eq!(Metric(1).add(Metric::INF), Metric::INF);
+        // Saturation never accidentally produces the INF sentinel.
+        let near = Metric(u32::MAX - 1);
+        assert!(near.add(near).is_finite());
+        assert_eq!(Metric(5).sub(Metric(7)), Metric::ZERO);
+        assert_eq!(Metric::INF.sub(Metric(7)), Metric::INF);
+    }
+
+    #[test]
+    fn seqnum_orders_linearly() {
+        let s = SeqNum::INITIAL;
+        let t = s.next();
+        assert!(t > s);
+        assert!(SeqNum::MAX > t);
+    }
+
+    #[test]
+    fn fwaddr_identity() {
+        let a = FwAddr::primary(RouterId(4));
+        let b = FwAddr::secondary(RouterId(4), 1);
+        assert_ne!(a, b);
+        assert_eq!(a.router, b.router);
+        assert_eq!(format!("{b}"), "r4#1");
+    }
+}

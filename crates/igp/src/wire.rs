@@ -1,0 +1,651 @@
+//! Wire codec for the IGP's five packet types.
+//!
+//! The protocol exchanges Hello, Database Description (DBD), Link-State
+//! Request, Link-State Update and Link-State Ack packets over
+//! point-to-point interfaces. All integers are big-endian. Every packet
+//! carries a Fletcher-16 checksum (the same family OSPF uses for LSAs)
+//! computed over the whole packet with the checksum field zeroed.
+//!
+//! The codec is strict: trailing garbage, bad lengths, unknown
+//! discriminants and checksum mismatches are all decode errors — a
+//! router never acts on a packet it cannot fully validate.
+
+use crate::error::WireError;
+use crate::lsa::{Lsa, LsaBody, LsaHeader, LsaKey, LsaKind, LsaLink};
+use crate::types::{FwAddr, Metric, Prefix, RouterId, SeqNum};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Protocol version carried in every packet header.
+pub const VERSION: u8 = 1;
+
+/// Fixed packet header length in bytes.
+pub const HEADER_LEN: usize = 12;
+
+/// Encoded length of an LSA header.
+pub const LSA_HEADER_LEN: usize = 15;
+
+/// A decoded protocol packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Packet {
+    /// Periodic liveness + neighbor discovery.
+    Hello(Hello),
+    /// Database description (summary of LSDB contents).
+    Dbd(Dbd),
+    /// Request for specific full LSAs.
+    LsRequest(LsRequest),
+    /// Flooded or requested full LSAs.
+    LsUpdate(LsUpdate),
+    /// Explicit acknowledgment of received LSAs.
+    LsAck(LsAck),
+}
+
+/// Hello packet body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// Sender's hello interval, in seconds.
+    pub hello_interval: u16,
+    /// Sender's dead interval, in seconds.
+    pub dead_interval: u16,
+    /// Routers the sender has recently heard hellos from.
+    pub seen: Vec<RouterId>,
+}
+
+/// Database description packet body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dbd {
+    /// Init bit: first packet of the exchange.
+    pub init: bool,
+    /// More bit: sender has further headers to describe.
+    pub more: bool,
+    /// Master bit: sender claims the master role.
+    pub master: bool,
+    /// Exchange sequence number.
+    pub dd_seq: u32,
+    /// Described LSA headers.
+    pub headers: Vec<LsaHeader>,
+}
+
+/// Link-state request packet body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LsRequest {
+    /// Keys of the LSAs being requested.
+    pub keys: Vec<LsaKey>,
+}
+
+/// Link-state update packet body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LsUpdate {
+    /// Full LSAs being flooded.
+    pub lsas: Vec<Lsa>,
+}
+
+/// Link-state ack packet body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LsAck {
+    /// Headers of the LSAs being acknowledged.
+    pub headers: Vec<LsaHeader>,
+}
+
+impl Packet {
+    /// Wire discriminant for this packet type.
+    pub fn type_byte(&self) -> u8 {
+        match self {
+            Packet::Hello(_) => 1,
+            Packet::Dbd(_) => 2,
+            Packet::LsRequest(_) => 3,
+            Packet::LsUpdate(_) => 4,
+            Packet::LsAck(_) => 5,
+        }
+    }
+}
+
+/// Fletcher-16 checksum (two running sums mod 255) over `data`.
+pub fn fletcher16(data: &[u8]) -> u16 {
+    let mut c0: u32 = 0;
+    let mut c1: u32 = 0;
+    for chunk in data.chunks(5802) {
+        // 5802 is the largest block for which u32 sums cannot overflow.
+        for &b in chunk {
+            c0 += u32::from(b);
+            c1 += c0;
+        }
+        c0 %= 255;
+        c1 %= 255;
+    }
+    ((c1 as u16) << 8) | c0 as u16
+}
+
+fn put_prefix(buf: &mut BytesMut, p: Prefix) {
+    buf.put_u32(p.addr());
+    buf.put_u8(p.len());
+}
+
+fn get_prefix(buf: &mut Bytes) -> Result<Prefix, WireError> {
+    need(buf, 5)?;
+    let addr = buf.get_u32();
+    let len = buf.get_u8();
+    if len > 32 {
+        return Err(WireError::BadPrefixLen(len));
+    }
+    Ok(Prefix::new(addr, len))
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        Err(WireError::Truncated {
+            need: n,
+            have: buf.remaining(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+fn put_lsa_header(buf: &mut BytesMut, h: &LsaHeader) {
+    buf.put_u32(h.key.origin.0);
+    buf.put_u8(h.key.kind as u8);
+    buf.put_u32(h.key.id);
+    buf.put_i32(h.seq.0);
+    buf.put_u16(h.age);
+}
+
+fn get_lsa_header(buf: &mut Bytes) -> Result<LsaHeader, WireError> {
+    need(buf, LSA_HEADER_LEN)?;
+    let origin = RouterId(buf.get_u32());
+    let kind = LsaKind::from_u8(buf.get_u8()).ok_or_else(|| WireError::BadLsaKind(0))?;
+    let id = buf.get_u32();
+    let seq = SeqNum(buf.get_i32());
+    let age = buf.get_u16();
+    Ok(LsaHeader {
+        key: LsaKey { origin, kind, id },
+        seq,
+        age,
+    })
+}
+
+/// Encode a full LSA (header + length-prefixed body).
+pub fn encode_lsa(lsa: &Lsa, buf: &mut BytesMut) {
+    put_lsa_header(
+        buf,
+        &LsaHeader {
+            key: lsa.key,
+            seq: lsa.seq,
+            age: lsa.age,
+        },
+    );
+    let mut body = BytesMut::new();
+    match &lsa.body {
+        LsaBody::Router { links } => {
+            body.put_u16(links.len() as u16);
+            for l in links {
+                body.put_u32(l.to.0);
+                body.put_u32(l.metric.0);
+            }
+        }
+        LsaBody::Prefix { prefix, metric } => {
+            put_prefix(&mut body, *prefix);
+            body.put_u32(metric.0);
+        }
+        LsaBody::Fake {
+            attach,
+            attach_metric,
+            prefix,
+            prefix_metric,
+            fw,
+        } => {
+            body.put_u32(attach.0);
+            body.put_u32(attach_metric.0);
+            put_prefix(&mut body, *prefix);
+            body.put_u32(prefix_metric.0);
+            body.put_u32(fw.router.0);
+            body.put_u16(fw.addr);
+        }
+    }
+    buf.put_u16(body.len() as u16);
+    buf.extend_from_slice(&body);
+}
+
+/// Decode a full LSA; validates the body length and kind consistency.
+pub fn decode_lsa(buf: &mut Bytes) -> Result<Lsa, WireError> {
+    let hdr = get_lsa_header(buf)?;
+    need(buf, 2)?;
+    let body_len = buf.get_u16() as usize;
+    need(buf, body_len)?;
+    let mut body = buf.split_to(body_len);
+    let parsed = match hdr.key.kind {
+        LsaKind::Router => {
+            if body.remaining() < 2 {
+                return Err(WireError::Truncated {
+                    need: 2,
+                    have: body.remaining(),
+                });
+            }
+            let n = body.get_u16() as usize;
+            let mut links = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                need(&body, 8)?;
+                links.push(LsaLink {
+                    to: RouterId(body.get_u32()),
+                    metric: Metric(body.get_u32()),
+                });
+            }
+            LsaBody::Router { links }
+        }
+        LsaKind::Prefix => {
+            let prefix = get_prefix(&mut body)?;
+            need(&body, 4)?;
+            let metric = Metric(body.get_u32());
+            LsaBody::Prefix { prefix, metric }
+        }
+        LsaKind::Fake => {
+            need(&body, 8)?;
+            let attach = RouterId(body.get_u32());
+            let attach_metric = Metric(body.get_u32());
+            let prefix = get_prefix(&mut body)?;
+            need(&body, 10)?;
+            let prefix_metric = Metric(body.get_u32());
+            let fw_router = RouterId(body.get_u32());
+            let fw_addr = body.get_u16();
+            LsaBody::Fake {
+                attach,
+                attach_metric,
+                prefix,
+                prefix_metric,
+                fw: FwAddr {
+                    router: fw_router,
+                    addr: fw_addr,
+                },
+            }
+        }
+    };
+    if body.has_remaining() {
+        return Err(WireError::BadLength {
+            declared: body_len,
+            actual: body_len - body.remaining(),
+        });
+    }
+    Ok(Lsa {
+        key: hdr.key,
+        seq: hdr.seq,
+        age: hdr.age,
+        body: parsed,
+    })
+}
+
+/// Encode a packet (header + body + checksum) ready for transmission.
+pub fn encode(packet: &Packet, sender: RouterId) -> Bytes {
+    let mut body = BytesMut::new();
+    match packet {
+        Packet::Hello(h) => {
+            body.put_u16(h.hello_interval);
+            body.put_u16(h.dead_interval);
+            body.put_u16(h.seen.len() as u16);
+            for r in &h.seen {
+                body.put_u32(r.0);
+            }
+        }
+        Packet::Dbd(d) => {
+            let mut flags = 0u8;
+            if d.init {
+                flags |= 0x1;
+            }
+            if d.more {
+                flags |= 0x2;
+            }
+            if d.master {
+                flags |= 0x4;
+            }
+            body.put_u8(flags);
+            body.put_u32(d.dd_seq);
+            body.put_u16(d.headers.len() as u16);
+            for h in &d.headers {
+                put_lsa_header(&mut body, h);
+            }
+        }
+        Packet::LsRequest(r) => {
+            body.put_u16(r.keys.len() as u16);
+            for k in &r.keys {
+                body.put_u32(k.origin.0);
+                body.put_u8(k.kind as u8);
+                body.put_u32(k.id);
+            }
+        }
+        Packet::LsUpdate(u) => {
+            body.put_u16(u.lsas.len() as u16);
+            for l in &u.lsas {
+                encode_lsa(l, &mut body);
+            }
+        }
+        Packet::LsAck(a) => {
+            body.put_u16(a.headers.len() as u16);
+            for h in &a.headers {
+                put_lsa_header(&mut body, h);
+            }
+        }
+    }
+
+    let total = HEADER_LEN + body.len();
+    let mut out = BytesMut::with_capacity(total);
+    out.put_u8(VERSION);
+    out.put_u8(packet.type_byte());
+    out.put_u16(total as u16);
+    out.put_u32(sender.0);
+    out.put_u16(0); // checksum placeholder
+    out.put_u16(0); // reserved
+    out.extend_from_slice(&body);
+    let ck = fletcher16(&out);
+    out[8] = (ck >> 8) as u8;
+    out[9] = (ck & 0xff) as u8;
+    out.freeze()
+}
+
+/// Decode and validate a packet; returns the sender and the payload.
+pub fn decode(mut buf: Bytes) -> Result<(RouterId, Packet), WireError> {
+    if buf.remaining() < HEADER_LEN {
+        return Err(WireError::Truncated {
+            need: HEADER_LEN,
+            have: buf.remaining(),
+        });
+    }
+    // Verify checksum over the whole datagram with ck field zeroed.
+    let mut copy = buf.to_vec();
+    let got = (u16::from(copy[8]) << 8) | u16::from(copy[9]);
+    copy[8] = 0;
+    copy[9] = 0;
+    let expect = fletcher16(&copy);
+    if got != expect {
+        return Err(WireError::BadChecksum { expect, got });
+    }
+
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let ptype = buf.get_u8();
+    let declared = buf.get_u16() as usize;
+    if declared != copy.len() {
+        return Err(WireError::BadLength {
+            declared,
+            actual: copy.len(),
+        });
+    }
+    let sender = RouterId(buf.get_u32());
+    let _ck = buf.get_u16();
+    let _reserved = buf.get_u16();
+
+    let packet = match ptype {
+        1 => {
+            need(&buf, 6)?;
+            let hello_interval = buf.get_u16();
+            let dead_interval = buf.get_u16();
+            let n = buf.get_u16() as usize;
+            let mut seen = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                need(&buf, 4)?;
+                seen.push(RouterId(buf.get_u32()));
+            }
+            Packet::Hello(Hello {
+                hello_interval,
+                dead_interval,
+                seen,
+            })
+        }
+        2 => {
+            need(&buf, 7)?;
+            let flags = buf.get_u8();
+            let dd_seq = buf.get_u32();
+            let n = buf.get_u16() as usize;
+            let mut headers = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                headers.push(get_lsa_header(&mut buf)?);
+            }
+            Packet::Dbd(Dbd {
+                init: flags & 0x1 != 0,
+                more: flags & 0x2 != 0,
+                master: flags & 0x4 != 0,
+                dd_seq,
+                headers,
+            })
+        }
+        3 => {
+            need(&buf, 2)?;
+            let n = buf.get_u16() as usize;
+            let mut keys = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                need(&buf, 9)?;
+                let origin = RouterId(buf.get_u32());
+                let kind_byte = buf.get_u8();
+                let kind =
+                    LsaKind::from_u8(kind_byte).ok_or(WireError::BadLsaKind(kind_byte))?;
+                let id = buf.get_u32();
+                keys.push(LsaKey { origin, kind, id });
+            }
+            Packet::LsRequest(LsRequest { keys })
+        }
+        4 => {
+            need(&buf, 2)?;
+            let n = buf.get_u16() as usize;
+            let mut lsas = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                lsas.push(decode_lsa(&mut buf)?);
+            }
+            Packet::LsUpdate(LsUpdate { lsas })
+        }
+        5 => {
+            need(&buf, 2)?;
+            let n = buf.get_u16() as usize;
+            let mut headers = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                headers.push(get_lsa_header(&mut buf)?);
+            }
+            Packet::LsAck(LsAck { headers })
+        }
+        other => return Err(WireError::BadPacketType(other)),
+    };
+    if buf.has_remaining() {
+        return Err(WireError::BadLength {
+            declared,
+            actual: declared - buf.remaining(),
+        });
+    }
+    Ok((sender, packet))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(p: Packet) {
+        let bytes = encode(&p, RouterId(42));
+        let (sender, decoded) = decode(bytes).expect("decode");
+        assert_eq!(sender, RouterId(42));
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        roundtrip(Packet::Hello(Hello {
+            hello_interval: 1,
+            dead_interval: 4,
+            seen: vec![RouterId(1), RouterId(9)],
+        }));
+        roundtrip(Packet::Hello(Hello {
+            hello_interval: 10,
+            dead_interval: 40,
+            seen: vec![],
+        }));
+    }
+
+    #[test]
+    fn dbd_roundtrip() {
+        roundtrip(Packet::Dbd(Dbd {
+            init: true,
+            more: true,
+            master: false,
+            dd_seq: 0xdead_beef,
+            headers: vec![LsaHeader {
+                key: LsaKey {
+                    origin: RouterId(3),
+                    kind: LsaKind::Router,
+                    id: 0,
+                },
+                seq: SeqNum(17),
+                age: 12,
+            }],
+        }));
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        roundtrip(Packet::LsRequest(LsRequest {
+            keys: vec![
+                LsaKey {
+                    origin: RouterId(1),
+                    kind: LsaKind::Prefix,
+                    id: 4,
+                },
+                LsaKey {
+                    origin: RouterId::fake(2),
+                    kind: LsaKind::Fake,
+                    id: 0,
+                },
+            ],
+        }));
+    }
+
+    #[test]
+    fn update_roundtrip_all_lsa_kinds() {
+        let lsas = vec![
+            Lsa::router(
+                RouterId(1),
+                SeqNum(3),
+                vec![
+                    LsaLink {
+                        to: RouterId(2),
+                        metric: Metric(10),
+                    },
+                    LsaLink {
+                        to: RouterId(7),
+                        metric: Metric(2),
+                    },
+                ],
+            ),
+            Lsa::prefix(RouterId(1), 1, SeqNum(2), Prefix::net24(9), Metric(0)),
+            Lsa::fake(
+                RouterId::fake(5),
+                SeqNum(1),
+                RouterId(1),
+                Metric(1),
+                Prefix::net24(9),
+                Metric(1),
+                FwAddr::secondary(RouterId(2), 3),
+            ),
+        ];
+        roundtrip(Packet::LsUpdate(LsUpdate { lsas }));
+    }
+
+    #[test]
+    fn ack_roundtrip() {
+        roundtrip(Packet::LsAck(LsAck {
+            headers: vec![LsaHeader {
+                key: LsaKey {
+                    origin: RouterId(6),
+                    kind: LsaKind::Fake,
+                    id: 1,
+                },
+                seq: SeqNum(-4),
+                age: 3600,
+            }],
+        }));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let bytes = encode(
+            &Packet::Hello(Hello {
+                hello_interval: 1,
+                dead_interval: 4,
+                seen: vec![RouterId(1)],
+            }),
+            RouterId(42),
+        );
+        // Fletcher-16 cannot see 0x00 ↔ 0xff flips (255 ≡ 0 mod 255),
+        // like the real OSPF checksum; a ±1 change is always caught.
+        for i in 0..bytes.len() {
+            let mut corrupted = bytes.to_vec();
+            corrupted[i] ^= 0x01;
+            let res = decode(Bytes::from(corrupted));
+            assert!(res.is_err(), "corruption at byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = encode(
+            &Packet::Hello(Hello {
+                hello_interval: 1,
+                dead_interval: 4,
+                seen: vec![RouterId(1), RouterId(2)],
+            }),
+            RouterId(42),
+        );
+        for cut in 0..bytes.len() {
+            let res = decode(bytes.slice(0..cut));
+            assert!(res.is_err(), "truncation to {cut} bytes went undetected");
+        }
+    }
+
+    #[test]
+    fn fletcher_matches_reference_values() {
+        assert_eq!(fletcher16(b""), 0);
+        assert_eq!(fletcher16(b"\x01\x02"), {
+            // c0 = 3, c1 = 1 + 3 = 4
+            (4 << 8) | 3
+        });
+        assert_eq!(fletcher16(b"abcde"), {
+            let mut c0: u32 = 0;
+            let mut c1: u32 = 0;
+            for &b in b"abcde" {
+                c0 = (c0 + u32::from(b)) % 255;
+                c1 = (c1 + c0) % 255;
+            }
+            ((c1 as u16) << 8) | c0 as u16
+        });
+    }
+
+    #[test]
+    fn bad_version_and_type_rejected() {
+        let good = encode(
+            &Packet::Hello(Hello {
+                hello_interval: 1,
+                dead_interval: 4,
+                seen: vec![],
+            }),
+            RouterId(1),
+        );
+        // Flip version, fix checksum.
+        let mut v = good.to_vec();
+        v[0] = 9;
+        v[8] = 0;
+        v[9] = 0;
+        let ck = fletcher16(&v);
+        v[8] = (ck >> 8) as u8;
+        v[9] = (ck & 0xff) as u8;
+        assert!(matches!(
+            decode(Bytes::from(v)),
+            Err(WireError::BadVersion(9))
+        ));
+
+        let mut v = good.to_vec();
+        v[1] = 0x7f;
+        v[8] = 0;
+        v[9] = 0;
+        let ck = fletcher16(&v);
+        v[8] = (ck >> 8) as u8;
+        v[9] = (ck & 0xff) as u8;
+        assert!(matches!(
+            decode(Bytes::from(v)),
+            Err(WireError::BadPacketType(0x7f))
+        ));
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests of the wire codec: arbitrary valid packets
+//! roundtrip byte-exactly, and the decoder never panics on arbitrary
+//! input (it is fed by a network).
+
+use bytes::Bytes;
+use fib_igp::lsa::{Lsa, LsaHeader, LsaKey, LsaKind, LsaLink};
+use fib_igp::types::{FwAddr, Metric, Prefix, RouterId, SeqNum};
+use fib_igp::wire::{decode, encode, Dbd, Hello, LsAck, LsRequest, LsUpdate, Packet};
+use proptest::prelude::*;
+
+fn arb_router() -> impl Strategy<Value = RouterId> {
+    any::<u32>().prop_map(RouterId)
+}
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Prefix::new(a, l))
+}
+
+fn arb_kind() -> impl Strategy<Value = LsaKind> {
+    prop_oneof![
+        Just(LsaKind::Router),
+        Just(LsaKind::Prefix),
+        Just(LsaKind::Fake),
+    ]
+}
+
+fn arb_header() -> impl Strategy<Value = LsaHeader> {
+    (arb_router(), arb_kind(), any::<u32>(), any::<i32>(), any::<u16>()).prop_map(
+        |(origin, kind, id, seq, age)| LsaHeader {
+            key: LsaKey { origin, kind, id },
+            seq: SeqNum(seq),
+            age,
+        },
+    )
+}
+
+fn arb_lsa() -> impl Strategy<Value = Lsa> {
+    let router = (
+        arb_router(),
+        any::<i32>(),
+        any::<u16>(),
+        proptest::collection::vec((arb_router(), any::<u32>()), 0..12),
+    )
+        .prop_map(|(origin, seq, age, links)| {
+            let mut l = Lsa::router(
+                origin,
+                SeqNum(seq),
+                links
+                    .into_iter()
+                    .map(|(to, m)| LsaLink {
+                        to,
+                        metric: Metric(m),
+                    })
+                    .collect(),
+            );
+            l.age = age;
+            l
+        });
+    let prefix = (
+        arb_router(),
+        any::<u32>(),
+        any::<i32>(),
+        any::<u16>(),
+        arb_prefix(),
+        any::<u32>(),
+    )
+        .prop_map(|(origin, id, seq, age, p, m)| {
+            let mut l = Lsa::prefix(origin, id, SeqNum(seq), p, Metric(m));
+            l.age = age;
+            l
+        });
+    let fake = (
+        any::<u32>(),
+        any::<i32>(),
+        any::<u16>(),
+        arb_router(),
+        any::<u32>(),
+        arb_prefix(),
+        any::<u32>(),
+        arb_router(),
+        any::<u16>(),
+    )
+        .prop_map(
+            |(fid, seq, age, attach, am, p, pm, fwr, fwa)| {
+                let mut l = Lsa::fake(
+                    RouterId::fake(fid % 0x7fff_ffff),
+                    SeqNum(seq),
+                    attach,
+                    Metric(am),
+                    p,
+                    Metric(pm),
+                    FwAddr {
+                        router: fwr,
+                        addr: fwa,
+                    },
+                );
+                l.age = age;
+                l
+            },
+        );
+    prop_oneof![router, prefix, fake]
+}
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    let hello = (any::<u16>(), any::<u16>(), proptest::collection::vec(arb_router(), 0..8))
+        .prop_map(|(h, d, seen)| {
+            Packet::Hello(Hello {
+                hello_interval: h,
+                dead_interval: d,
+                seen,
+            })
+        });
+    let dbd = (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<u32>(),
+        proptest::collection::vec(arb_header(), 0..8),
+    )
+        .prop_map(|(init, more, master, dd_seq, headers)| {
+            Packet::Dbd(Dbd {
+                init,
+                more,
+                master,
+                dd_seq,
+                headers,
+            })
+        });
+    let req = proptest::collection::vec(
+        (arb_router(), arb_kind(), any::<u32>()),
+        0..8,
+    )
+    .prop_map(|keys| {
+        Packet::LsRequest(LsRequest {
+            keys: keys
+                .into_iter()
+                .map(|(origin, kind, id)| LsaKey { origin, kind, id })
+                .collect(),
+        })
+    });
+    let upd = proptest::collection::vec(arb_lsa(), 0..6)
+        .prop_map(|lsas| Packet::LsUpdate(LsUpdate { lsas }));
+    let ack = proptest::collection::vec(arb_header(), 0..8)
+        .prop_map(|headers| Packet::LsAck(LsAck { headers }));
+    prop_oneof![hello, dbd, req, upd, ack]
+}
+
+proptest! {
+    /// Any packet we can construct roundtrips exactly.
+    #[test]
+    fn roundtrip(pkt in arb_packet(), sender in arb_router()) {
+        let bytes = encode(&pkt, sender);
+        let (got_sender, got_pkt) = decode(bytes).expect("own encoding decodes");
+        prop_assert_eq!(got_sender, sender);
+        prop_assert_eq!(got_pkt, pkt);
+    }
+
+    /// The decoder never panics on arbitrary bytes — it either decodes
+    /// or returns an error.
+    #[test]
+    fn decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode(Bytes::from(data));
+    }
+
+    /// Single-byte truncation of a valid packet is always rejected.
+    #[test]
+    fn truncation_rejected(pkt in arb_packet()) {
+        let bytes = encode(&pkt, RouterId(1));
+        if bytes.len() > 1 {
+            let cut = bytes.slice(0..bytes.len() - 1);
+            prop_assert!(decode(cut).is_err());
+        }
+    }
+}

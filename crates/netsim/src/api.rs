@@ -1,0 +1,115 @@
+//! The application interface to the simulator.
+//!
+//! Control logic — the Fibbing controller, video workload drivers,
+//! baseline TE agents — plugs into the simulator as an [`App`]. Apps
+//! interact with the world exclusively through [`SimApi`]: they can
+//! read provisioning data, poll SNMP agents, steer their own protocol
+//! speaker (inject/retract lies), and manage traffic flows. The
+//! simulator dispatches ticks and flow notifications ("servers notify
+//! the controller when they have a new client", Sec. 3 of the paper).
+
+use crate::flow::{FlowId, FlowInfo, FlowSpec};
+use crate::link::{LinkInfo, LinkKey};
+use fib_igp::error::InstanceError;
+use fib_igp::time::{Dur, Timestamp};
+use fib_igp::topology::Topology;
+use fib_igp::types::{FwAddr, Metric, Prefix, RouterId};
+use fib_telemetry::mib::{Oid, Value};
+
+/// Everything an application may do to the simulated world.
+pub trait SimApi {
+    /// Current simulation time.
+    fn now(&self) -> Timestamp;
+
+    /// All real routers (controller speakers included).
+    fn routers(&self) -> Vec<RouterId>;
+
+    /// All directed links with provisioning data.
+    fn links(&self) -> Vec<LinkInfo>;
+
+    /// Which router announces each prefix (static provisioning view).
+    fn prefix_owners(&self) -> Vec<(Prefix, RouterId)>;
+
+    /// The topology as learned by `speaker`'s LSDB (what a controller
+    /// actually knows — including every currently installed lie).
+    fn topology_view(&self, speaker: RouterId) -> Option<Topology>;
+
+    /// SNMP GET against a router's agent (counts as management
+    /// traffic).
+    fn snmp_get(&mut self, router: RouterId, oid: &Oid) -> Option<Value>;
+
+    /// SNMP WALK under an OID prefix.
+    fn snmp_walk(&mut self, router: RouterId, prefix: &Oid) -> Vec<(Oid, Value)>;
+
+    /// The SNMP ifIndex of the interface on `from` facing `to`.
+    fn ifindex_for(&self, from: RouterId, to: RouterId) -> Option<u32>;
+
+    /// Inject a lie through `speaker`'s protocol instance.
+    #[allow(clippy::too_many_arguments)]
+    fn inject_fake(
+        &mut self,
+        speaker: RouterId,
+        fake: RouterId,
+        attach: RouterId,
+        attach_metric: Metric,
+        prefix: Prefix,
+        prefix_metric: Metric,
+        fw: FwAddr,
+    ) -> Result<(), InstanceError>;
+
+    /// Retract a lie previously injected through `speaker`.
+    fn retract_fake(&mut self, speaker: RouterId, fake: RouterId) -> Result<(), InstanceError>;
+
+    /// Start a flow now; returns its id.
+    fn start_flow(&mut self, spec: FlowSpec) -> FlowId;
+
+    /// Stop a flow; `false` if unknown.
+    fn stop_flow(&mut self, id: FlowId) -> bool;
+
+    /// Change a flow's application rate cap; `false` if unknown.
+    fn set_flow_cap(&mut self, id: FlowId, cap: Option<f64>) -> bool;
+
+    /// Current allocated rate of a flow (bytes/s).
+    fn flow_rate(&self, id: FlowId) -> Option<f64>;
+
+    /// Total bytes delivered by a flow so far.
+    fn flow_delivered(&self, id: FlowId) -> Option<f64>;
+
+    /// Current path of a flow (directed links).
+    fn flow_path(&self, id: FlowId) -> Option<Vec<LinkKey>>;
+
+    /// Current offered rate on a directed link (bytes/s).
+    fn link_rate(&self, key: LinkKey) -> Option<f64>;
+
+    /// A router's installed ECMP next-hops toward a prefix (empty if
+    /// none — used by verification and experiments, not by the
+    /// controller's decision logic).
+    fn fib_nexthops(&self, router: RouterId, prefix: Prefix) -> Vec<FwAddr>;
+
+    /// Append a point to a named trace series at the current time.
+    fn record(&mut self, series: &str, value: f64);
+}
+
+/// A pluggable application (controller, workload driver, baseline).
+pub trait App {
+    /// Human-readable name (diagnostics, trace prefixes).
+    fn name(&self) -> &str;
+
+    /// If `Some`, the simulator calls [`App::on_tick`] at this period.
+    fn tick_interval(&self) -> Option<Dur> {
+        None
+    }
+
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, _api: &mut dyn SimApi) {}
+
+    /// Periodic tick (see [`App::tick_interval`]).
+    fn on_tick(&mut self, _api: &mut dyn SimApi) {}
+
+    /// A flow started (the paper's "server notifies the controller of
+    /// a new client").
+    fn on_flow_started(&mut self, _api: &mut dyn SimApi, _info: &FlowInfo) {}
+
+    /// A flow stopped.
+    fn on_flow_stopped(&mut self, _api: &mut dyn SimApi, _info: &FlowInfo) {}
+}

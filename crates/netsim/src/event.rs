@@ -1,0 +1,140 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events fire in `(time, insertion sequence)` order, so simultaneous
+//! events are processed exactly in the order they were scheduled —
+//! identical runs produce identical traces, which the reproducibility
+//! tests assert.
+
+use fib_igp::time::Timestamp;
+use std::collections::BinaryHeap;
+
+struct Entry<T> {
+    at: Timestamp,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Min-heap of timestamped events with FIFO tie-breaking.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> EventQueue<T> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedule `item` at `at`.
+    pub fn push(&mut self, at: Timestamp, item: T) {
+        self.seq += 1;
+        self.heap.push(Entry {
+            at,
+            seq: self.seq,
+            item,
+        });
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Timestamp> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the earliest event if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: Timestamp) -> Option<(Timestamp, T)> {
+        if self.heap.peek().map(|e| e.at <= now).unwrap_or(false) {
+            let e = self.heap.pop().expect("peeked");
+            Some((e.at, e.item))
+        } else {
+            None
+        }
+    }
+
+    /// Pop the earliest event unconditionally.
+    pub fn pop(&mut self) -> Option<(Timestamp, T)> {
+        self.heap.pop().map(|e| (e.at, e.item))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), "c");
+        q.push(t(10), "a");
+        q.push(t(20), "b");
+        assert_eq!(q.peek_time(), Some(t(10)));
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert_eq!(q.pop(), Some((t(20), "b")));
+        assert_eq!(q.pop(), Some((t(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.push(t(10), 1);
+        q.push(t(20), 2);
+        assert_eq!(q.pop_due(t(5)), None);
+        assert_eq!(q.pop_due(t(10)), Some((t(10), 1)));
+        assert_eq!(q.pop_due(t(15)), None);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,346 @@
+//! Max-min fair fluid bandwidth allocation.
+//!
+//! Long-lived TCP flows sharing a capacitated network converge (to
+//! first order) to the max-min fair allocation. The demo's Fig. 2
+//! reports per-link throughput of 31–62 concurrent video flows; a
+//! fluid model reproduces those equilibria deterministically and
+//! without packet-level noise — the standard substitution for a
+//! Mininet data plane (see DESIGN.md).
+//!
+//! The allocator implements progressive filling with per-flow rate
+//! caps: all unfixed flows grow at the same rate; a step ends when a
+//! link saturates (its flows are frozen) or a flow hits its cap
+//! (application-limited, e.g. a video at its bitrate).
+
+use std::collections::BTreeMap;
+
+/// Input flow: the links it crosses (indexes into the capacity slice)
+/// and an optional application rate cap in bytes/s.
+#[derive(Debug, Clone)]
+pub struct FluidFlow {
+    /// Indexes of crossed links.
+    pub links: Vec<usize>,
+    /// Application-level cap (`None` = network-limited only).
+    pub cap: Option<f64>,
+}
+
+/// Result of an allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// Per-flow rate in bytes/s (same order as the input).
+    pub rates: Vec<f64>,
+    /// Per-link total load in bytes/s (same order as capacities).
+    pub link_loads: Vec<f64>,
+}
+
+/// Compute the max-min fair allocation of `flows` over links with the
+/// given `capacities` (bytes/s).
+///
+/// Complexity: O(rounds × (F + L)) with rounds ≤ F + L. Flows crossing
+/// no link (degenerate) are limited only by their cap (or get 0.0 if
+/// uncapped — nothing constrains them, but an unconstrained flow has
+/// no meaningful rate; we pin it to its cap or 0).
+pub fn max_min_allocation(capacities: &[f64], flows: &[FluidFlow]) -> Allocation {
+    let nl = capacities.len();
+    let nf = flows.len();
+    let mut rates = vec![0.0f64; nf];
+    let mut fixed = vec![false; nf];
+    let mut residual: Vec<f64> = capacities.to_vec();
+    let mut link_active: Vec<usize> = vec![0; nl];
+
+    for f in flows {
+        for &l in &f.links {
+            assert!(l < nl, "flow references unknown link {l}");
+        }
+    }
+
+    // Degenerate flows: no links.
+    for (i, f) in flows.iter().enumerate() {
+        if f.links.is_empty() {
+            rates[i] = f.cap.unwrap_or(0.0);
+            fixed[i] = true;
+        }
+    }
+
+    for (i, f) in flows.iter().enumerate() {
+        if fixed[i] {
+            continue;
+        }
+        for &l in &f.links {
+            link_active[l] += 1;
+        }
+    }
+
+    let mut remaining: usize = fixed.iter().filter(|x| !**x).count();
+    let mut guard = 0usize;
+    while remaining > 0 {
+        guard += 1;
+        assert!(
+            guard <= nf + nl + 2,
+            "progressive filling failed to converge"
+        );
+        // Largest uniform increment allowed by links.
+        let mut delta = f64::INFINITY;
+        for l in 0..nl {
+            if link_active[l] > 0 {
+                delta = delta.min((residual[l] / link_active[l] as f64).max(0.0));
+            }
+        }
+        // ... and by flow caps.
+        for (i, f) in flows.iter().enumerate() {
+            if fixed[i] {
+                continue;
+            }
+            if let Some(cap) = f.cap {
+                delta = delta.min((cap - rates[i]).max(0.0));
+            }
+        }
+        if !delta.is_finite() {
+            // No link constrains any active flow and no caps: nothing
+            // to grow against (cannot happen for flows with links and
+            // positive capacities, but guard anyway).
+            break;
+        }
+
+        // Apply the increment.
+        for (i, f) in flows.iter().enumerate() {
+            if fixed[i] {
+                continue;
+            }
+            rates[i] += delta;
+            for &l in &f.links {
+                residual[l] -= delta;
+            }
+        }
+
+        // Freeze flows at caps.
+        let mut newly_fixed: Vec<usize> = Vec::new();
+        for (i, f) in flows.iter().enumerate() {
+            if fixed[i] {
+                continue;
+            }
+            if let Some(cap) = f.cap {
+                if rates[i] >= cap - 1e-9 {
+                    newly_fixed.push(i);
+                    continue;
+                }
+            }
+        }
+        // Freeze flows on saturated links.
+        const EPS: f64 = 1e-9;
+        for l in 0..nl {
+            if link_active[l] > 0 && residual[l] <= EPS {
+                for (i, f) in flows.iter().enumerate() {
+                    if !fixed[i] && f.links.contains(&l) && !newly_fixed.contains(&i) {
+                        newly_fixed.push(i);
+                    }
+                }
+            }
+        }
+        if newly_fixed.is_empty() {
+            // Numerical corner: force the most constrained flow fixed.
+            if let Some(i) = (0..nf).find(|i| !fixed[*i]) {
+                newly_fixed.push(i);
+            }
+        }
+        for i in newly_fixed {
+            if !fixed[i] {
+                fixed[i] = true;
+                remaining -= 1;
+                for &l in &flows[i].links {
+                    link_active[l] -= 1;
+                }
+            }
+        }
+    }
+
+    let mut link_loads = vec![0.0; nl];
+    for (i, f) in flows.iter().enumerate() {
+        for &l in &f.links {
+            link_loads[l] += rates[i];
+        }
+    }
+    Allocation { rates, link_loads }
+}
+
+/// Convenience wrapper keyed by arbitrary link identifiers.
+pub fn max_min_keyed<K: Ord + Clone>(
+    capacities: &BTreeMap<K, f64>,
+    flows: &[(Vec<K>, Option<f64>)],
+) -> (Vec<f64>, BTreeMap<K, f64>) {
+    let keys: Vec<K> = capacities.keys().cloned().collect();
+    let index: BTreeMap<K, usize> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (k.clone(), i))
+        .collect();
+    let caps: Vec<f64> = keys.iter().map(|k| capacities[k]).collect();
+    let fluid_flows: Vec<FluidFlow> = flows
+        .iter()
+        .map(|(links, cap)| FluidFlow {
+            links: links.iter().map(|k| index[k]).collect(),
+            cap: *cap,
+        })
+        .collect();
+    let alloc = max_min_allocation(&caps, &fluid_flows);
+    let loads: BTreeMap<K, f64> = keys
+        .into_iter()
+        .zip(alloc.link_loads)
+        .collect();
+    (alloc.rates, loads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn flow(links: &[usize], cap: Option<f64>) -> FluidFlow {
+        FluidFlow {
+            links: links.to_vec(),
+            cap,
+        }
+    }
+
+    #[test]
+    fn single_link_fair_share() {
+        let a = max_min_allocation(&[90.0], &[flow(&[0], None), flow(&[0], None), flow(&[0], None)]);
+        for r in &a.rates {
+            assert!((r - 30.0).abs() < 1e-6);
+        }
+        assert!((a.link_loads[0] - 90.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn caps_redistribute_to_uncapped() {
+        // One capped flow leaves room for the others.
+        let a = max_min_allocation(
+            &[90.0],
+            &[flow(&[0], Some(10.0)), flow(&[0], None), flow(&[0], None)],
+        );
+        assert!((a.rates[0] - 10.0).abs() < 1e-6);
+        assert!((a.rates[1] - 40.0).abs() < 1e-6);
+        assert!((a.rates[2] - 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bottleneck_is_the_minimum_link() {
+        // Flow crosses links of 100 and 30: bottleneck 30.
+        let a = max_min_allocation(&[100.0, 30.0], &[flow(&[0, 1], None)]);
+        assert!((a.rates[0] - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn classic_three_flow_example() {
+        // Two links, capacity 1 each. Flow A uses both, flows B and C
+        // one each. Max-min: A = 0.5, B = C = 0.5.
+        let a = max_min_allocation(
+            &[1.0, 1.0],
+            &[flow(&[0, 1], None), flow(&[0], None), flow(&[1], None)],
+        );
+        assert!((a.rates[0] - 0.5).abs() < 1e-6);
+        assert!((a.rates[1] - 0.5).abs() < 1e-6);
+        assert!((a.rates[2] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn asymmetric_bottlenecks() {
+        // Link 0: cap 2, link 1: cap 1. Flow A on both, B on 0, C on 1.
+        // Round 1: growth until link 1 saturates at 0.5 (A and C fixed
+        // at 0.5). B continues until link 0 saturates: B = 1.5.
+        let a = max_min_allocation(
+            &[2.0, 1.0],
+            &[flow(&[0, 1], None), flow(&[0], None), flow(&[1], None)],
+        );
+        assert!((a.rates[0] - 0.5).abs() < 1e-6);
+        assert!((a.rates[1] - 1.5).abs() < 1e-6);
+        assert!((a.rates[2] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flow_without_links_gets_cap() {
+        let a = max_min_allocation(&[], &[flow(&[], Some(42.0)), flow(&[], None)]);
+        assert_eq!(a.rates, vec![42.0, 0.0]);
+    }
+
+    #[test]
+    fn keyed_wrapper_roundtrips() {
+        let mut caps = BTreeMap::new();
+        caps.insert("x", 100.0);
+        caps.insert("y", 50.0);
+        let flows = vec![(vec!["x", "y"], None), (vec!["x"], Some(20.0))];
+        let (rates, loads) = max_min_keyed(&caps, &flows);
+        assert!((rates[0] - 50.0).abs() < 1e-6);
+        assert!((rates[1] - 20.0).abs() < 1e-6);
+        assert!((loads["x"] - 70.0).abs() < 1e-6);
+        assert!((loads["y"] - 50.0).abs() < 1e-6);
+    }
+
+    proptest! {
+        /// No link is ever overloaded and no flow exceeds its cap.
+        #[test]
+        fn prop_feasibility(
+            caps in proptest::collection::vec(1.0f64..1000.0, 1..8),
+            flows_raw in proptest::collection::vec(
+                (proptest::collection::vec(0usize..8, 1..4), proptest::option::of(1.0f64..500.0)),
+                1..20
+            )
+        ) {
+            let nl = caps.len();
+            let flows: Vec<FluidFlow> = flows_raw
+                .iter()
+                .map(|(ls, cap)| {
+                    let mut links: Vec<usize> = ls.iter().map(|l| l % nl).collect();
+                    links.sort();
+                    links.dedup();
+                    FluidFlow { links, cap: *cap }
+                })
+                .collect();
+            let a = max_min_allocation(&caps, &flows);
+            for (l, load) in a.link_loads.iter().enumerate() {
+                prop_assert!(*load <= caps[l] + 1e-6, "link {l} overloaded: {load} > {}", caps[l]);
+            }
+            for (i, f) in flows.iter().enumerate() {
+                if let Some(cap) = f.cap {
+                    prop_assert!(a.rates[i] <= cap + 1e-6);
+                }
+                prop_assert!(a.rates[i] >= -1e-9);
+            }
+        }
+
+        /// Max-min property (bottleneck justification): every flow is
+        /// either at its cap or crosses at least one saturated link.
+        #[test]
+        fn prop_maxmin_justified(
+            caps in proptest::collection::vec(1.0f64..1000.0, 1..6),
+            flows_raw in proptest::collection::vec(
+                (proptest::collection::vec(0usize..6, 1..3), proptest::option::of(1.0f64..500.0)),
+                1..12
+            )
+        ) {
+            let nl = caps.len();
+            let flows: Vec<FluidFlow> = flows_raw
+                .iter()
+                .map(|(ls, cap)| {
+                    let mut links: Vec<usize> = ls.iter().map(|l| l % nl).collect();
+                    links.sort();
+                    links.dedup();
+                    FluidFlow { links, cap: *cap }
+                })
+                .collect();
+            let a = max_min_allocation(&caps, &flows);
+            for (i, f) in flows.iter().enumerate() {
+                let at_cap = f.cap.map(|c| a.rates[i] >= c - 1e-6).unwrap_or(false);
+                let bottlenecked = f
+                    .links
+                    .iter()
+                    .any(|&l| a.link_loads[l] >= caps[l] - 1e-6);
+                prop_assert!(
+                    at_cap || bottlenecked,
+                    "flow {i} (rate {}) neither capped nor bottlenecked",
+                    a.rates[i]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # fib-netsim — deterministic data-plane and co-simulation
+//!
+//! The paper's demo ran on an emulated testbed (Mininet + Quagga).
+//! This crate is its simulation substitute:
+//!
+//! * [`event`] — a deterministic discrete-event queue;
+//! * [`link`] — capacitated, delayed, directed links;
+//! * [`fib`] — downloaded forwarding tables and hop-by-hop path
+//!   resolution with per-router ECMP hashing ([`ecmp`]);
+//! * [`fluid`] — max-min fair bandwidth sharing (the first-order model
+//!   of competing TCP flows), with application rate caps;
+//! * [`flow`] — traffic flows and notifications;
+//! * [`trace`] — time-series recording and CSV export for figures;
+//! * [`api`] / [`sim`] — the co-simulation world: real IGP instances
+//!   exchanging encoded packets over the links, FIB downloads, SNMP
+//!   agents fed by both planes, and pluggable applications (the
+//!   Fibbing controller, video drivers, baselines).
+//!
+//! Everything is deterministic: identical inputs produce
+//! byte-identical traces (asserted in tests).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod api;
+pub mod ecmp;
+pub mod event;
+pub mod fib;
+pub mod flow;
+pub mod fluid;
+pub mod link;
+pub mod sim;
+pub mod trace;
+
+/// Convenient re-exports of the most used items.
+pub mod prelude {
+    pub use crate::api::{App, SimApi};
+    pub use crate::ecmp::{slot_for, FlowKey};
+    pub use crate::event::EventQueue;
+    pub use crate::fib::{resolve_path, Fib, FibEntry, PathError};
+    pub use crate::flow::{Flow, FlowId, FlowInfo, FlowSpec};
+    pub use crate::fluid::{max_min_allocation, max_min_keyed, Allocation, FluidFlow};
+    pub use crate::link::{LinkInfo, LinkKey, LinkSpec, LinkState};
+    pub use crate::sim::{Sim, SimConfig, SimStats};
+    pub use crate::trace::Recorder;
+    pub use fib_igp::time::{Dur, Timestamp};
+}

@@ -1,0 +1,1138 @@
+//! The co-simulation world.
+//!
+//! [`Sim`] binds everything together in one deterministic event loop:
+//!
+//! * an IGP [`Instance`](fib_igp::instance::Instance) per router,
+//!   exchanging real (encoded, checksummed) protocol packets over the
+//!   simulated links with propagation delay;
+//! * FIB downloads from converged instances into data-plane [`Fib`]s;
+//! * fluid traffic: flows resolve their paths through the FIBs (per
+//!   hop ECMP hashing) and share link capacity max-min fairly; link
+//!   and flow counters integrate rates between events;
+//! * SNMP agents per router whose ifTable counters are fed by the data
+//!   and control planes alike;
+//! * pluggable [`App`]s (the Fibbing controller, workload drivers)
+//!   receiving ticks and flow notifications.
+//!
+//! Any change (FIB update, flow churn, link event) marks the world
+//! dirty; at the end of each event batch the allocator recomputes
+//! paths and rates, so traces reflect transients like ECMP shifts
+//! mid-convergence.
+
+use crate::api::{App, SimApi};
+use crate::ecmp::FlowKey;
+use crate::event::EventQueue;
+use crate::fib::{resolve_path, Fib};
+use crate::flow::{Flow, FlowId, FlowInfo, FlowSpec};
+use crate::fluid::max_min_keyed;
+use crate::link::{LinkInfo, LinkKey, LinkSpec, LinkState};
+use crate::trace::Recorder;
+use bytes::Bytes;
+use fib_igp::error::InstanceError;
+use fib_igp::instance::{Config as IgpConfig, Instance, Output};
+use fib_igp::time::{Dur, Timestamp};
+use fib_igp::topology::Topology;
+use fib_igp::types::{FwAddr, IfaceId, Metric, Prefix, RouterId};
+use fib_telemetry::counters::{CounterWidth, IfaceCounters};
+use fib_telemetry::mib::{Agent, Oid, Value};
+use std::collections::BTreeMap;
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// IGP hello interval.
+    pub hello_interval: Dur,
+    /// IGP dead interval.
+    pub dead_interval: Dur,
+    /// IGP retransmit interval.
+    pub rxmt_interval: Dur,
+    /// IGP SPF delay.
+    pub spf_delay: Dur,
+    /// Trace sampling period.
+    pub sample_interval: Dur,
+    /// SNMP counter width exposed by agents.
+    pub counter_width: CounterWidth,
+    /// Immediate carrier-loss detection on link-down events.
+    pub carrier_detect: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            hello_interval: Dur::from_secs(1),
+            dead_interval: Dur::from_secs(4),
+            rxmt_interval: Dur::from_secs(1),
+            spf_delay: Dur::from_millis(50),
+            sample_interval: Dur::from_millis(100),
+            counter_width: CounterWidth::C64,
+            carrier_detect: true,
+        }
+    }
+}
+
+/// Aggregate world statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimStats {
+    /// Control-plane packets delivered.
+    pub ctrl_pkts: u64,
+    /// Control-plane bytes delivered.
+    pub ctrl_bytes: u64,
+    /// Control packets dropped on down links.
+    pub ctrl_dropped: u64,
+    /// Fluid re-allocations performed.
+    pub reallocs: u64,
+    /// SNMP operations served.
+    pub snmp_ops: u64,
+    /// Path resolutions that failed (flow temporarily unroutable).
+    pub unroutable: u64,
+}
+
+#[derive(Debug)]
+struct LinkRec {
+    state: LinkState,
+    /// Interface on `state.key.from` transmitting onto this direction.
+    tx_iface: IfaceId,
+    /// Interface on `state.key.to` receiving from this direction.
+    rx_iface: IfaceId,
+    /// Fractional byte carry for counter integration.
+    carry: f64,
+}
+
+enum Ev {
+    Pkt {
+        to: RouterId,
+        iface: IfaceId,
+        data: Bytes,
+    },
+    FlowStart(FlowId, FlowSpec),
+    FlowStop(FlowId),
+    SetFlowCap(FlowId, Option<f64>),
+    AppTick(usize),
+    Sample,
+    LinkAdmin {
+        a: RouterId,
+        b: RouterId,
+        up: bool,
+    },
+}
+
+/// Everything except the apps (so apps can borrow the world mutably).
+pub struct Core {
+    cfg: SimConfig,
+    now: Timestamp,
+    queue: EventQueue<Ev>,
+    instances: BTreeMap<RouterId, Instance>,
+    fibs: BTreeMap<RouterId, Fib>,
+    links: BTreeMap<LinkKey, LinkRec>,
+    iface_to_link: BTreeMap<(RouterId, IfaceId), LinkKey>,
+    agents: BTreeMap<RouterId, Agent>,
+    prefix_owners: Vec<(Prefix, RouterId)>,
+    flows: BTreeMap<FlowId, Flow>,
+    next_flow_id: u64,
+    last_accrue: Timestamp,
+    dirty: bool,
+    started: bool,
+    pending_flow_events: Vec<(bool, FlowInfo)>, // (started?, info)
+    pending_ticks: Vec<usize>,
+    recorder: Recorder,
+    sampled: BTreeMap<String, LinkKey>,
+    /// Aggregate statistics.
+    pub stats: SimStats,
+}
+
+/// The simulator: the world plus its applications.
+pub struct Sim {
+    core: Core,
+    apps: Vec<Box<dyn App>>,
+    tick_intervals: Vec<Option<Dur>>,
+}
+
+impl Core {
+    fn new(cfg: SimConfig) -> Core {
+        Core {
+            cfg,
+            now: Timestamp::ZERO,
+            queue: EventQueue::new(),
+            instances: BTreeMap::new(),
+            fibs: BTreeMap::new(),
+            links: BTreeMap::new(),
+            iface_to_link: BTreeMap::new(),
+            agents: BTreeMap::new(),
+            prefix_owners: Vec::new(),
+            flows: BTreeMap::new(),
+            next_flow_id: 0,
+            last_accrue: Timestamp::ZERO,
+            dirty: false,
+            started: false,
+            pending_flow_events: Vec::new(),
+            pending_ticks: Vec::new(),
+            recorder: Recorder::new(),
+            sampled: BTreeMap::new(),
+            stats: SimStats::default(),
+        }
+    }
+
+    fn next_iface(&self, r: RouterId) -> IfaceId {
+        let n = self
+            .iface_to_link
+            .keys()
+            .filter(|(rid, _)| *rid == r)
+            .count();
+        IfaceId(n as u16)
+    }
+
+    fn add_router_inner(&mut self, id: RouterId, compute_routes: bool) {
+        let mut cfg = IgpConfig::new(id);
+        cfg.hello_interval = self.cfg.hello_interval;
+        cfg.dead_interval = self.cfg.dead_interval;
+        cfg.rxmt_interval = self.cfg.rxmt_interval;
+        cfg.spf_delay = self.cfg.spf_delay;
+        cfg.compute_routes = compute_routes;
+        self.instances.insert(id, Instance::new(cfg));
+        self.fibs.insert(id, Fib::new());
+        self.agents.insert(id, Agent::new(format!("{id}")));
+    }
+
+    fn add_link_inner(&mut self, spec: LinkSpec) {
+        let ia = self.next_iface(spec.a);
+        // Register a's iface before computing b's (self-loops are not
+        // supported; asserted here).
+        assert_ne!(spec.a, spec.b, "self-loop links are not supported");
+        let kab = LinkKey::new(spec.a, spec.b);
+        self.iface_to_link.insert((spec.a, ia), kab);
+        let ib = self.next_iface(spec.b);
+        let kba = LinkKey::new(spec.b, spec.a);
+        self.iface_to_link.insert((spec.b, ib), kba);
+
+        self.instances
+            .get_mut(&spec.a)
+            .expect("add routers before links")
+            .add_iface(ia, spec.cost);
+        self.instances
+            .get_mut(&spec.b)
+            .expect("add routers before links")
+            .add_iface(ib, spec.cost);
+
+        self.links.insert(
+            kab,
+            LinkRec {
+                state: LinkState {
+                    key: kab,
+                    capacity: spec.capacity,
+                    delay: spec.delay,
+                    up: true,
+                    rate: 0.0,
+                },
+                tx_iface: ia,
+                rx_iface: ib,
+                carry: 0.0,
+            },
+        );
+        self.links.insert(
+            kba,
+            LinkRec {
+                state: LinkState {
+                    key: kba,
+                    capacity: spec.capacity,
+                    delay: spec.delay,
+                    up: true,
+                    rate: 0.0,
+                },
+                tx_iface: ib,
+                rx_iface: ia,
+                carry: 0.0,
+            },
+        );
+
+        // SNMP: one ifTable row per interface (ifIndex = iface + 1).
+        let width = self.cfg.counter_width;
+        self.agents
+            .get_mut(&spec.a)
+            .expect("agent exists")
+            .add_iface(u32::from(ia.0) + 1, IfaceCounters::new(width));
+        self.agents
+            .get_mut(&spec.b)
+            .expect("agent exists")
+            .add_iface(u32::from(ib.0) + 1, IfaceCounters::new(width));
+    }
+
+    fn min_instance_timer(&self) -> Option<Timestamp> {
+        self.instances.values().filter_map(|i| i.next_timer()).min()
+    }
+
+    /// Integrate rates into counters/deliveries from `last_accrue` to `t`.
+    fn accrue_to(&mut self, t: Timestamp) {
+        if t <= self.last_accrue {
+            return;
+        }
+        let dt = (t - self.last_accrue).as_secs_f64();
+        self.last_accrue = t;
+        // Link counters.
+        let mut updates: Vec<(RouterId, u32, RouterId, u32, u64)> = Vec::new();
+        for rec in self.links.values_mut() {
+            if rec.state.rate <= 0.0 {
+                continue;
+            }
+            rec.carry += rec.state.rate * dt;
+            let whole = rec.carry.floor();
+            rec.carry -= whole;
+            if whole > 0.0 {
+                updates.push((
+                    rec.state.key.from,
+                    u32::from(rec.tx_iface.0) + 1,
+                    rec.state.key.to,
+                    u32::from(rec.rx_iface.0) + 1,
+                    whole as u64,
+                ));
+            }
+        }
+        for (from, tx_idx, to, rx_idx, bytes) in updates {
+            if let Some(c) = self
+                .agents
+                .get_mut(&from)
+                .and_then(|a| a.counters_mut(tx_idx))
+            {
+                c.out_octets.add(bytes);
+                c.out_pkts.add(bytes / 1500 + 1);
+            }
+            if let Some(c) = self
+                .agents
+                .get_mut(&to)
+                .and_then(|a| a.counters_mut(rx_idx))
+            {
+                c.in_octets.add(bytes);
+                c.in_pkts.add(bytes / 1500 + 1);
+            }
+        }
+        // Flow deliveries.
+        for f in self.flows.values_mut() {
+            if f.rate > 0.0 {
+                f.delivered += f.rate * dt;
+            }
+        }
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Pkt { to, iface, data } => {
+                let len = data.len() as u64;
+                // Account received control bytes.
+                if let Some(key) = self.iface_to_link.get(&(to, iface)).copied() {
+                    let rx_key = key.reversed();
+                    if let Some(rec) = self.links.get(&rx_key) {
+                        if !rec.state.up {
+                            self.stats.ctrl_dropped += 1;
+                            return;
+                        }
+                    }
+                    let idx = u32::from(iface.0) + 1;
+                    if let Some(c) = self.agents.get_mut(&to).and_then(|a| a.counters_mut(idx)) {
+                        c.count_rx(len);
+                    }
+                }
+                if let Some(inst) = self.instances.get_mut(&to) {
+                    let _ = inst.handle_packet(iface, data, self.now);
+                    self.stats.ctrl_pkts += 1;
+                    self.stats.ctrl_bytes += len;
+                }
+            }
+            Ev::FlowStart(id, spec) => {
+                self.start_flow_with_id(id, spec);
+            }
+            Ev::FlowStop(id) => {
+                self.stop_flow_inner(id);
+            }
+            Ev::SetFlowCap(id, cap) => {
+                self.set_flow_cap_inner(id, cap);
+            }
+            Ev::AppTick(i) => {
+                self.pending_ticks.push(i);
+            }
+            Ev::Sample => {
+                let now = self.now;
+                let points: Vec<(String, f64)> = self
+                    .sampled
+                    .iter()
+                    .map(|(name, key)| {
+                        let rate = self
+                            .links
+                            .get(key)
+                            .map(|r| r.state.rate)
+                            .unwrap_or(0.0);
+                        (name.clone(), rate)
+                    })
+                    .collect();
+                for (name, rate) in points {
+                    self.recorder.record(&name, now, rate);
+                }
+                self.queue
+                    .push(self.now + self.cfg.sample_interval, Ev::Sample);
+            }
+            Ev::LinkAdmin { a, b, up } => {
+                self.set_link_up(a, b, up);
+            }
+        }
+    }
+
+    fn start_flow_with_id(&mut self, id: FlowId, spec: FlowSpec) {
+        let key = FlowKey {
+            src: spec.src,
+            dst: spec.dst,
+            id: spec.hash_id.unwrap_or(id.0),
+        };
+        let flow = Flow {
+            id,
+            key,
+            cap: spec.cap,
+            tag: spec.tag,
+            started_at: self.now,
+            rate: 0.0,
+            path: None,
+            delivered: 0.0,
+        };
+        let info = flow.info();
+        self.flows.insert(id, flow);
+        self.dirty = true;
+        self.pending_flow_events.push((true, info));
+    }
+
+    fn stop_flow_inner(&mut self, id: FlowId) -> bool {
+        match self.flows.remove(&id) {
+            Some(f) => {
+                self.dirty = true;
+                self.pending_flow_events.push((false, f.info()));
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn set_flow_cap_inner(&mut self, id: FlowId, cap: Option<f64>) -> bool {
+        match self.flows.get_mut(&id) {
+            Some(f) => {
+                if f.cap != cap {
+                    f.cap = cap;
+                    self.dirty = true;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn set_link_up(&mut self, a: RouterId, b: RouterId, up: bool) {
+        for key in [LinkKey::new(a, b), LinkKey::new(b, a)] {
+            if let Some(rec) = self.links.get_mut(&key) {
+                rec.state.up = up;
+                self.dirty = true;
+            }
+        }
+        if self.cfg.carrier_detect {
+            let pairs = [(a, b), (b, a)];
+            for (r, peer) in pairs {
+                let iface = self
+                    .iface_to_link
+                    .iter()
+                    .find(|((rid, _), k)| *rid == r && k.to == peer)
+                    .map(|((_, i), _)| *i);
+                if let (Some(iface), Some(inst)) = (iface, self.instances.get_mut(&r)) {
+                    let _ = inst.set_iface_enabled(iface, up, self.now);
+                }
+            }
+        }
+    }
+
+    fn poll_instances(&mut self, t: Timestamp) {
+        for inst in self.instances.values_mut() {
+            if inst.next_timer().map(|d| d <= t).unwrap_or(false) {
+                inst.poll_timers(t);
+            }
+        }
+    }
+
+    fn collect_outputs(&mut self) {
+        let ids: Vec<RouterId> = self.instances.keys().copied().collect();
+        let mut sends: Vec<(RouterId, IfaceId, Bytes)> = Vec::new();
+        for id in ids {
+            let inst = self.instances.get_mut(&id).expect("known id");
+            for out in inst.drain_output() {
+                match out {
+                    Output::Send { iface, data } => sends.push((id, iface, data)),
+                    Output::FibUpdate(table) => {
+                        self.fibs.entry(id).or_default().install(&table);
+                        self.dirty = true;
+                    }
+                    Output::NeighborChange { .. } => {}
+                }
+            }
+        }
+        for (from, iface, data) in sends {
+            let Some(key) = self.iface_to_link.get(&(from, iface)).copied() else {
+                self.stats.ctrl_dropped += 1;
+                continue;
+            };
+            let Some(rec) = self.links.get(&key) else {
+                self.stats.ctrl_dropped += 1;
+                continue;
+            };
+            if !rec.state.up {
+                self.stats.ctrl_dropped += 1;
+                continue;
+            }
+            // Account transmitted control bytes.
+            let idx = u32::from(rec.tx_iface.0) + 1;
+            let len = data.len() as u64;
+            let (to, rx_iface, delay) = (key.to, rec.rx_iface, rec.state.delay);
+            if let Some(c) = self.agents.get_mut(&from).and_then(|a| a.counters_mut(idx)) {
+                c.count_tx(len);
+            }
+            self.queue.push(
+                self.now + delay,
+                Ev::Pkt {
+                    to,
+                    iface: rx_iface,
+                    data,
+                },
+            );
+        }
+    }
+
+    /// Re-resolve all flow paths and recompute the fluid allocation.
+    fn reallocate(&mut self) {
+        self.dirty = false;
+        self.stats.reallocs += 1;
+        // Paths.
+        let flow_ids: Vec<FlowId> = self.flows.keys().copied().collect();
+        for id in &flow_ids {
+            let key = self.flows[id].key;
+            match resolve_path(&self.fibs, &key) {
+                Ok(path) => {
+                    let usable = path.iter().all(|l| {
+                        self.links.get(l).map(|r| r.state.up).unwrap_or(false)
+                    });
+                    let f = self.flows.get_mut(id).expect("known flow");
+                    if usable {
+                        f.path = Some(path);
+                    } else {
+                        f.path = None;
+                        self.stats.unroutable += 1;
+                    }
+                }
+                Err(_) => {
+                    self.flows.get_mut(id).expect("known flow").path = None;
+                    self.stats.unroutable += 1;
+                }
+            }
+        }
+        // Allocation over up links only.
+        let capacities: BTreeMap<LinkKey, f64> = self
+            .links
+            .iter()
+            .filter(|(_, r)| r.state.up)
+            .map(|(k, r)| (*k, r.state.capacity))
+            .collect();
+        let routed: Vec<(FlowId, Vec<LinkKey>, Option<f64>)> = self
+            .flows
+            .values()
+            .filter_map(|f| f.path.clone().map(|p| (f.id, p, f.cap)))
+            .collect();
+        let flow_inputs: Vec<(Vec<LinkKey>, Option<f64>)> = routed
+            .iter()
+            .map(|(_, p, c)| (p.clone(), *c))
+            .collect();
+        let (rates, loads) = max_min_keyed(&capacities, &flow_inputs);
+        // Zero everything, then apply.
+        for f in self.flows.values_mut() {
+            f.rate = 0.0;
+        }
+        for ((id, _, _), rate) in routed.iter().zip(rates) {
+            self.flows.get_mut(id).expect("known flow").rate = rate;
+        }
+        for (k, rec) in self.links.iter_mut() {
+            rec.state.rate = loads.get(k).copied().unwrap_or(0.0);
+        }
+    }
+}
+
+impl SimApi for Core {
+    fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    fn routers(&self) -> Vec<RouterId> {
+        self.instances.keys().copied().collect()
+    }
+
+    fn links(&self) -> Vec<LinkInfo> {
+        self.links
+            .iter()
+            .map(|(k, r)| {
+                let cost = self
+                    .instances
+                    .get(&k.from)
+                    .and_then(|i| i.route_table().map(|_| Metric(0)))
+                    .unwrap_or(Metric(0));
+                // The IGP cost is provisioning data; read it from the
+                // topology view instead of the instance to avoid
+                // guessing: fall back to the spec cost recorded at
+                // link creation time via the instance iface config is
+                // not exposed, so use the speaker's own LSDB.
+                let _ = cost;
+                let cost = self
+                    .instances
+                    .get(&k.from)
+                    .map(|i| {
+                        i.lsdb()
+                            .to_topology()
+                            .link_metric(k.from, k.to)
+                            .unwrap_or(Metric::INF)
+                    })
+                    .unwrap_or(Metric::INF);
+                LinkInfo {
+                    key: *k,
+                    capacity: r.state.capacity,
+                    cost,
+                    delay: r.state.delay,
+                    up: r.state.up,
+                }
+            })
+            .collect()
+    }
+
+    fn prefix_owners(&self) -> Vec<(Prefix, RouterId)> {
+        self.prefix_owners.clone()
+    }
+
+    fn topology_view(&self, speaker: RouterId) -> Option<Topology> {
+        self.instances.get(&speaker).map(|i| i.lsdb().to_topology())
+    }
+
+    fn snmp_get(&mut self, router: RouterId, oid: &Oid) -> Option<Value> {
+        self.stats.snmp_ops += 1;
+        self.agents.get(&router)?.get(oid)
+    }
+
+    fn snmp_walk(&mut self, router: RouterId, prefix: &Oid) -> Vec<(Oid, Value)> {
+        self.stats.snmp_ops += 1;
+        self.agents
+            .get(&router)
+            .map(|a| a.walk(prefix))
+            .unwrap_or_default()
+    }
+
+    fn ifindex_for(&self, from: RouterId, to: RouterId) -> Option<u32> {
+        self.iface_to_link
+            .iter()
+            .find(|((r, _), k)| *r == from && k.to == to)
+            .map(|((_, i), _)| u32::from(i.0) + 1)
+    }
+
+    fn inject_fake(
+        &mut self,
+        speaker: RouterId,
+        fake: RouterId,
+        attach: RouterId,
+        attach_metric: Metric,
+        prefix: Prefix,
+        prefix_metric: Metric,
+        fw: FwAddr,
+    ) -> Result<(), InstanceError> {
+        let inst = self
+            .instances
+            .get_mut(&speaker)
+            .ok_or(InstanceError::UnknownIface(u16::MAX))?;
+        inst.inject_fake(fake, attach, attach_metric, prefix, prefix_metric, fw)
+    }
+
+    fn retract_fake(&mut self, speaker: RouterId, fake: RouterId) -> Result<(), InstanceError> {
+        let inst = self
+            .instances
+            .get_mut(&speaker)
+            .ok_or(InstanceError::UnknownIface(u16::MAX))?;
+        inst.retract_fake(fake)
+    }
+
+    fn start_flow(&mut self, spec: FlowSpec) -> FlowId {
+        self.next_flow_id += 1;
+        let id = FlowId(self.next_flow_id);
+        self.start_flow_with_id(id, spec);
+        id
+    }
+
+    fn stop_flow(&mut self, id: FlowId) -> bool {
+        self.stop_flow_inner(id)
+    }
+
+    fn set_flow_cap(&mut self, id: FlowId, cap: Option<f64>) -> bool {
+        self.set_flow_cap_inner(id, cap)
+    }
+
+    fn flow_rate(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.rate)
+    }
+
+    fn flow_delivered(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.delivered)
+    }
+
+    fn flow_path(&self, id: FlowId) -> Option<Vec<LinkKey>> {
+        self.flows.get(&id).and_then(|f| f.path.clone())
+    }
+
+    fn link_rate(&self, key: LinkKey) -> Option<f64> {
+        self.links.get(&key).map(|r| r.state.rate)
+    }
+
+    fn fib_nexthops(&self, router: RouterId, prefix: Prefix) -> Vec<FwAddr> {
+        match self.fibs.get(&router).and_then(|f| f.lookup(prefix)) {
+            Some(crate::fib::FibEntry::Via(v)) => v.clone(),
+            _ => Vec::new(),
+        }
+    }
+
+    fn record(&mut self, series: &str, value: f64) {
+        let now = self.now;
+        self.recorder.record(series, now, value);
+    }
+}
+
+impl Sim {
+    /// Create an empty world.
+    pub fn new(cfg: SimConfig) -> Sim {
+        Sim {
+            core: Core::new(cfg),
+            apps: Vec::new(),
+            tick_intervals: Vec::new(),
+        }
+    }
+
+    /// Add a forwarding router.
+    pub fn add_router(&mut self, id: RouterId) {
+        self.core.add_router_inner(id, true);
+    }
+
+    /// Add a controller speaker: participates in the IGP (flooding,
+    /// injection) but computes no routes. Attach it to `attach` with a
+    /// deliberately high cost so it never carries transit traffic.
+    pub fn add_controller_speaker(&mut self, id: RouterId, attach: RouterId) {
+        self.core.add_router_inner(id, false);
+        self.core.add_link_inner(
+            LinkSpec::new(id, attach, Metric(10_000), 1e7).with_delay(Dur::from_millis(1)),
+        );
+    }
+
+    /// Add a symmetric link.
+    pub fn add_link(&mut self, spec: LinkSpec) {
+        self.core.add_link_inner(spec);
+    }
+
+    /// Announce a prefix at a router (metric 0).
+    pub fn announce_prefix(&mut self, router: RouterId, prefix: Prefix) {
+        self.core
+            .instances
+            .get_mut(&router)
+            .expect("router exists")
+            .announce(prefix, Metric::ZERO);
+        self.core.prefix_owners.push((prefix, router));
+    }
+
+    /// Register an application.
+    pub fn add_app(&mut self, app: Box<dyn App>) -> usize {
+        self.tick_intervals.push(app.tick_interval());
+        self.apps.push(app);
+        self.apps.len() - 1
+    }
+
+    /// Name a link direction for trace sampling.
+    pub fn sample_link(&mut self, name: &str, from: RouterId, to: RouterId) {
+        self.core
+            .sampled
+            .insert(name.to_string(), LinkKey::new(from, to));
+    }
+
+    /// Schedule a flow start; returns the id it will get.
+    pub fn schedule_flow(&mut self, at: Timestamp, spec: FlowSpec) -> FlowId {
+        self.core.next_flow_id += 1;
+        let id = FlowId(self.core.next_flow_id);
+        self.core.queue.push(at, Ev::FlowStart(id, spec));
+        id
+    }
+
+    /// Schedule a flow stop.
+    pub fn schedule_flow_stop(&mut self, at: Timestamp, id: FlowId) {
+        self.core.queue.push(at, Ev::FlowStop(id));
+    }
+
+    /// Schedule a flow cap change.
+    pub fn schedule_flow_cap(&mut self, at: Timestamp, id: FlowId, cap: Option<f64>) {
+        self.core.queue.push(at, Ev::SetFlowCap(id, cap));
+    }
+
+    /// Schedule a link admin up/down event.
+    pub fn schedule_link_admin(&mut self, at: Timestamp, a: RouterId, b: RouterId, up: bool) {
+        self.core.queue.push(at, Ev::LinkAdmin { a, b, up });
+    }
+
+    /// Start the world: instances come up, apps get `on_start`, the
+    /// sampler begins.
+    pub fn start(&mut self) {
+        assert!(!self.core.started, "start() called twice");
+        self.core.started = true;
+        for inst in self.core.instances.values_mut() {
+            inst.start(self.core.now);
+        }
+        self.core.collect_outputs();
+        self.core.queue.push(self.core.now, Ev::Sample);
+        for (i, interval) in self.tick_intervals.iter().enumerate() {
+            if let Some(d) = interval {
+                self.core.queue.push(self.core.now + *d, Ev::AppTick(i));
+            }
+        }
+        for app in self.apps.iter_mut() {
+            app.on_start(&mut self.core);
+        }
+        self.core.collect_outputs();
+        if self.core.dirty {
+            self.core.reallocate();
+        }
+    }
+
+    /// Run the world until `until` (inclusive of events at `until`).
+    pub fn run_until(&mut self, until: Timestamp) {
+        assert!(self.core.started, "call start() first");
+        loop {
+            let next_pkt = self.core.queue.peek_time();
+            let next_timer = self.core.min_instance_timer();
+            let next = match (next_pkt, next_timer) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => break,
+            };
+            if next > until {
+                break;
+            }
+            let t = next.max(self.core.now);
+            self.core.accrue_to(t);
+            self.core.now = t;
+            while let Some((_, ev)) = self.core.queue.pop_due(t) {
+                self.core.dispatch(ev);
+            }
+            self.core.poll_instances(t);
+            self.core.collect_outputs();
+            self.dispatch_apps();
+            if self.core.dirty {
+                self.core.reallocate();
+            }
+        }
+        if until > self.core.now {
+            self.core.accrue_to(until);
+            self.core.now = until;
+        }
+    }
+
+    fn dispatch_apps(&mut self) {
+        // Bounded ping-pong: apps reacting to notifications may create
+        // flows, which notify again within the same instant.
+        for _round in 0..8 {
+            let ticks: Vec<usize> = std::mem::take(&mut self.core.pending_ticks);
+            let events: Vec<(bool, FlowInfo)> =
+                std::mem::take(&mut self.core.pending_flow_events);
+            if ticks.is_empty() && events.is_empty() {
+                break;
+            }
+            for i in ticks {
+                if let Some(app) = self.apps.get_mut(i) {
+                    app.on_tick(&mut self.core);
+                }
+                // Re-arm the periodic tick.
+                if let Some(Some(d)) = self.tick_intervals.get(i) {
+                    self.core.queue.push(self.core.now + *d, Ev::AppTick(i));
+                }
+            }
+            for (started, info) in events {
+                for app in self.apps.iter_mut() {
+                    if started {
+                        app.on_flow_started(&mut self.core, &info);
+                    } else {
+                        app.on_flow_stopped(&mut self.core, &info);
+                    }
+                }
+            }
+            self.core.collect_outputs();
+        }
+    }
+
+    /// Current time.
+    pub fn now(&self) -> Timestamp {
+        self.core.now
+    }
+
+    /// Read access to the world (SimApi view).
+    pub fn api(&mut self) -> &mut dyn SimApi {
+        &mut self.core
+    }
+
+    /// The trace recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.core.recorder
+    }
+
+    /// World statistics.
+    pub fn stats(&self) -> SimStats {
+        self.core.stats
+    }
+
+    /// A router's protocol instance (inspection).
+    pub fn instance(&self, id: RouterId) -> Option<&Instance> {
+        self.core.instances.get(&id)
+    }
+
+    /// A router's current FIB (inspection).
+    pub fn fib(&self, id: RouterId) -> Option<&Fib> {
+        self.core.fibs.get(&id)
+    }
+
+    /// Snapshot of all flows (inspection).
+    pub fn flows(&self) -> Vec<&Flow> {
+        self.core.flows.values().collect()
+    }
+
+    /// Current rate of a directed link.
+    pub fn link_rate(&self, from: RouterId, to: RouterId) -> Option<f64> {
+        self.core
+            .links
+            .get(&LinkKey::new(from, to))
+            .map(|r| r.state.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u32) -> RouterId {
+        RouterId(n)
+    }
+
+    /// r1 - r2 - r3 line, prefix at r3, capacities 1 MB/s.
+    fn line_sim() -> Sim {
+        let mut sim = Sim::new(SimConfig::default());
+        for i in 1..=3 {
+            sim.add_router(r(i));
+        }
+        sim.add_link(LinkSpec::new(r(1), r(2), Metric(1), 1e6));
+        sim.add_link(LinkSpec::new(r(2), r(3), Metric(1), 1e6));
+        sim.announce_prefix(r(3), Prefix::net24(1));
+        sim
+    }
+
+    #[test]
+    fn igp_converges_and_flow_routes() {
+        let mut sim = line_sim();
+        let fid = sim.schedule_flow(
+            Timestamp::from_secs(10),
+            FlowSpec::new(r(1), Prefix::net24(1)),
+        );
+        sim.start();
+        sim.run_until(Timestamp::from_secs(12));
+        // Flow should be at full capacity over both links.
+        let api = sim.api();
+        let rate = api.flow_rate(fid).unwrap();
+        assert!((rate - 1e6).abs() < 1.0, "rate {rate}");
+        let path = api.flow_path(fid).unwrap();
+        assert_eq!(
+            path,
+            vec![LinkKey::new(r(1), r(2)), LinkKey::new(r(2), r(3))]
+        );
+        assert!((sim.link_rate(r(1), r(2)).unwrap() - 1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn two_flows_share_bottleneck() {
+        let mut sim = line_sim();
+        let f1 = sim.schedule_flow(
+            Timestamp::from_secs(10),
+            FlowSpec::new(r(1), Prefix::net24(1)),
+        );
+        let f2 = sim.schedule_flow(
+            Timestamp::from_secs(10),
+            FlowSpec::new(r(2), Prefix::net24(1)),
+        );
+        sim.start();
+        sim.run_until(Timestamp::from_secs(12));
+        let api = sim.api();
+        let r1 = api.flow_rate(f1).unwrap();
+        let r2 = api.flow_rate(f2).unwrap();
+        assert!((r1 - 5e5).abs() < 1.0, "r1 {r1}");
+        assert!((r2 - 5e5).abs() < 1.0, "r2 {r2}");
+    }
+
+    #[test]
+    fn capped_flow_stays_capped() {
+        let mut sim = line_sim();
+        let f = sim.schedule_flow(
+            Timestamp::from_secs(10),
+            FlowSpec::new(r(1), Prefix::net24(1)).with_cap(1e5),
+        );
+        sim.start();
+        sim.run_until(Timestamp::from_secs(15));
+        let api = sim.api();
+        assert!((api.flow_rate(f).unwrap() - 1e5).abs() < 1.0);
+        // Delivered ≈ cap × elapsed (5 s minus allocation instant).
+        let delivered = api.flow_delivered(f).unwrap();
+        assert!(delivered > 4.0e5 && delivered < 5.5e5, "delivered {delivered}");
+    }
+
+    #[test]
+    fn counters_reflect_data_traffic() {
+        let mut sim = line_sim();
+        sim.schedule_flow(
+            Timestamp::from_secs(10),
+            FlowSpec::new(r(1), Prefix::net24(1)).with_cap(1e5),
+        );
+        sim.start();
+        sim.run_until(Timestamp::from_secs(20));
+        // r1's interface toward r2 should show ~1e6 bytes out.
+        let api = sim.api();
+        let idx = api.ifindex_for(r(1), r(2)).unwrap();
+        let v = api.snmp_get(r(1), &fib_telemetry::mib::oids::if_out_octets().child(idx));
+        match v {
+            Some(Value::Counter(c)) => {
+                assert!(
+                    (9e5..1.2e6).contains(&(c as f64)),
+                    "unexpected counter {c}"
+                );
+            }
+            other => panic!("unexpected SNMP value {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flow_stops_and_link_drains() {
+        let mut sim = line_sim();
+        let f = sim.schedule_flow(
+            Timestamp::from_secs(10),
+            FlowSpec::new(r(1), Prefix::net24(1)),
+        );
+        sim.schedule_flow_stop(Timestamp::from_secs(20), f);
+        sim.start();
+        sim.run_until(Timestamp::from_secs(25));
+        assert_eq!(sim.link_rate(r(1), r(2)), Some(0.0));
+        assert!(sim.flows().is_empty());
+    }
+
+    #[test]
+    fn link_failure_makes_flow_unroutable_then_recovers() {
+        // Square topology with two paths.
+        let mut sim = Sim::new(SimConfig::default());
+        for i in 1..=4 {
+            sim.add_router(r(i));
+        }
+        sim.add_link(LinkSpec::new(r(1), r(2), Metric(1), 1e6));
+        sim.add_link(LinkSpec::new(r(2), r(4), Metric(1), 1e6));
+        sim.add_link(LinkSpec::new(r(1), r(3), Metric(10), 1e6));
+        sim.add_link(LinkSpec::new(r(3), r(4), Metric(10), 1e6));
+        sim.announce_prefix(r(4), Prefix::net24(1));
+        let f = sim.schedule_flow(
+            Timestamp::from_secs(10),
+            FlowSpec::new(r(1), Prefix::net24(1)),
+        );
+        sim.schedule_link_admin(Timestamp::from_secs(20), r(1), r(2), false);
+        sim.start();
+        sim.run_until(Timestamp::from_secs(15));
+        {
+            let api = sim.api();
+            assert_eq!(
+                api.flow_path(f).unwrap()[0],
+                LinkKey::new(r(1), r(2)),
+                "initial path via r2"
+            );
+        }
+        sim.run_until(Timestamp::from_secs(30));
+        let api = sim.api();
+        let path = api.flow_path(f).expect("rerouted after failure");
+        assert_eq!(path[0], LinkKey::new(r(1), r(3)), "rerouted via r3");
+        assert!((api.flow_rate(f).unwrap() - 1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn sampling_records_series() {
+        let mut sim = line_sim();
+        sim.sample_link("r1-r2", r(1), r(2));
+        sim.schedule_flow(
+            Timestamp::from_secs(10),
+            FlowSpec::new(r(1), Prefix::net24(1)).with_cap(2e5),
+        );
+        sim.start();
+        sim.run_until(Timestamp::from_secs(15));
+        let series = sim.recorder().series("r1-r2");
+        assert!(!series.is_empty());
+        let max = sim.recorder().max("r1-r2").unwrap();
+        assert!((max - 2e5).abs() < 1.0, "max {max}");
+        // Before the flow: zero.
+        assert_eq!(sim.recorder().value_at("r1-r2", 5.0), Some(0.0));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = || {
+            let mut sim = line_sim();
+            sim.sample_link("r1-r2", r(1), r(2));
+            for i in 0..10 {
+                sim.schedule_flow(
+                    Timestamp::from_secs(10 + i),
+                    FlowSpec::new(r(1), Prefix::net24(1)).with_cap(5e4),
+                );
+            }
+            sim.start();
+            sim.run_until(Timestamp::from_secs(30));
+            sim.recorder().to_csv()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fake_injection_changes_fib_via_flooding() {
+        // Triangle: r1-r2 cost 1, r2-r3 cost 1, r1-r3 cost 5.
+        // Prefix at r3. r1 routes via r2 (cost 2). A controller speaker
+        // at r4 injects a fake node on r1 with cost 2 via the direct
+        // r1→r3 link: r1 gains a second ECMP slot.
+        let mut sim = Sim::new(SimConfig::default());
+        for i in 1..=3 {
+            sim.add_router(r(i));
+        }
+        sim.add_link(LinkSpec::new(r(1), r(2), Metric(1), 1e6));
+        sim.add_link(LinkSpec::new(r(2), r(3), Metric(1), 1e6));
+        sim.add_link(LinkSpec::new(r(1), r(3), Metric(5), 1e6));
+        sim.announce_prefix(r(3), Prefix::net24(1));
+        sim.add_controller_speaker(r(100), r(2));
+        sim.start();
+        sim.run_until(Timestamp::from_secs(10));
+        {
+            let api = sim.api();
+            assert_eq!(
+                api.fib_nexthops(r(1), Prefix::net24(1)),
+                vec![FwAddr::primary(r(2))]
+            );
+            api.inject_fake(
+                r(100),
+                RouterId::fake(0),
+                r(1),
+                Metric(1),
+                Prefix::net24(1),
+                Metric(1),
+                FwAddr::secondary(r(3), 1),
+            )
+            .unwrap();
+        }
+        sim.run_until(Timestamp::from_secs(20));
+        let api = sim.api();
+        let hops = api.fib_nexthops(r(1), Prefix::net24(1));
+        assert_eq!(
+            hops,
+            vec![FwAddr::primary(r(2)), FwAddr::secondary(r(3), 1)],
+            "lie should add an ECMP slot at r1"
+        );
+    }
+}

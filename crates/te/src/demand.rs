@@ -1,0 +1,207 @@
+//! Traffic matrices and demand generators.
+//!
+//! Traditional TE (the paper's Sec. 1 strawman) pre-computes link
+//! weights for a *predicted* traffic matrix. The generators here
+//! produce the base matrices those schemes are tuned for, plus the
+//! flash-crowd overlays that break them.
+
+use fib_igp::types::{Prefix, RouterId};
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A traffic matrix: offered rate per (ingress, destination prefix).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrafficMatrix {
+    entries: BTreeMap<(RouterId, Prefix), f64>,
+}
+
+impl TrafficMatrix {
+    /// An empty matrix.
+    pub fn new() -> TrafficMatrix {
+        TrafficMatrix::default()
+    }
+
+    /// Add (accumulate) demand.
+    pub fn add(&mut self, src: RouterId, dst: Prefix, rate: f64) {
+        assert!(rate >= 0.0);
+        *self.entries.entry((src, dst)).or_insert(0.0) += rate;
+    }
+
+    /// The rate for one pair (0 if absent).
+    pub fn rate(&self, src: RouterId, dst: Prefix) -> f64 {
+        self.entries.get(&(src, dst)).copied().unwrap_or(0.0)
+    }
+
+    /// Iterate over all non-zero demands.
+    pub fn iter(&self) -> impl Iterator<Item = (RouterId, Prefix, f64)> + '_ {
+        self.entries
+            .iter()
+            .filter(|(_, r)| **r > 0.0)
+            .map(|((s, d), r)| (*s, *d, *r))
+    }
+
+    /// Demands as the load-model input.
+    pub fn demands(&self) -> Vec<fib_igp::loadmodel::Demand> {
+        self.iter()
+            .map(|(src, prefix, rate)| fib_igp::loadmodel::Demand { src, prefix, rate })
+            .collect()
+    }
+
+    /// Demands toward one prefix as `(src, rate)` pairs.
+    pub fn toward(&self, dst: Prefix) -> Vec<(RouterId, f64)> {
+        self.iter()
+            .filter(|(_, d, _)| *d == dst)
+            .map(|(s, _, r)| (s, r))
+            .collect()
+    }
+
+    /// Total offered traffic.
+    pub fn total(&self) -> f64 {
+        self.entries.values().sum()
+    }
+
+    /// Scale every entry by `k`.
+    pub fn scaled(&self, k: f64) -> TrafficMatrix {
+        TrafficMatrix {
+            entries: self
+                .entries
+                .iter()
+                .map(|(key, r)| (*key, r * k))
+                .collect(),
+        }
+    }
+
+    /// Superpose another matrix onto this one.
+    pub fn merge(&mut self, other: &TrafficMatrix) {
+        for ((s, d), r) in &other.entries {
+            *self.entries.entry((*s, *d)).or_insert(0.0) += r;
+        }
+    }
+
+    /// Number of non-zero entries.
+    pub fn len(&self) -> usize {
+        self.entries.values().filter(|r| **r > 0.0).count()
+    }
+
+    /// `true` when no demand is present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Display for TrafficMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (s, d, r) in self.iter() {
+            writeln!(f, "{s} -> {d}: {r:.1}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Gravity-model matrix: demand(src, dst) ∝ weight(src) × weight(dst),
+/// normalized so the total equals `total_rate`. Weights are drawn
+/// uniformly from `[0.5, 1.5)` with the given RNG (deterministic per
+/// seed).
+pub fn gravity<R: Rng>(
+    rng: &mut R,
+    sources: &[RouterId],
+    sinks: &[(Prefix, RouterId)],
+    total_rate: f64,
+) -> TrafficMatrix {
+    let src_w: Vec<f64> = sources.iter().map(|_| rng.gen_range(0.5..1.5)).collect();
+    let dst_w: Vec<f64> = sinks.iter().map(|_| rng.gen_range(0.5..1.5)).collect();
+    let mut tm = TrafficMatrix::new();
+    let mut raw = Vec::new();
+    let mut sum = 0.0;
+    for (i, s) in sources.iter().enumerate() {
+        for (j, (p, owner)) in sinks.iter().enumerate() {
+            if s == owner {
+                continue;
+            }
+            let w = src_w[i] * dst_w[j];
+            raw.push((*s, *p, w));
+            sum += w;
+        }
+    }
+    for (s, p, w) in raw {
+        tm.add(s, p, total_rate * w / sum);
+    }
+    tm
+}
+
+/// A flash crowd: `n_flows` flows of `flow_rate` each entering at
+/// `src` toward `dst` (the demo's workload shape).
+pub fn flash_crowd(src: RouterId, dst: Prefix, n_flows: u32, flow_rate: f64) -> TrafficMatrix {
+    let mut tm = TrafficMatrix::new();
+    tm.add(src, dst, f64::from(n_flows) * flow_rate);
+    tm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn r(n: u32) -> RouterId {
+        RouterId(n)
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut tm = TrafficMatrix::new();
+        tm.add(r(1), Prefix::net24(1), 10.0);
+        tm.add(r(1), Prefix::net24(1), 5.0);
+        assert_eq!(tm.rate(r(1), Prefix::net24(1)), 15.0);
+        assert_eq!(tm.len(), 1);
+        assert!(!tm.is_empty());
+    }
+
+    #[test]
+    fn scale_and_merge() {
+        let mut a = TrafficMatrix::new();
+        a.add(r(1), Prefix::net24(1), 10.0);
+        let b = a.scaled(3.0);
+        assert_eq!(b.rate(r(1), Prefix::net24(1)), 30.0);
+        let mut c = a.clone();
+        c.merge(&b);
+        assert_eq!(c.rate(r(1), Prefix::net24(1)), 40.0);
+        assert_eq!(c.total(), 40.0);
+    }
+
+    #[test]
+    fn gravity_is_deterministic_and_normalized() {
+        let sources = vec![r(1), r(2)];
+        let sinks = vec![(Prefix::net24(1), r(3)), (Prefix::net24(2), r(4))];
+        let mk = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            gravity(&mut rng, &sources, &sinks, 1000.0)
+        };
+        let tm1 = mk(5);
+        let tm2 = mk(5);
+        assert_eq!(tm1, tm2);
+        assert!((tm1.total() - 1000.0).abs() < 1e-6);
+        assert_ne!(mk(5), mk(6));
+    }
+
+    #[test]
+    fn gravity_skips_self_demand() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let tm = gravity(
+            &mut rng,
+            &[r(1)],
+            &[(Prefix::net24(1), r(1)), (Prefix::net24(2), r(2))],
+            100.0,
+        );
+        assert_eq!(tm.rate(r(1), Prefix::net24(1)), 0.0);
+        assert!((tm.rate(r(1), Prefix::net24(2)) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flash_crowd_shape() {
+        let tm = flash_crowd(r(2), Prefix::net24(1), 31, 125_000.0);
+        assert!((tm.total() - 31.0 * 125_000.0).abs() < 1e-6);
+        assert_eq!(tm.toward(Prefix::net24(1)), vec![(r(2), 31.0 * 125_000.0)]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Reference bounds for the optimality-gap table (T3).
+//!
+//! * [`even_ecmp_max_util`] — what plain IGP ECMP achieves (the
+//!   starting point of the demo);
+//! * [`best_ecmp_weights_max_util`] — the best *any* even-ECMP weight
+//!   setting can do, by exhaustive search over small weight spaces
+//!   (finding it is NP-hard in general — Chiesa et al., INFOCOM'14 —
+//!   which is exactly why the paper dismisses weight tuning);
+//! * Fibbing's achievable point and the fractional optimum θ* come
+//!   from `fib-core::optimizer` and are combined with these in the
+//!   benchmark harness.
+
+use crate::demand::TrafficMatrix;
+use fib_igp::loadmodel::{max_utilization, spread};
+use fib_igp::topology::Topology;
+use fib_igp::types::{Metric, RouterId};
+use std::collections::BTreeMap;
+
+/// Max link utilization of plain ECMP routing on the given weights.
+/// `None` if some demand is unroutable.
+pub fn even_ecmp_max_util(
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    capacities: &BTreeMap<(RouterId, RouterId), f64>,
+) -> Option<f64> {
+    let loads = spread(topo, &tm.demands()).ok()?;
+    Some(max_utilization(&loads, &capacities_f(capacities)))
+}
+
+fn capacities_f(
+    caps: &BTreeMap<(RouterId, RouterId), f64>,
+) -> BTreeMap<(RouterId, RouterId), f64> {
+    caps.clone()
+}
+
+/// Exhaustively search symmetric weight assignments in
+/// `1..=max_weight` for the one minimizing max utilization under even
+/// ECMP. Exponential (`max_weight ^ links`) — only for demo-scale
+/// inputs; asserts the search space stays below ~2 million
+/// combinations.
+pub fn best_ecmp_weights_max_util(
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    capacities: &BTreeMap<(RouterId, RouterId), f64>,
+    max_weight: u32,
+) -> Option<(f64, Topology)> {
+    let mut sym_links: Vec<(RouterId, RouterId)> = topo
+        .all_links()
+        .filter(|(a, b, _)| a < b)
+        .map(|(a, b, _)| (a, b))
+        .collect();
+    sym_links.sort();
+    sym_links.dedup();
+    let combos = (max_weight as u64).checked_pow(sym_links.len() as u32)?;
+    assert!(
+        combos <= 2_000_000,
+        "search space too large: {combos} combinations"
+    );
+
+    let mut best: Option<(f64, Topology)> = None;
+    let mut assignment = vec![1u32; sym_links.len()];
+    loop {
+        // Evaluate the current assignment.
+        let mut cand = topo.clone();
+        for ((a, b), w) in sym_links.iter().zip(&assignment) {
+            cand.set_metric(*a, *b, Metric(*w)).unwrap();
+            cand.set_metric(*b, *a, Metric(*w)).unwrap();
+        }
+        if let Ok(loads) = spread(&cand, &tm.demands()) {
+            let u = max_utilization(&loads, capacities);
+            let better = best.as_ref().map(|(bu, _)| u < *bu - 1e-12).unwrap_or(true);
+            if better {
+                best = Some((u, cand));
+            }
+        }
+        // Next assignment (odometer).
+        let mut i = 0;
+        loop {
+            if i == assignment.len() {
+                return best;
+            }
+            if assignment[i] < max_weight {
+                assignment[i] += 1;
+                break;
+            }
+            assignment[i] = 1;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fib_igp::types::Prefix;
+
+    fn r(n: u32) -> RouterId {
+        RouterId(n)
+    }
+
+    /// Square with two 2-hop paths from r1 to r4; prefix at r4.
+    fn square(asymmetric: bool) -> (Topology, BTreeMap<(RouterId, RouterId), f64>, Prefix) {
+        let mut t = Topology::new();
+        for i in 1..=4 {
+            t.add_router(r(i));
+        }
+        t.add_link_sym(r(1), r(2), Metric(1)).unwrap();
+        t.add_link_sym(r(2), r(4), Metric(1)).unwrap();
+        t.add_link_sym(r(1), r(3), Metric(if asymmetric { 3 } else { 1 })).unwrap();
+        t.add_link_sym(r(3), r(4), Metric(1)).unwrap();
+        let p = Prefix::net24(1);
+        t.announce_prefix(r(4), p, Metric::ZERO).unwrap();
+        let caps = t.all_links().map(|(a, b, _)| ((a, b), 100.0)).collect();
+        (t, caps, p)
+    }
+
+    #[test]
+    fn even_ecmp_on_asymmetric_weights_hotspots() {
+        let (t, caps, p) = square(true);
+        let mut tm = TrafficMatrix::new();
+        tm.add(r(1), p, 160.0);
+        let u = even_ecmp_max_util(&t, &tm, &caps).unwrap();
+        assert!((u - 1.6).abs() < 1e-9, "single path carries all: {u}");
+    }
+
+    #[test]
+    fn exhaustive_search_finds_balanced_weights() {
+        let (t, caps, p) = square(true);
+        let mut tm = TrafficMatrix::new();
+        tm.add(r(1), p, 160.0);
+        let (u, best_topo) = best_ecmp_weights_max_util(&t, &tm, &caps, 3).unwrap();
+        // Even ECMP can reach 0.8 by making both paths equal cost.
+        assert!((u - 0.8).abs() < 1e-9, "best even ECMP: {u}");
+        let loads = spread(&best_topo, &tm.demands()).unwrap();
+        assert!((loads[&(r(1), r(2))] - 80.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unroutable_demand_is_none() {
+        let (mut t, caps, p) = square(false);
+        t.add_router(r(9));
+        let mut tm = TrafficMatrix::new();
+        tm.add(r(9), p, 1.0);
+        assert_eq!(even_ecmp_max_util(&t, &tm, &caps), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "search space too large")]
+    fn oversized_search_is_refused() {
+        let (t, caps, p) = square(false);
+        let mut tm = TrafficMatrix::new();
+        tm.add(r(1), p, 10.0);
+        let _ = best_ecmp_weights_max_util(&t, &tm, &caps, 64);
+    }
+}

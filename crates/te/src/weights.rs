@@ -1,0 +1,346 @@
+//! IGP weight optimization (Fortz–Thorup-style local search) and its
+//! disruption model.
+//!
+//! This is the "traditional TE" strawman of the paper's introduction:
+//! link weights are tuned offline for a predicted traffic matrix. The
+//! optimizer minimizes the classic piecewise-linear link cost Φ. The
+//! [`disruption`] model quantifies why re-running it *during* a flash
+//! crowd is a bad idea: every changed weight re-originates router LSAs
+//! at both endpoints, triggers full SPF on every router, and shifts
+//! unrelated traffic — the reaction-time table (T4) compares this
+//! against Fibbing's single flooded lie per path.
+
+use crate::demand::TrafficMatrix;
+use fib_igp::loadmodel::spread;
+use fib_igp::spf::compute_all_routes;
+use fib_igp::time::Dur;
+use fib_igp::topology::Topology;
+use fib_igp::types::{Metric, RouterId};
+use std::collections::BTreeMap;
+
+/// The Fortz–Thorup piecewise-linear cost of one link at utilization
+/// `u` (slope rises steeply as the link saturates).
+pub fn phi(u: f64) -> f64 {
+    // Segment boundaries and slopes from the original paper.
+    const SEGS: [(f64, f64); 6] = [
+        (0.0, 1.0),
+        (1.0 / 3.0, 3.0),
+        (2.0 / 3.0, 10.0),
+        (0.9, 70.0),
+        (1.0, 500.0),
+        (1.1, 5000.0),
+    ];
+    let mut cost = 0.0;
+    let mut prev_b = 0.0;
+    let mut prev_s = 0.0;
+    for (b, s) in SEGS {
+        if u > b {
+            cost += (b - prev_b) * prev_s;
+            prev_b = b;
+            prev_s = s;
+        } else {
+            break;
+        }
+    }
+    cost + (u - prev_b).max(0.0) * prev_s
+}
+
+/// Network-wide Φ cost of a weight setting under a traffic matrix.
+/// Returns `None` if the routing has no path for some demand.
+pub fn network_cost(
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    capacities: &BTreeMap<(RouterId, RouterId), f64>,
+) -> Option<(f64, f64)> {
+    let loads = spread(topo, &tm.demands()).ok()?;
+    let mut cost = 0.0;
+    let mut max_util: f64 = 0.0;
+    for (key, load) in &loads {
+        let cap = capacities.get(key)?;
+        let u = load / cap;
+        cost += phi(u);
+        max_util = max_util.max(u);
+    }
+    Some((cost, max_util))
+}
+
+/// Result of a local-search run.
+#[derive(Debug, Clone)]
+pub struct WeightOptResult {
+    /// The optimized topology (weights applied).
+    pub topo: Topology,
+    /// Φ cost before optimization.
+    pub cost_before: f64,
+    /// Φ cost after optimization.
+    pub cost_after: f64,
+    /// Max utilization before.
+    pub max_util_before: f64,
+    /// Max utilization after.
+    pub max_util_after: f64,
+    /// Symmetric links whose weight changed.
+    pub changed_links: Vec<(RouterId, RouterId)>,
+    /// Candidate evaluations performed (search effort).
+    pub evaluations: u64,
+}
+
+/// Fortz–Thorup-style local search over symmetric integer weights.
+///
+/// Neighborhood: per symmetric link, try every weight in
+/// `1..=max_weight` (coarsely sampled for large ranges); accept the
+/// best improving move; repeat for `max_rounds` rounds or until no
+/// move improves.
+pub fn optimize_weights(
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    capacities: &BTreeMap<(RouterId, RouterId), f64>,
+    max_weight: u32,
+    max_rounds: u32,
+) -> WeightOptResult {
+    let mut current = topo.clone();
+    let (mut cost, util0) = network_cost(&current, tm, capacities)
+        .expect("initial weight setting must route all demands");
+    let cost0 = cost;
+    let mut evaluations = 0u64;
+
+    // Symmetric link list (a < b).
+    let mut sym_links: Vec<(RouterId, RouterId)> = current
+        .all_links()
+        .filter(|(a, b, _)| a < b && a.is_real() && b.is_real())
+        .map(|(a, b, _)| (a, b))
+        .collect();
+    sym_links.sort();
+    sym_links.dedup();
+
+    // Candidate weights: all of 1..=max_weight if small, else a
+    // logarithmic sample plus neighbors of the current weight.
+    let candidates = |cur: u32| -> Vec<u32> {
+        let mut c: Vec<u32> = if max_weight <= 16 {
+            (1..=max_weight).collect()
+        } else {
+            let mut v = vec![1, 2, 3, 4, 6, 8, 12, 16];
+            let mut w = 24;
+            while w <= max_weight {
+                v.push(w);
+                w *= 2;
+            }
+            v.push(max_weight);
+            v.push(cur.saturating_sub(1).max(1));
+            v.push((cur + 1).min(max_weight));
+            v
+        };
+        c.retain(|w| *w >= 1 && *w <= max_weight && *w != cur);
+        c.sort();
+        c.dedup();
+        c
+    };
+
+    for _round in 0..max_rounds {
+        let mut best_move: Option<((RouterId, RouterId), u32, f64)> = None;
+        for &(a, b) in &sym_links {
+            let cur = current.link_metric(a, b).expect("link exists").0;
+            for w in candidates(cur) {
+                let mut cand = current.clone();
+                cand.set_metric(a, b, Metric(w)).unwrap();
+                cand.set_metric(b, a, Metric(w)).unwrap();
+                evaluations += 1;
+                if let Some((c, _)) = network_cost(&cand, tm, capacities) {
+                    if c < cost - 1e-9
+                        && best_move.map(|(_, _, bc)| c < bc).unwrap_or(true)
+                    {
+                        best_move = Some(((a, b), w, c));
+                    }
+                }
+            }
+        }
+        match best_move {
+            Some(((a, b), w, c)) => {
+                current.set_metric(a, b, Metric(w)).unwrap();
+                current.set_metric(b, a, Metric(w)).unwrap();
+                cost = c;
+            }
+            None => break,
+        }
+    }
+
+    let (_, util1) = network_cost(&current, tm, capacities).expect("optimized setting routes");
+    let changed_links: Vec<(RouterId, RouterId)> = sym_links
+        .iter()
+        .filter(|(a, b)| topo.link_metric(*a, *b) != current.link_metric(*a, *b))
+        .copied()
+        .collect();
+    WeightOptResult {
+        topo: current,
+        cost_before: cost0,
+        cost_after: cost,
+        max_util_before: util0,
+        max_util_after: util1,
+        changed_links,
+        evaluations,
+    }
+}
+
+/// Disruption of applying a reconfiguration `before → after`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Disruption {
+    /// Routers whose device configuration must be touched.
+    pub devices_reconfigured: usize,
+    /// Router LSAs re-originated (two endpoints per changed link).
+    pub lsas_reoriginated: usize,
+    /// Routers whose route table changed for at least one prefix.
+    pub routers_rerouted: usize,
+    /// Estimated convergence time: per-device config latency
+    /// (sequential) + flooding + SPF.
+    pub est_convergence: Dur,
+}
+
+/// Quantify the churn of moving the network from `before` to `after`.
+///
+/// `per_device_config` models the CLI/agent latency of changing one
+/// router's weights (the paper's "too slow for a transient event");
+/// `flood_and_spf` models LSA propagation plus SPF delay.
+pub fn disruption(
+    before: &Topology,
+    after: &Topology,
+    per_device_config: Dur,
+    flood_and_spf: Dur,
+) -> Disruption {
+    // Changed directed links → touched devices (the `from` endpoint
+    // owns the weight) and re-originations.
+    let mut touched: Vec<RouterId> = Vec::new();
+    let mut changed_sym: Vec<(RouterId, RouterId)> = Vec::new();
+    for (a, b, m) in before.all_links() {
+        if after.link_metric(a, b) != Some(m) {
+            touched.push(a);
+            let key = if a < b { (a, b) } else { (b, a) };
+            if !changed_sym.contains(&key) {
+                changed_sym.push(key);
+            }
+        }
+    }
+    touched.sort();
+    touched.dedup();
+
+    // Routers whose routes changed.
+    let rt_before = compute_all_routes(before);
+    let rt_after = compute_all_routes(after);
+    let mut rerouted = 0;
+    for (r, t0) in &rt_before {
+        if let Some(t1) = rt_after.get(r) {
+            if t0.routes != t1.routes {
+                rerouted += 1;
+            }
+        }
+    }
+
+    Disruption {
+        devices_reconfigured: touched.len(),
+        lsas_reoriginated: 2 * changed_sym.len(),
+        routers_rerouted: rerouted,
+        est_convergence: Dur(per_device_config.0.saturating_mul(touched.len() as u64))
+            + flood_and_spf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fib_igp::types::Prefix;
+
+    fn r(n: u32) -> RouterId {
+        RouterId(n)
+    }
+
+    /// Square with two disjoint paths from r1 to r4.
+    fn square() -> (Topology, BTreeMap<(RouterId, RouterId), f64>, Prefix) {
+        let mut t = Topology::new();
+        for i in 1..=4 {
+            t.add_router(r(i));
+        }
+        t.add_link_sym(r(1), r(2), Metric(1)).unwrap();
+        t.add_link_sym(r(2), r(4), Metric(1)).unwrap();
+        t.add_link_sym(r(1), r(3), Metric(1)).unwrap();
+        t.add_link_sym(r(3), r(4), Metric(3)).unwrap();
+        let p = Prefix::net24(1);
+        t.announce_prefix(r(4), p, Metric::ZERO).unwrap();
+        let caps: BTreeMap<(RouterId, RouterId), f64> =
+            t.all_links().map(|(a, b, _)| ((a, b), 100.0)).collect();
+        (t, caps, p)
+    }
+
+    #[test]
+    fn phi_is_convex_increasing() {
+        let us = [0.0, 0.2, 0.4, 0.6, 0.8, 0.95, 1.05, 1.2];
+        let mut prev_c = -1.0;
+        let mut prev_slope = 0.0;
+        for w in us.windows(2) {
+            let c0 = phi(w[0]);
+            let c1 = phi(w[1]);
+            assert!(c1 > c0, "phi must increase");
+            let slope = (c1 - c0) / (w[1] - w[0]);
+            assert!(slope >= prev_slope - 1e-9, "phi must be convex");
+            prev_slope = slope;
+            prev_c = c1;
+        }
+        assert!(prev_c > 100.0, "overload must be expensive");
+    }
+
+    #[test]
+    fn optimizer_splits_load_over_both_paths() {
+        let (t, caps, p) = square();
+        // 160 units from r1: one path alone → 160% utilization; the
+        // optimizer must re-weight so both paths carry traffic.
+        let mut tm = TrafficMatrix::new();
+        tm.add(r(1), p, 160.0);
+        let res = optimize_weights(&t, &tm, &caps, 8, 10);
+        assert!(res.cost_after < res.cost_before);
+        assert!(
+            res.max_util_after <= 1.0 + 1e-9,
+            "after: {}",
+            res.max_util_after
+        );
+        assert!(res.max_util_before > 1.5);
+        assert!(!res.changed_links.is_empty());
+        assert!(res.evaluations > 0);
+    }
+
+    #[test]
+    fn optimizer_is_a_noop_when_already_optimal() {
+        let (mut t, caps, p) = square();
+        // Symmetric weights → ECMP already splits evenly.
+        t.set_metric(r(3), r(4), Metric(1)).unwrap();
+        t.set_metric(r(4), r(3), Metric(1)).unwrap();
+        let mut tm = TrafficMatrix::new();
+        tm.add(r(1), p, 100.0);
+        let res = optimize_weights(&t, &tm, &caps, 8, 10);
+        assert!(res.changed_links.is_empty());
+        assert!((res.cost_after - res.cost_before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disruption_counts_devices_and_churn() {
+        let (t, caps, p) = square();
+        let mut tm = TrafficMatrix::new();
+        tm.add(r(1), p, 160.0);
+        let res = optimize_weights(&t, &tm, &caps, 8, 10);
+        let d = disruption(
+            &t,
+            &res.topo,
+            Dur::from_secs(5),
+            Dur::from_millis(200),
+        );
+        assert!(d.devices_reconfigured >= 1);
+        assert_eq!(d.lsas_reoriginated, 2 * res.changed_links.len());
+        assert!(d.routers_rerouted >= 1);
+        assert!(d.est_convergence >= Dur::from_secs(5));
+    }
+
+    #[test]
+    fn no_change_no_disruption() {
+        let (t, _, _) = square();
+        let d = disruption(&t, &t, Dur::from_secs(5), Dur::from_millis(200));
+        assert_eq!(d.devices_reconfigured, 0);
+        assert_eq!(d.lsas_reoriginated, 0);
+        assert_eq!(d.routers_rerouted, 0);
+        assert_eq!(d.est_convergence, Dur::from_millis(200));
+    }
+}

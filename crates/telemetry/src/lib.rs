@@ -1,0 +1,37 @@
+//! # fib-telemetry — SNMP-style monitoring substrate
+//!
+//! The demo's Fibbing controller "monitors link loads using SNMP". This
+//! crate reproduces the part of that pipeline that shapes controller
+//! behaviour:
+//!
+//! * [`counters`] — ifTable-style octet/packet counters with 32/64-bit
+//!   wrap semantics;
+//! * [`mib`] — a minimal OID tree per agent with GET / GETNEXT / WALK;
+//! * [`poller`] — jittered, deterministic poll scheduling;
+//! * [`rate`] — counter-delta rate estimation with EWMA smoothing
+//!   (wrap-transparent);
+//! * [`alarm`] — utilization thresholds with hysteresis and hold-down;
+//! * [`monitor`] — the composed pipeline: samples in, alarm edges out.
+//!
+//! Everything is deterministic (seeded jitter) and free of IO: the
+//! simulator delivers counter samples and timestamps.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod alarm;
+pub mod counters;
+pub mod mib;
+pub mod monitor;
+pub mod poller;
+pub mod rate;
+
+/// Convenient re-exports of the most used items.
+pub mod prelude {
+    pub use crate::alarm::{Alarm, Edge, Threshold};
+    pub use crate::counters::{counter_delta, Counter, CounterWidth, IfaceCounters};
+    pub use crate::mib::{oids, Agent, Oid, Value};
+    pub use crate::monitor::{LoadEvent, LoadMonitor};
+    pub use crate::poller::Poller;
+    pub use crate::rate::RateEstimator;
+}

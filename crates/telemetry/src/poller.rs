@@ -1,0 +1,144 @@
+//! Poll scheduling with per-target jitter.
+//!
+//! An NMS polls many agents at a nominal interval, de-synchronized by
+//! jitter so requests don't burst. The scheduler is generic over the
+//! target key (the simulator uses directed link identifiers).
+
+use fib_igp::time::{Dur, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Deterministic jittered poll scheduler.
+#[derive(Debug)]
+pub struct Poller<K: Ord + Clone> {
+    interval: Dur,
+    jitter_frac: f64,
+    rng: StdRng,
+    next_due: BTreeMap<K, Timestamp>,
+}
+
+impl<K: Ord + Clone> Poller<K> {
+    /// Create a scheduler. `jitter_frac` in `[0, 1)` is the fraction of
+    /// the interval randomized per poll (0 = strictly periodic).
+    pub fn new(interval: Dur, jitter_frac: f64, seed: u64) -> Poller<K> {
+        assert!((0.0..1.0).contains(&jitter_frac));
+        assert!(interval > Dur::ZERO, "poll interval must be positive");
+        Poller {
+            interval,
+            jitter_frac,
+            rng: StdRng::seed_from_u64(seed),
+            next_due: BTreeMap::new(),
+        }
+    }
+
+    /// The nominal polling interval.
+    pub fn interval(&self) -> Dur {
+        self.interval
+    }
+
+    /// Register a target; first poll is due at `start` plus a random
+    /// phase within one interval (classic NMS de-synchronization).
+    pub fn add_target(&mut self, key: K, start: Timestamp) {
+        let phase = Dur((self.rng.gen::<f64>() * self.interval.0 as f64) as u64);
+        self.next_due.insert(key, start + phase);
+    }
+
+    /// Remove a target.
+    pub fn remove_target(&mut self, key: &K) {
+        self.next_due.remove(key);
+    }
+
+    /// Targets due at or before `now`; reschedules each for its next
+    /// poll (interval ± jitter).
+    pub fn due(&mut self, now: Timestamp) -> Vec<K> {
+        let due: Vec<K> = self
+            .next_due
+            .iter()
+            .filter(|(_, t)| **t <= now)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &due {
+            let jitter = if self.jitter_frac == 0.0 {
+                0.0
+            } else {
+                (self.rng.gen::<f64>() * 2.0 - 1.0) * self.jitter_frac
+            };
+            let next = Dur(((self.interval.0 as f64) * (1.0 + jitter)).max(1.0) as u64);
+            self.next_due.insert(k.clone(), now + next);
+        }
+        due
+    }
+
+    /// Earliest pending deadline.
+    pub fn next_deadline(&self) -> Option<Timestamp> {
+        self.next_due.values().min().copied()
+    }
+
+    /// Number of registered targets.
+    pub fn len(&self) -> usize {
+        self.next_due.len()
+    }
+
+    /// `true` if no targets are registered.
+    pub fn is_empty(&self) -> bool {
+        self.next_due.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn targets_become_due_and_reschedule() {
+        let mut p: Poller<u32> = Poller::new(Dur::from_secs(1), 0.0, 7);
+        p.add_target(1, Timestamp::ZERO);
+        p.add_target(2, Timestamp::ZERO);
+        assert_eq!(p.len(), 2);
+        // Everything due within the first interval.
+        let due = p.due(Timestamp::from_secs(1));
+        assert_eq!(due.len(), 2);
+        // Nothing due immediately after.
+        assert!(p.due(Timestamp::from_secs(1)).is_empty());
+        // Due again one interval later.
+        let due = p.due(Timestamp::from_secs(2) + Dur::from_millis(1));
+        assert_eq!(due.len(), 2);
+    }
+
+    #[test]
+    fn phases_are_deterministic_per_seed() {
+        let mk = |seed| {
+            let mut p: Poller<u32> = Poller::new(Dur::from_secs(10), 0.2, seed);
+            p.add_target(1, Timestamp::ZERO);
+            p.next_deadline().unwrap()
+        };
+        assert_eq!(mk(1), mk(1));
+        assert_ne!(mk(1), mk(2));
+    }
+
+    #[test]
+    fn remove_target_stops_polls() {
+        let mut p: Poller<u32> = Poller::new(Dur::from_secs(1), 0.0, 7);
+        p.add_target(1, Timestamp::ZERO);
+        p.remove_target(&1);
+        assert!(p.is_empty());
+        assert!(p.due(Timestamp::from_secs(100)).is_empty());
+        assert_eq!(p.next_deadline(), None);
+    }
+
+    #[test]
+    fn jitter_stays_bounded() {
+        let mut p: Poller<u32> = Poller::new(Dur::from_secs(10), 0.1, 3);
+        p.add_target(1, Timestamp::ZERO);
+        let mut now = Timestamp::ZERO;
+        for _ in 0..50 {
+            now = p.next_deadline().unwrap();
+            let due = p.due(now);
+            assert_eq!(due.len(), 1);
+            let next = p.next_deadline().unwrap();
+            let gap = (next - now).as_secs_f64();
+            assert!((9.0..=11.0).contains(&gap), "gap {gap}s out of bounds");
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Rate estimation from polled counters.
+//!
+//! A poller reads a monotone (wrapping) counter at intervals; the
+//! estimator turns successive reads into bytes/s, optionally smoothed
+//! with an EWMA. Smoothing matters for the controller: raw per-poll
+//! rates on bursty traffic flap threshold alarms, and the paper's
+//! controller must not oscillate lies in and out.
+
+use crate::counters::{counter_delta, CounterWidth};
+use fib_igp::time::Timestamp;
+
+/// Turns counter samples into a smoothed rate (units/second).
+#[derive(Debug, Clone)]
+pub struct RateEstimator {
+    width: CounterWidth,
+    alpha: f64,
+    last: Option<(Timestamp, u64)>,
+    ewma: Option<f64>,
+    instant: Option<f64>,
+}
+
+impl RateEstimator {
+    /// Create an estimator. `alpha` is the EWMA weight of the newest
+    /// sample in `(0, 1]`; `alpha = 1.0` disables smoothing.
+    pub fn new(width: CounterWidth, alpha: f64) -> RateEstimator {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        RateEstimator {
+            width,
+            alpha,
+            last: None,
+            ewma: None,
+            instant: None,
+        }
+    }
+
+    /// Feed one counter read. Returns the new smoothed rate if this
+    /// sample completed an interval.
+    pub fn observe(&mut self, at: Timestamp, counter: u64) -> Option<f64> {
+        let prev = self.last.replace((at, counter));
+        let (t0, c0) = prev?;
+        if at <= t0 {
+            return self.ewma; // duplicate or out-of-order poll
+        }
+        let dt = (at - t0).as_secs_f64();
+        let delta = counter_delta(self.width, c0, counter) as f64;
+        let rate = delta / dt;
+        self.instant = Some(rate);
+        self.ewma = Some(match self.ewma {
+            None => rate,
+            Some(prev) => self.alpha * rate + (1.0 - self.alpha) * prev,
+        });
+        self.ewma
+    }
+
+    /// The current smoothed rate, if at least two samples were seen.
+    pub fn rate(&self) -> Option<f64> {
+        self.ewma
+    }
+
+    /// The most recent unsmoothed per-interval rate.
+    pub fn instant_rate(&self) -> Option<f64> {
+        self.instant
+    }
+
+    /// Forget all history (e.g. after an agent restart is detected).
+    pub fn reset(&mut self) {
+        self.last = None;
+        self.ewma = None;
+        self.instant = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(secs: u64) -> Timestamp {
+        Timestamp::from_secs(secs)
+    }
+
+    #[test]
+    fn needs_two_samples() {
+        let mut e = RateEstimator::new(CounterWidth::C64, 1.0);
+        assert_eq!(e.observe(t(0), 0), None);
+        assert_eq!(e.rate(), None);
+        let r = e.observe(t(1), 1000).unwrap();
+        assert!((r - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_accounts_for_interval_length() {
+        let mut e = RateEstimator::new(CounterWidth::C64, 1.0);
+        e.observe(t(0), 0);
+        let r = e.observe(t(4), 8000).unwrap();
+        assert!((r - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrap_is_transparent() {
+        let mut e = RateEstimator::new(CounterWidth::C32, 1.0);
+        e.observe(t(0), u32::MAX as u64 - 499);
+        let r = e.observe(t(1), 500).unwrap();
+        assert!((r - 1000.0).abs() < 1e-9, "rate {r}");
+    }
+
+    #[test]
+    fn ewma_smooths() {
+        let mut e = RateEstimator::new(CounterWidth::C64, 0.5);
+        e.observe(t(0), 0);
+        e.observe(t(1), 1000); // ewma = 1000
+        let r = e.observe(t(2), 1000).unwrap(); // instant 0 → ewma 500
+        assert!((r - 500.0).abs() < 1e-9);
+        assert_eq!(e.instant_rate(), Some(0.0));
+    }
+
+    #[test]
+    fn duplicate_poll_is_ignored() {
+        let mut e = RateEstimator::new(CounterWidth::C64, 1.0);
+        e.observe(t(0), 0);
+        e.observe(t(1), 100);
+        let before = e.rate();
+        let after = e.observe(t(1), 100);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn reset_forgets() {
+        let mut e = RateEstimator::new(CounterWidth::C64, 1.0);
+        e.observe(t(0), 0);
+        e.observe(t(1), 100);
+        e.reset();
+        assert_eq!(e.rate(), None);
+        assert_eq!(e.observe(t(2), 500), None);
+    }
+
+    proptest! {
+        /// For any monotone counter trace sampled at 1 Hz with
+        /// alpha = 1, every reported rate equals the per-second delta
+        /// and is never negative.
+        #[test]
+        fn prop_rates_match_deltas(deltas in proptest::collection::vec(0u64..2_000_000, 1..50)) {
+            let mut e = RateEstimator::new(CounterWidth::C64, 1.0);
+            let mut counter = 0u64;
+            e.observe(t(0), counter);
+            for (i, d) in deltas.iter().enumerate() {
+                counter += d;
+                let r = e.observe(t(i as u64 + 1), counter).unwrap();
+                prop_assert!((r - *d as f64).abs() < 1e-6);
+                prop_assert!(r >= 0.0);
+            }
+        }
+
+        /// EWMA output always lies within [min, max] of instant rates.
+        #[test]
+        fn prop_ewma_bounded(deltas in proptest::collection::vec(0u64..2_000_000, 2..50),
+                             alpha in 0.05f64..1.0) {
+            let mut e = RateEstimator::new(CounterWidth::C64, alpha);
+            let mut counter = 0u64;
+            e.observe(t(0), counter);
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for (i, d) in deltas.iter().enumerate() {
+                counter += d;
+                let r = e.observe(t(i as u64 + 1), counter).unwrap();
+                lo = lo.min(*d as f64);
+                hi = hi.max(*d as f64);
+                prop_assert!(r >= lo - 1e-6 && r <= hi + 1e-6,
+                    "ewma {r} escaped [{lo}, {hi}]");
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Adaptive-bitrate policies.
+//!
+//! Decisions are taken at segment boundaries from two observables:
+//! the current buffer level and the recent download throughput.
+
+use crate::catalog::Ladder;
+
+/// Inputs to an ABR decision.
+#[derive(Debug, Clone, Copy)]
+pub struct AbrInput {
+    /// Buffered seconds.
+    pub buffer_secs: f64,
+    /// Smoothed recent throughput (bytes/s).
+    pub throughput: f64,
+    /// Level currently playing.
+    pub current_level: usize,
+}
+
+/// An ABR policy.
+#[derive(Debug, Clone)]
+pub enum AbrPolicy {
+    /// Always the same level (the demo's constant-rate videos).
+    Constant(usize),
+    /// Pick the highest level at most `safety × throughput`.
+    RateBased {
+        /// Fraction of measured throughput considered usable.
+        safety: f64,
+    },
+    /// Buffer-based (BBA-style): low reservoir → lowest level, above
+    /// the cushion → highest, linear mapping in between.
+    BufferBased {
+        /// Reservoir in seconds.
+        reservoir: f64,
+        /// Cushion top in seconds.
+        cushion: f64,
+    },
+}
+
+impl AbrPolicy {
+    /// Decide the next level.
+    pub fn decide(&self, ladder: &Ladder, input: AbrInput) -> usize {
+        match self {
+            AbrPolicy::Constant(level) => (*level).min(ladder.levels() - 1),
+            AbrPolicy::RateBased { safety } => {
+                ladder.level_for_budget(input.throughput * safety)
+            }
+            AbrPolicy::BufferBased { reservoir, cushion } => {
+                if input.buffer_secs <= *reservoir {
+                    0
+                } else if input.buffer_secs >= *cushion {
+                    ladder.levels() - 1
+                } else {
+                    let frac = (input.buffer_secs - reservoir) / (cushion - reservoir);
+                    ((ladder.levels() - 1) as f64 * frac).round() as usize
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(buffer: f64, thr: f64) -> AbrInput {
+        AbrInput {
+            buffer_secs: buffer,
+            throughput: thr,
+            current_level: 0,
+        }
+    }
+
+    #[test]
+    fn constant_is_clamped() {
+        let l = Ladder::standard();
+        assert_eq!(AbrPolicy::Constant(99).decide(&l, input(0.0, 0.0)), 3);
+        assert_eq!(AbrPolicy::Constant(1).decide(&l, input(0.0, 0.0)), 1);
+    }
+
+    #[test]
+    fn rate_based_follows_throughput() {
+        let l = Ladder::standard();
+        let p = AbrPolicy::RateBased { safety: 0.8 };
+        // 0.8 × 200k = 160k → level 3 is 300k (too high), level 2 is
+        // 150k (fits).
+        assert_eq!(p.decide(&l, input(0.0, 200_000.0)), 2);
+        assert_eq!(p.decide(&l, input(0.0, 10_000.0)), 0);
+        assert_eq!(p.decide(&l, input(0.0, 1e9)), 3);
+    }
+
+    #[test]
+    fn buffer_based_maps_reservoir_and_cushion() {
+        let l = Ladder::standard();
+        let p = AbrPolicy::BufferBased {
+            reservoir: 5.0,
+            cushion: 15.0,
+        };
+        assert_eq!(p.decide(&l, input(2.0, 0.0)), 0);
+        assert_eq!(p.decide(&l, input(20.0, 0.0)), 3);
+        let mid = p.decide(&l, input(10.0, 0.0));
+        assert!(mid >= 1 && mid <= 2, "mid-buffer level: {mid}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Flash-crowd arrival schedules.
+//!
+//! The demo's exact workload plus generators for extended experiments.
+
+use crate::workload::SessionSpec;
+use fib_igp::time::{Dur, Timestamp};
+use fib_igp::types::{Prefix, RouterId};
+use rand::Rng;
+
+/// The paper's exact schedule (Sec. 3): one flow from `s1` at t=0,
+/// 30 more at t=15, then 31 flows from `s2` at t=35 — all toward the
+/// blue prefix, constant-bitrate videos.
+///
+/// `rate` is the per-video bitrate (bytes/s); `video_secs` the clip
+/// length (long enough to span the experiment). Arrivals within a
+/// batch are spread over one second, as launching 30 players takes a
+/// moment in the real demo too.
+pub fn paper_schedule(
+    s1: RouterId,
+    s2: RouterId,
+    dst: Prefix,
+    rate: f64,
+    video_secs: f64,
+) -> Vec<SessionSpec> {
+    let mut specs = Vec::new();
+    let mut tag = 0u64;
+    let mut push_batch = |specs: &mut Vec<SessionSpec>, t0: u64, src: RouterId, n: u64| {
+        for i in 0..n {
+            let jitter = Dur::from_millis(i * 1000 / n.max(1));
+            specs.push(SessionSpec::constant(
+                Timestamp::from_secs(t0) + jitter,
+                src,
+                dst,
+                rate,
+                video_secs,
+                tag,
+            ));
+            tag += 1;
+        }
+    };
+    push_batch(&mut specs, 0, s1, 1);
+    push_batch(&mut specs, 15, s1, 30);
+    push_batch(&mut specs, 35, s2, 31);
+    specs
+}
+
+/// A Poisson flash crowd: `n` arrivals at exponential inter-arrival
+/// times of mean `mean_gap` starting at `start`.
+pub fn poisson_crowd<R: Rng>(
+    rng: &mut R,
+    start: Timestamp,
+    mean_gap: Dur,
+    n: u32,
+    src: RouterId,
+    dst: Prefix,
+    rate: f64,
+    video_secs: f64,
+    tag_base: u64,
+) -> Vec<SessionSpec> {
+    let mut specs = Vec::new();
+    let mut t = start;
+    for i in 0..n {
+        let u: f64 = rng.gen_range(1e-9..1.0);
+        let gap = Dur::from_secs_f64(-u.ln() * mean_gap.as_secs_f64());
+        t = t + gap;
+        specs.push(SessionSpec::constant(
+            t,
+            src,
+            dst,
+            rate,
+            video_secs,
+            tag_base + u64::from(i),
+        ));
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn r(n: u32) -> RouterId {
+        RouterId(n)
+    }
+
+    #[test]
+    fn paper_schedule_counts_and_times() {
+        let specs = paper_schedule(r(2), r(1), Prefix::net24(1), 125_000.0, 120.0);
+        assert_eq!(specs.len(), 62);
+        // Batch boundaries.
+        let at = |secs: f64| -> usize {
+            specs
+                .iter()
+                .filter(|s| s.start.as_secs_f64() < secs)
+                .count()
+        };
+        assert_eq!(at(1.0), 1);
+        assert_eq!(at(14.9), 1);
+        assert_eq!(at(16.1), 31);
+        assert_eq!(at(34.9), 31);
+        assert_eq!(at(36.1), 62);
+        // Sources per batch.
+        assert!(specs[..31].iter().all(|s| s.src == r(2)));
+        assert!(specs[31..].iter().all(|s| s.src == r(1)));
+        // Tags unique.
+        let mut tags: Vec<u64> = specs.iter().map(|s| s.tag).collect();
+        tags.sort();
+        tags.dedup();
+        assert_eq!(tags.len(), 62);
+    }
+
+    #[test]
+    fn poisson_crowd_is_ordered_and_deterministic() {
+        let mk = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            poisson_crowd(
+                &mut rng,
+                Timestamp::from_secs(10),
+                Dur::from_millis(500),
+                20,
+                r(1),
+                Prefix::net24(1),
+                1e5,
+                60.0,
+                100,
+            )
+        };
+        let a = mk(3);
+        let b = mk(3);
+        assert_eq!(a.len(), 20);
+        for w in a.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+        assert_eq!(
+            a.iter().map(|s| s.start).collect::<Vec<_>>(),
+            b.iter().map(|s| s.start).collect::<Vec<_>>()
+        );
+        assert!(a[0].start >= Timestamp::from_secs(10));
+    }
+}

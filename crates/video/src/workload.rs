@@ -1,0 +1,284 @@
+//! The video workload driver: a netsim [`App`] binding players to
+//! flows.
+//!
+//! Each session is a video server → client pair: a rate-capped flow in
+//! the simulator (the server paces at the encoding bitrate, as the
+//! demo's streaming servers do) feeding a [`Player`]'s buffer. The
+//! driver launches sessions on schedule, advances players from
+//! delivered bytes every tick, runs ABR at segment granularity, and
+//! publishes live QoE reports through a shared handle the experiment
+//! harness reads after the run.
+
+use crate::abr::{AbrInput, AbrPolicy};
+use crate::catalog::Video;
+use crate::client::{Player, PlayerConfig, PlayerState};
+use crate::qoe::QoeReport;
+use fib_igp::time::{Dur, Timestamp};
+use fib_igp::types::{Prefix, RouterId};
+use fib_netsim::api::{App, SimApi};
+use fib_netsim::flow::{FlowId, FlowSpec};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One scheduled viewing session.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// When the client presses play.
+    pub start: Timestamp,
+    /// Server-side ingress router.
+    pub src: RouterId,
+    /// Client-side destination prefix.
+    pub dst: Prefix,
+    /// The asset.
+    pub video: Video,
+    /// ABR policy.
+    pub abr: AbrPolicy,
+    /// Player tuning.
+    pub player: PlayerConfig,
+    /// Session tag (unique; keys the QoE report).
+    pub tag: u64,
+}
+
+impl SessionSpec {
+    /// A constant-bitrate session (the demo's shape).
+    pub fn constant(start: Timestamp, src: RouterId, dst: Prefix, rate: f64, secs: f64, tag: u64) -> SessionSpec {
+        SessionSpec {
+            start,
+            src,
+            dst,
+            video: Video::constant(secs, rate),
+            abr: AbrPolicy::Constant(0),
+            player: PlayerConfig::default(),
+            tag,
+        }
+    }
+}
+
+/// Shared live QoE map: tag → latest report.
+pub type QoeHandle = Arc<Mutex<BTreeMap<u64, QoeReport>>>;
+
+struct Session {
+    spec: SessionSpec,
+    flow: FlowId,
+    player: Player,
+    last_delivered: f64,
+    last_advanced: Timestamp,
+    thr_ewma: f64,
+    finished: bool,
+}
+
+/// The workload driver.
+pub struct VideoWorkload {
+    pending: Vec<SessionSpec>,
+    active: Vec<Session>,
+    tick: Dur,
+    reports: QoeHandle,
+}
+
+impl VideoWorkload {
+    /// Build a driver over a session schedule; returns the driver and
+    /// the QoE handle to read after the run.
+    pub fn new(mut schedule: Vec<SessionSpec>, tick: Dur) -> (VideoWorkload, QoeHandle) {
+        // Earliest-first so launching scans a prefix.
+        schedule.sort_by_key(|s| s.start);
+        let handle: QoeHandle = Arc::new(Mutex::new(BTreeMap::new()));
+        (
+            VideoWorkload {
+                pending: schedule,
+                active: Vec::new(),
+                tick,
+                reports: Arc::clone(&handle),
+            },
+            handle,
+        )
+    }
+
+    fn launch_due(&mut self, api: &mut dyn SimApi) {
+        let now = api.now();
+        while let Some(spec) = self.pending.first() {
+            if spec.start > now {
+                break;
+            }
+            let spec = self.pending.remove(0);
+            let bitrate = spec.video.ladder.rate(match &spec.abr {
+                AbrPolicy::Constant(l) => *l,
+                _ => 0,
+            });
+            let flow = api.start_flow(
+                FlowSpec::new(spec.src, spec.dst)
+                    .with_cap(bitrate)
+                    .with_tag(spec.tag),
+            );
+            let player = Player::new(spec.video.clone(), spec.player, now);
+            self.active.push(Session {
+                spec,
+                flow,
+                player,
+                last_delivered: 0.0,
+                last_advanced: now,
+                thr_ewma: 0.0,
+                finished: false,
+            });
+        }
+    }
+
+    fn advance_sessions(&mut self, api: &mut dyn SimApi) {
+        let now = api.now();
+        let now_secs = now.as_secs_f64();
+        for s in self.active.iter_mut() {
+            if s.finished {
+                continue;
+            }
+            let delivered = api.flow_delivered(s.flow).unwrap_or(s.last_delivered);
+            let bytes = (delivered - s.last_delivered).max(0.0);
+            s.last_delivered = delivered;
+            let dt = (now - s.last_advanced).as_secs_f64();
+            s.last_advanced = now;
+            if dt > 0.0 {
+                s.thr_ewma = 0.5 * (bytes / dt) + 0.5 * s.thr_ewma;
+            }
+            s.player.advance(now_secs, dt, bytes);
+
+            // ABR decision (no-op for Constant policies).
+            let level = s.spec.abr.decide(
+                &s.spec.video.ladder,
+                AbrInput {
+                    buffer_secs: s.player.buffer_secs(),
+                    throughput: s.thr_ewma,
+                    current_level: s.player.level(),
+                },
+            );
+            if level != s.player.level() {
+                s.player.set_level(level);
+                api.set_flow_cap(s.flow, Some(s.player.bitrate()));
+            }
+
+            // Pause/resume server pacing on buffer bounds.
+            if !s.player.wants_download() && s.player.state() != PlayerState::Done {
+                api.set_flow_cap(s.flow, Some(1.0)); // effectively paused
+            } else if s.player.state() != PlayerState::Done {
+                api.set_flow_cap(s.flow, Some(s.player.bitrate()));
+            }
+
+            if s.player.state() == PlayerState::Done {
+                api.stop_flow(s.flow);
+                s.finished = true;
+            }
+            self.reports.lock().insert(s.spec.tag, s.player.qoe());
+        }
+        self.active.retain(|s| !s.finished || true); // keep for reports
+    }
+
+    /// Number of sessions not yet finished.
+    pub fn active_count(&self) -> usize {
+        self.active.iter().filter(|s| !s.finished).count() + self.pending.len()
+    }
+}
+
+impl App for VideoWorkload {
+    fn name(&self) -> &str {
+        "video-workload"
+    }
+
+    fn tick_interval(&self) -> Option<Dur> {
+        Some(self.tick)
+    }
+
+    fn on_start(&mut self, api: &mut dyn SimApi) {
+        self.launch_due(api);
+    }
+
+    fn on_tick(&mut self, api: &mut dyn SimApi) {
+        self.launch_due(api);
+        self.advance_sessions(api);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fib_igp::types::Metric;
+    use fib_netsim::link::LinkSpec;
+    use fib_netsim::sim::{Sim, SimConfig};
+
+    fn r(n: u32) -> RouterId {
+        RouterId(n)
+    }
+
+    /// Line r1 - r2 with prefix at r2.
+    fn line(capacity: f64) -> Sim {
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_router(r(1));
+        sim.add_router(r(2));
+        sim.add_link(LinkSpec::new(r(1), r(2), Metric(1), capacity));
+        sim.announce_prefix(r(2), Prefix::net24(1));
+        sim
+    }
+
+    #[test]
+    fn single_session_plays_smoothly() {
+        let mut sim = line(1e6);
+        let spec = SessionSpec::constant(
+            Timestamp::from_secs(10),
+            r(1),
+            Prefix::net24(1),
+            125_000.0,
+            20.0,
+            1,
+        );
+        let (driver, reports) = VideoWorkload::new(vec![spec], Dur::from_millis(100));
+        sim.add_app(Box::new(driver));
+        sim.start();
+        sim.run_until(Timestamp::from_secs(60));
+        let map = reports.lock();
+        let q = map.get(&1).expect("report for tag 1");
+        assert!(q.completed, "{q:?}");
+        assert_eq!(q.stalls, 0);
+        assert!(q.score() > 4.0);
+    }
+
+    #[test]
+    fn oversubscribed_link_causes_stalls() {
+        // 10 sessions of 125 kB/s over a 500 kB/s link: starvation.
+        let mut sim = line(5e5);
+        let specs: Vec<SessionSpec> = (0..10)
+            .map(|i| {
+                SessionSpec::constant(
+                    Timestamp::from_secs(10),
+                    r(1),
+                    Prefix::net24(1),
+                    125_000.0,
+                    30.0,
+                    i,
+                )
+            })
+            .collect();
+        let (driver, reports) = VideoWorkload::new(specs, Dur::from_millis(100));
+        sim.add_app(Box::new(driver));
+        sim.start();
+        sim.run_until(Timestamp::from_secs(80));
+        let map = reports.lock();
+        let stalled: usize = map.values().filter(|q| q.stalls > 0).count();
+        assert!(
+            stalled >= 5,
+            "expected most sessions to stall, got {stalled}/10"
+        );
+    }
+
+    #[test]
+    fn sessions_launch_on_schedule() {
+        let mut sim = line(1e6);
+        let specs = vec![
+            SessionSpec::constant(Timestamp::from_secs(5), r(1), Prefix::net24(1), 1e5, 100.0, 1),
+            SessionSpec::constant(Timestamp::from_secs(20), r(1), Prefix::net24(1), 1e5, 100.0, 2),
+        ];
+        let (driver, reports) = VideoWorkload::new(specs, Dur::from_millis(100));
+        sim.add_app(Box::new(driver));
+        sim.start();
+        sim.run_until(Timestamp::from_secs(10));
+        assert_eq!(reports.lock().len(), 1, "only the first session yet");
+        sim.run_until(Timestamp::from_secs(25));
+        assert_eq!(reports.lock().len(), 2);
+    }
+}

@@ -1,0 +1,134 @@
+//! The life of a lie, at protocol level.
+//!
+//! Watches a fake LSA be injected by the controller speaker, flood
+//! through the network, change FIBs, survive (freshness rules), and
+//! finally be purged — with the control-plane message and byte counts
+//! at every step. This is the "very limited control-plane overhead"
+//! claim of the paper made concrete.
+//!
+//! Run with: `cargo run --example lie_lifecycle`
+
+use fibbing::demo::{name, A, B, BLUE, C, PAPER_LINKS, R1, R2, R3, R4};
+use fibbing::prelude::*;
+
+fn fib_line(sim: &mut Sim) -> String {
+    let mut parts = Vec::new();
+    for r in [A, B] {
+        let hops = sim.api().fib_nexthops(r, BLUE);
+        let hs: Vec<String> = hops.iter().map(|h| format!("{h}")).collect();
+        parts.push(format!("{}: [{}]", name(r), hs.join(", ")));
+    }
+    parts.join("   ")
+}
+
+fn main() {
+    let mut sim = Sim::new(SimConfig::default());
+    for r in [A, B, R1, R2, R3, R4, C] {
+        sim.add_router(r);
+    }
+    for (a, b, w) in PAPER_LINKS {
+        sim.add_link(LinkSpec::new(a, b, Metric(w), 4e6));
+    }
+    sim.announce_prefix(C, BLUE);
+    sim.add_controller_speaker(RouterId(100), R3);
+    sim.start();
+
+    sim.run_until(Timestamp::from_secs(10));
+    let s0 = sim.stats();
+    println!("t=10s  IGP converged.");
+    println!("       {}", fib_line(&mut sim));
+    println!(
+        "       control plane so far: {} packets, {} bytes (full adjacency bring-up)",
+        s0.ctrl_pkts, s0.ctrl_bytes
+    );
+
+    // Inject fB: one fake node at B, cost 2, resolving to R3.
+    {
+        let api = sim.api();
+        api.inject_fake(
+            RouterId(100),
+            RouterId::fake(0),
+            B,
+            Metric(1),
+            BLUE,
+            Metric(1),
+            FwAddr::secondary(R3, 1),
+        )
+        .unwrap();
+    }
+    sim.run_until(Timestamp::from_secs(12));
+    let s1 = sim.stats();
+    println!("\nt=12s  injected fB (fake node at B, cost 2, via R3).");
+    println!("       {}", fib_line(&mut sim));
+    println!(
+        "       marginal control plane: {} packets, {} bytes — one LSA flooded network-wide",
+        s1.ctrl_pkts - s0.ctrl_pkts,
+        s1.ctrl_bytes - s0.ctrl_bytes
+    );
+
+    // Inject the two fA lies.
+    {
+        let api = sim.api();
+        for k in 1..=2u16 {
+            api.inject_fake(
+                RouterId(100),
+                RouterId::fake(u32::from(k)),
+                A,
+                Metric(1),
+                BLUE,
+                Metric(2),
+                FwAddr::secondary(R1, k),
+            )
+            .unwrap();
+        }
+    }
+    sim.run_until(Timestamp::from_secs(14));
+    let s2 = sim.stats();
+    println!("\nt=14s  injected fA x2 (fake nodes at A, cost 3, via R1).");
+    println!("       {}", fib_line(&mut sim));
+    println!(
+        "       marginal control plane: {} packets, {} bytes",
+        s2.ctrl_pkts - s1.ctrl_pkts,
+        s2.ctrl_bytes - s1.ctrl_bytes
+    );
+
+    // Show the LSDB view of a remote router: everyone knows the lies.
+    let lsdb_len = sim.instance(R4).map(|i| i.lsdb().len()).unwrap_or(0);
+    let fakes_at_r4 = sim
+        .instance(R4)
+        .map(|i| {
+            i.lsdb()
+                .iter()
+                .filter(|l| l.key.origin.is_fake())
+                .count()
+        })
+        .unwrap_or(0);
+    println!("\n       R4's LSDB holds {lsdb_len} LSAs, {fakes_at_r4} of them lies.");
+
+    // Retract everything (MaxAge purge floods).
+    {
+        let api = sim.api();
+        for k in 0..=2u32 {
+            api.retract_fake(RouterId(100), RouterId::fake(k)).unwrap();
+        }
+    }
+    sim.run_until(Timestamp::from_secs(20));
+    let s3 = sim.stats();
+    println!("\nt=20s  retracted all lies (MaxAge purges).");
+    println!("       {}", fib_line(&mut sim));
+    println!(
+        "       marginal control plane: {} packets, {} bytes",
+        s3.ctrl_pkts - s2.ctrl_pkts,
+        s3.ctrl_bytes - s2.ctrl_bytes
+    );
+    let fakes_left = sim
+        .instance(R4)
+        .map(|i| {
+            i.lsdb()
+                .iter()
+                .filter(|l| l.key.origin.is_fake())
+                .count()
+        })
+        .unwrap_or(99);
+    println!("       R4's LSDB now holds {fakes_left} lies — the network forgot.");
+}

@@ -1,0 +1,98 @@
+//! Uneven ECMP splitting: accuracy versus lie count.
+//!
+//! Fibbing realizes fractional splits by replicating fake next-hops:
+//! more ECMP slots approximate a target ratio better but cost more
+//! lies (and FIB entries). This example sweeps slot budgets for
+//! several target ratios and shows the realized split measured over
+//! hashed flows in the live simulator.
+//!
+//! Run with: `cargo run --example uneven_split`
+
+use fibbing::prelude::*;
+
+fn realized_fraction(weights: &[u32]) -> Vec<f64> {
+    // Build a star: ingress r1 with one neighbor per target, prefix
+    // reachable through each; measure hashed flow dispersion.
+    let n = weights.len() as u32;
+    let mut sim = Sim::new(SimConfig::default());
+    let ingress = RouterId(1);
+    sim.add_router(ingress);
+    let sink = RouterId(100);
+    sim.add_router(sink);
+    let p = Prefix::net24(1);
+    for i in 0..n {
+        let mid = RouterId(2 + i);
+        sim.add_router(mid);
+        sim.add_link(LinkSpec::new(ingress, mid, Metric(1), 1e9));
+        sim.add_link(LinkSpec::new(mid, sink, Metric(1), 1e9));
+    }
+    sim.announce_prefix(sink, p);
+    sim.add_controller_speaker(RouterId(99), ingress);
+    sim.start();
+    sim.run_until(Timestamp::from_secs(10));
+    // Inject weights[i] slots toward neighbor i (one is free via the
+    // natural ECMP set, which includes every mid router at equal cost
+    // — so add weight-1 extra lies per mid).
+    {
+        let api = sim.api();
+        let mut fake = 0;
+        for (i, w) in weights.iter().enumerate() {
+            let mid = RouterId(2 + i as u32);
+            for k in 1..*w {
+                api.inject_fake(
+                    RouterId(99),
+                    RouterId::fake(fake),
+                    ingress,
+                    Metric(1),
+                    p,
+                    Metric(1),
+                    FwAddr::secondary(mid, k as u16),
+                )
+                .unwrap();
+                fake += 1;
+            }
+        }
+    }
+    sim.run_until(Timestamp::from_secs(20));
+    let flows = 4000u64;
+    let mut ids = Vec::new();
+    for i in 0..flows {
+        ids.push(
+            sim.api()
+                .start_flow(FlowSpec::new(ingress, p).with_cap(1.0).with_hash_id(i)),
+        );
+    }
+    sim.run_until(Timestamp::from_secs(21));
+    let mut counts = vec![0u64; weights.len()];
+    for id in ids {
+        let path = sim.api().flow_path(id).expect("routable");
+        let first = path[0].to;
+        counts[(first.0 - 2) as usize] += 1;
+    }
+    counts.iter().map(|c| *c as f64 / flows as f64).collect()
+}
+
+fn main() {
+    println!("target ratio -> slot plan (plan_split) -> hashed-flow realization\n");
+    let cases: Vec<(&str, Vec<f64>)> = vec![
+        ("1:2      ", vec![1.0 / 3.0, 2.0 / 3.0]),
+        ("1:1      ", vec![0.5, 0.5]),
+        ("45:55    ", vec![0.45, 0.55]),
+        ("1:2:7    ", vec![0.1, 0.2, 0.7]),
+    ];
+    for (label, fractions) in cases {
+        for budget in [4u32, 8, 16] {
+            let plan = plan_split(&fractions, budget).expect("valid fractions");
+            let realized = realized_fraction(&plan.weights);
+            let realized_s: Vec<String> =
+                realized.iter().map(|f| format!("{:.3}", f)).collect();
+            println!(
+                "  {label} budget {budget:>2}: slots {plan} -> measured [{}]",
+                realized_s.join(", ")
+            );
+        }
+        println!();
+    }
+    println!("(measured fractions deviate from slot shares only by hash");
+    println!(" dispersion over 4000 flows — the same effect real ECMP has)");
+}

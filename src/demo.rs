@@ -1,0 +1,230 @@
+//! The paper's demo scenario, end to end.
+//!
+//! This module pins down everything Sec. 3 of the paper describes:
+//! the Fig. 1a topology (weights included), the video servers S1/S2 at
+//! B and A, the blue destination prefix behind C, the Fibbing
+//! controller attached to R3, and the exact flow schedule of Fig. 2
+//! (1 flow at t = 0 s, +30 at t = 15 s, +31 from the second source at
+//! t = 35 s).
+//!
+//! ## Calibration
+//!
+//! The testbed used ~10–30 Mb/s emulated links and ~1 Mb/s videos; we
+//! use 4 MB/s (32 Mb/s) links and 125 kB/s (1 Mb/s) videos so that:
+//!
+//! * 31 videos ≈ 3.875 MB/s saturate a single link (the t = 15 surge
+//!   overloads B–R2 exactly as in Fig. 1b),
+//! * 62 videos ≈ 7.75 MB/s exceed any two paths but fit across three
+//!   with the paper's 1/3–2/3 split at A (Fig. 1d ⇒ max link load
+//!   ≈ 2.6 MB/s, the plateau Fig. 2 shows).
+//!
+//! With the controller's optimizer budget at 0.5 utilization, the
+//! computed plans coincide with the paper's lies *exactly*: one fake
+//! node at B (cost 2 via R3) at t = 15, plus two fake nodes at A
+//! (cost 3 via R1) at t = 35.
+
+use fib_core::prelude::{ControllerConfig, FibbingController};
+use fib_igp::prelude::*;
+use fib_netsim::link::LinkSpec;
+use fib_netsim::sim::{Sim, SimConfig};
+use fib_video::prelude::{paper_schedule, QoeHandle, VideoWorkload};
+use std::collections::BTreeMap;
+
+/// Router A (hosts video source S2).
+pub const A: RouterId = RouterId(1);
+/// Router B (hosts video source S1).
+pub const B: RouterId = RouterId(2);
+/// Router R1 (A's long detour).
+pub const R1: RouterId = RouterId(3);
+/// Router R2 (B's shortest path).
+pub const R2: RouterId = RouterId(4);
+/// Router R3 (B's alternate; the controller peers here).
+pub const R3: RouterId = RouterId(5);
+/// Router R4 (on the long A detour).
+pub const R4: RouterId = RouterId(6);
+/// Router C (announces the blue prefix; clients D1/D2 sit behind it).
+pub const C: RouterId = RouterId(7);
+/// The Fibbing controller's speaker id.
+pub const CTRL: RouterId = RouterId(100);
+
+/// The blue destination prefix of Fig. 1.
+pub const BLUE: Prefix = Prefix::net24(1);
+
+/// Human name of a demo router.
+pub fn name(r: RouterId) -> &'static str {
+    match r {
+        A => "A",
+        B => "B",
+        R1 => "R1",
+        R2 => "R2",
+        R3 => "R3",
+        R4 => "R4",
+        C => "C",
+        CTRL => "ctrl",
+        _ => "?",
+    }
+}
+
+/// `"A-R1"`-style name of a directed link.
+pub fn link_name(from: RouterId, to: RouterId) -> String {
+    format!("{}-{}", name(from), name(to))
+}
+
+/// The symmetric links of Fig. 1a: `(a, b, igp_weight)`. Unlabeled
+/// weights in the figure are 1.
+pub const PAPER_LINKS: [(RouterId, RouterId, u32); 8] = [
+    (A, B, 1),
+    (B, R2, 1),
+    (R2, C, 1),
+    (B, R3, 2),
+    (R3, C, 1),
+    (A, R1, 2),
+    (R1, R4, 2),
+    (R4, C, 2),
+];
+
+/// The Fig. 1a topology with the blue prefix announced at C.
+pub fn paper_topology() -> Topology {
+    let mut t = Topology::new();
+    for r in [A, B, R1, R2, R3, R4, C] {
+        t.add_router(r);
+    }
+    for (a, b, w) in PAPER_LINKS {
+        t.add_link_sym(a, b, Metric(w)).expect("paper links are valid");
+    }
+    t.announce_prefix(C, BLUE, Metric::ZERO)
+        .expect("C announces the blue prefix");
+    t
+}
+
+/// Uniform per-direction capacities for the paper topology.
+pub fn paper_capacities(capacity: f64) -> BTreeMap<(RouterId, RouterId), f64> {
+    paper_topology()
+        .all_links()
+        .map(|(a, b, _)| ((a, b), capacity))
+        .collect()
+}
+
+/// Demo configuration.
+#[derive(Debug, Clone)]
+pub struct DemoConfig {
+    /// Run with the Fibbing controller (the paper's "enabled" run).
+    pub controller: bool,
+    /// Per-direction link capacity in bytes/s.
+    pub capacity: f64,
+    /// Per-video bitrate in bytes/s.
+    pub video_rate: f64,
+    /// Video clip length in seconds (long enough to span the run).
+    pub video_secs: f64,
+    /// Controller reacts to notifications (predictive) or SNMP only.
+    pub predictive: bool,
+}
+
+impl Default for DemoConfig {
+    fn default() -> Self {
+        DemoConfig {
+            controller: true,
+            capacity: 4.0e6,
+            video_rate: 125_000.0,
+            video_secs: 300.0,
+            predictive: true,
+        }
+    }
+}
+
+/// A built demo: the simulator plus the live QoE handle.
+pub struct Demo {
+    /// The co-simulation, ready to run.
+    pub sim: Sim,
+    /// Live per-session QoE reports (keyed by session tag).
+    pub qoe: QoeHandle,
+}
+
+/// Build the full demo simulation. Sampled trace series are named
+/// `A-R1`, `B-R2`, `B-R3` — the links Fig. 2 plots.
+pub fn build(cfg: &DemoConfig) -> Demo {
+    let mut sim = Sim::new(SimConfig::default());
+    for r in [A, B, R1, R2, R3, R4, C] {
+        sim.add_router(r);
+    }
+    for (a, b, w) in PAPER_LINKS {
+        sim.add_link(LinkSpec::new(a, b, Metric(w), cfg.capacity));
+    }
+    sim.announce_prefix(C, BLUE);
+
+    // The links Fig. 2 plots (direction: toward the clients).
+    sim.sample_link("A-R1", A, R1);
+    sim.sample_link("B-R2", B, R2);
+    sim.sample_link("B-R3", B, R3);
+    sim.sample_link("A-B", A, B);
+    sim.sample_link("R2-C", R2, C);
+    sim.sample_link("R3-C", R3, C);
+    sim.sample_link("R4-C", R4, C);
+
+    if cfg.controller {
+        sim.add_controller_speaker(CTRL, R3); // "connected to R3"
+        let mut ctl = ControllerConfig::new(CTRL);
+        ctl.target_util = 0.5;
+        ctl.util_hi = 0.8;
+        ctl.util_lo = 0.3;
+        ctl.slot_budget = 8;
+        ctl.default_flow_rate = cfg.video_rate;
+        ctl.predictive = cfg.predictive;
+        sim.add_app(Box::new(FibbingController::new(ctl)));
+    }
+
+    // S1 streams from B, S2 from A (Fig. 1b/2).
+    let schedule = paper_schedule(B, A, BLUE, cfg.video_rate, cfg.video_secs);
+    let (driver, qoe) = VideoWorkload::new(schedule, Dur::from_millis(100));
+    sim.add_app(Box::new(driver));
+
+    Demo { sim, qoe }
+}
+
+/// Build, start, and run the demo for `secs` seconds of simulated
+/// time.
+pub fn run(cfg: &DemoConfig, secs: u64) -> Demo {
+    let mut demo = build(cfg);
+    demo.sim.start();
+    demo.sim.run_until(Timestamp::from_secs(secs));
+    demo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_topology_matches_fig_1a() {
+        let t = paper_topology();
+        assert_eq!(t.router_count(), 7);
+        assert_eq!(t.all_links().count(), 16);
+        // Fig. 1a path costs: B reaches blue at 2 via R2; the B–R3–C
+        // detour costs 3; A reaches blue at 3 via B; the A–R1–R4–C
+        // detour costs 6.
+        let rt_b = compute_routes(&t, B);
+        assert_eq!(rt_b.route(BLUE).unwrap().dist, Metric(2));
+        assert_eq!(rt_b.nexthops(BLUE), &[FwAddr::primary(R2)]);
+        let rt_a = compute_routes(&t, A);
+        assert_eq!(rt_a.route(BLUE).unwrap().dist, Metric(3));
+        assert_eq!(rt_a.nexthops(BLUE), &[FwAddr::primary(B)]);
+    }
+
+    #[test]
+    fn shortest_paths_overlap_on_b_r2_c() {
+        // "The IGP shortest paths starting at A and B overlap along
+        // B–R2–C" (Fig. 1a caption).
+        let t = paper_topology();
+        let from_a = enumerate_paths(&t, A, BLUE, 8);
+        let from_b = enumerate_paths(&t, B, BLUE, 8);
+        assert_eq!(from_a, vec![vec![A, B, R2, C]]);
+        assert_eq!(from_b, vec![vec![B, R2, C]]);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(name(A), "A");
+        assert_eq!(name(R4), "R4");
+        assert_eq!(link_name(B, R3), "B-R3");
+    }
+}

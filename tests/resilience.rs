@@ -1,0 +1,149 @@
+//! Resilience scenarios beyond the paper's happy path: link failure
+//! during the flash crowd, and two concurrent crowds toward different
+//! prefixes (the controller manages lies per destination).
+
+use fibbing::demo::{self, DemoConfig, A, B, BLUE, C, R1, R2, R3, R4};
+use fibbing::prelude::*;
+
+/// During the controlled flash crowd, the B–R2 link dies. The IGP
+/// reconverges, flows reroute, and — crucially — the injected lies do
+/// not trap traffic: everything keeps being delivered loop-free.
+#[test]
+fn link_failure_during_crowd_reroutes() {
+    let cfg = DemoConfig::default();
+    let mut run = demo::build(&cfg);
+    run.sim.schedule_link_admin(Timestamp::from_secs(45), B, R2, false);
+    run.sim.start();
+    run.sim.run_until(Timestamp::from_secs(55));
+
+    // B must have rerouted everything away from the dead link.
+    let rec = run.sim.recorder();
+    let b_r2_after = rec.mean_over("B-R2", 50.0, 54.0).unwrap_or(0.0);
+    assert!(b_r2_after < 1.0, "dead link still carries {b_r2_after}");
+    // Total delivery continues: remaining egress links carry the load.
+    let b_r3 = rec.mean_over("B-R3", 50.0, 54.0).unwrap_or(0.0);
+    let a_r1 = rec.mean_over("A-R1", 50.0, 54.0).unwrap_or(0.0);
+    assert!(
+        b_r3 + a_r1 > 4.0e6,
+        "surviving paths must carry the crowd: B-R3={b_r3} A-R1={a_r1}"
+    );
+    // Every flow still has a loop-free path.
+    let unrouted = run
+        .sim
+        .flows()
+        .iter()
+        .filter(|f| f.path.is_none())
+        .count();
+    assert_eq!(unrouted, 0, "{unrouted} flows lost their path");
+}
+
+/// Two flash crowds toward two different prefixes: lies are
+/// per-destination, so relieving one prefix must not steer the other.
+#[test]
+fn two_prefixes_are_steered_independently() {
+    let green = Prefix::net24(2);
+    let mut sim = Sim::new(SimConfig::default());
+    for r in [A, B, R1, R2, R3, R4, C] {
+        sim.add_router(r);
+    }
+    for (a, b, w) in fibbing::demo::PAPER_LINKS {
+        sim.add_link(LinkSpec::new(a, b, Metric(w), 4.0e6));
+    }
+    sim.announce_prefix(C, BLUE);
+    sim.announce_prefix(R4, green); // second destination, behind R4
+    sim.add_controller_speaker(RouterId(100), R3);
+    let mut ctl = ControllerConfig::new(RouterId(100));
+    ctl.target_util = 0.5;
+    ctl.default_flow_rate = 125_000.0;
+    sim.add_app(Box::new(FibbingController::new(ctl)));
+
+    // Crowd 1: 31 videos B → blue (needs the fB lie).
+    for i in 0..31u64 {
+        sim.schedule_flow(
+            Timestamp::from_secs(10) + Dur::from_millis(i * 20),
+            FlowSpec::new(B, BLUE).with_cap(125_000.0),
+        );
+    }
+    // Light traffic A → green (no congestion there).
+    for i in 0..4u64 {
+        sim.schedule_flow(
+            Timestamp::from_secs(12) + Dur::from_millis(i * 20),
+            FlowSpec::new(A, green).with_cap(125_000.0),
+        );
+    }
+    sim.start();
+    sim.run_until(Timestamp::from_secs(40));
+
+    // Blue got its extra slot at B; green kept its natural single path.
+    let b_blue = sim.api().fib_nexthops(B, BLUE);
+    assert!(b_blue.len() >= 2, "blue crowd must be spread: {b_blue:?}");
+    let a_green = sim.api().fib_nexthops(A, green);
+    assert_eq!(
+        a_green.len(),
+        1,
+        "green must be untouched by blue's lies: {a_green:?}"
+    );
+    assert_eq!(a_green[0].router, R1, "green's natural path is via R1");
+    // And green flows deliver at full rate.
+    for f in sim.flows() {
+        assert!(
+            (f.rate - 125_000.0).abs() < 1.0,
+            "flow {} starved at {}",
+            f.id,
+            f.rate
+        );
+    }
+}
+
+/// Stopping the crowd mid-run retracts lies; restarting it re-installs
+/// them — the controller is idempotent across cycles.
+#[test]
+fn crowd_cycles_install_and_retract_repeatedly() {
+    let mut sim = Sim::new(SimConfig::default());
+    for r in [A, B, R1, R2, R3, R4, C] {
+        sim.add_router(r);
+    }
+    for (a, b, w) in fibbing::demo::PAPER_LINKS {
+        sim.add_link(LinkSpec::new(a, b, Metric(w), 4.0e6));
+    }
+    sim.announce_prefix(C, BLUE);
+    sim.add_controller_speaker(RouterId(100), R3);
+    let mut ctl = ControllerConfig::new(RouterId(100));
+    ctl.target_util = 0.5;
+    sim.add_app(Box::new(FibbingController::new(ctl)));
+
+    // Two crowd waves with a quiet gap.
+    let mut wave = |start: u64, stop: u64, sim: &mut Sim| {
+        let mut ids = Vec::new();
+        for i in 0..31u64 {
+            let id = sim.schedule_flow(
+                Timestamp::from_secs(start) + Dur::from_millis(i * 10),
+                FlowSpec::new(B, BLUE).with_cap(125_000.0),
+            );
+            ids.push(id);
+        }
+        for id in ids {
+            sim.schedule_flow_stop(Timestamp::from_secs(stop), id);
+        }
+    };
+    wave(10, 30, &mut sim);
+    wave(60, 80, &mut sim);
+    sim.start();
+
+    sim.run_until(Timestamp::from_secs(25));
+    assert!(sim.api().fib_nexthops(B, BLUE).len() >= 2, "wave 1 spread");
+    sim.run_until(Timestamp::from_secs(50));
+    assert_eq!(
+        sim.api().fib_nexthops(B, BLUE).len(),
+        1,
+        "quiet gap: lies retracted"
+    );
+    sim.run_until(Timestamp::from_secs(75));
+    assert!(sim.api().fib_nexthops(B, BLUE).len() >= 2, "wave 2 spread");
+    sim.run_until(Timestamp::from_secs(100));
+    assert_eq!(
+        sim.api().fib_nexthops(B, BLUE).len(),
+        1,
+        "after wave 2: retracted again"
+    );
+}
