@@ -76,13 +76,9 @@ fn bench_split(c: &mut Criterion) {
     let mut g = c.benchmark_group("split_synthesis");
     let fractions = [0.123, 0.456, 0.421];
     for budget in [8u32, 32, 128] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(budget),
-            &budget,
-            |b, budget| {
-                b.iter(|| plan_split(&fractions, *budget).expect("valid"));
-            },
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, budget| {
+            b.iter(|| plan_split(&fractions, *budget).expect("valid"));
+        });
     }
     g.finish();
 }
@@ -109,5 +105,11 @@ fn bench_minmax(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_augment, bench_reduce, bench_split, bench_minmax);
+criterion_group!(
+    benches,
+    bench_augment,
+    bench_reduce,
+    bench_split,
+    bench_minmax
+);
 criterion_main!(benches);

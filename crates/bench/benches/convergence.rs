@@ -13,14 +13,10 @@ fn line_harness(n: u32) -> Harness {
         h.add_router(RouterId(i));
     }
     for i in 1..n {
-        h.connect(
-            RouterId(i),
-            RouterId(i + 1),
-            Metric(1),
-            Dur::from_millis(1),
-        );
+        h.connect(RouterId(i), RouterId(i + 1), Metric(1), Dur::from_millis(1));
     }
-    h.instance_mut(RouterId(n)).announce(Prefix::net24(1), Metric::ZERO);
+    h.instance_mut(RouterId(n))
+        .announce(Prefix::net24(1), Metric::ZERO);
     h
 }
 

@@ -6,10 +6,7 @@ use fib_bench::{f, Table};
 use fibbing::demo::{link_name, name, paper_capacities, paper_topology, A, B, BLUE};
 use fibbing::prelude::*;
 
-fn load_table(
-    title: &str,
-    loads: &std::collections::BTreeMap<(RouterId, RouterId), f64>,
-) -> Table {
+fn load_table(title: &str, loads: &std::collections::BTreeMap<(RouterId, RouterId), f64>) -> Table {
     let mut t = Table::new(&[title, "load (relative units)"]);
     for ((from, to), l) in loads {
         t.row(&[link_name(*from, *to), f(*l)]);
@@ -72,7 +69,12 @@ fn main() {
     let mut alloc = LieAllocator::new();
     let aug = augment(&topo, &plan.dag, &mut alloc).unwrap();
     let lies = reduce(&topo, &plan.dag, &aug.lies);
-    let mut t1c = Table::new(&["fake node", "attached to", "announces at cost", "resolves to"]);
+    let mut t1c = Table::new(&[
+        "fake node",
+        "attached to",
+        "announces at cost",
+        "resolves to",
+    ]);
     for lie in &lies {
         t1c.row(&[
             format!("{}", lie.fake_id),

@@ -5,17 +5,30 @@
 //! in long format (`series,time,value`) plus phase summaries.
 //!
 //! Run: `cargo run --release -p fib-bench --bin fig2_timeseries`
+//!
+//! The horizon defaults to the paper's 55 simulated seconds; set
+//! `FIB_FIG2_SECS` (e.g. to 20) for a reduced run — CI uses this as a
+//! deterministic end-to-end smoke test of the whole pipeline.
 
 use fib_bench::{f, results_dir, Table};
 use fibbing::demo::{self, DemoConfig};
 use fibbing::prelude::summarize;
+
+/// Simulated horizon in seconds (`FIB_FIG2_SECS`, default 55).
+fn horizon_secs() -> u64 {
+    std::env::var("FIB_FIG2_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(55)
+}
 
 fn run(controller: bool, tag: &str) {
     let cfg = DemoConfig {
         controller,
         ..DemoConfig::default()
     };
-    let run = demo::run(&cfg, 55);
+    let secs = horizon_secs();
+    let run = demo::run(&cfg, secs);
     let rec = run.sim.recorder();
 
     let path = results_dir().join(format!("fig2_{tag}.csv"));
@@ -28,29 +41,27 @@ fn run(controller: bool, tag: &str) {
     );
     print!(
         "{}",
-        rec.ascii_chart(&["A-R1", "B-R2", "B-R3"], 72, 55.0, cfg.capacity)
+        rec.ascii_chart(&["A-R1", "B-R2", "B-R3"], 72, secs as f64, cfg.capacity)
     );
 
-    let mut t = Table::new(&["phase", "A-R1 (B/s)", "B-R2 (B/s)", "B-R3 (B/s)", "max util"]);
-    for (from, to, label) in [
+    let mut t = Table::new(&[
+        "phase",
+        "A-R1 (B/s)",
+        "B-R2 (B/s)",
+        "B-R3 (B/s)",
+        "max util",
+    ]);
+    let phases = [
         (5.0, 14.0, "1 flow   (t in 5..14s)"),
         (25.0, 34.0, "31 flows (t in 25..34s)"),
         (45.0, 54.0, "62 flows (t in 45..54s)"),
-    ] {
+    ];
+    for (from, to, label) in phases.into_iter().filter(|(_, to, _)| *to <= secs as f64) {
         let a_r1 = rec.mean_over("A-R1", from, to).unwrap_or(0.0);
         let b_r2 = rec.mean_over("B-R2", from, to).unwrap_or(0.0);
         let b_r3 = rec.mean_over("B-R3", from, to).unwrap_or(0.0);
-        let max = [a_r1, b_r2, b_r3]
-            .into_iter()
-            .fold(0.0f64, f64::max)
-            / cfg.capacity;
-        t.row(&[
-            label.to_string(),
-            f(a_r1),
-            f(b_r2),
-            f(b_r3),
-            f(max),
-        ]);
+        let max = [a_r1, b_r2, b_r3].into_iter().fold(0.0f64, f64::max) / cfg.capacity;
+        t.row(&[label.to_string(), f(a_r1), f(b_r2), f(b_r3), f(max)]);
     }
     t.emit(&format!("fig2_{tag}_phases"));
 

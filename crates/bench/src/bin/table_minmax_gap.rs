@@ -26,7 +26,11 @@ struct Case {
 /// Largest weight bound whose search space stays tractable.
 fn exhaustive_bound(sym_links: usize) -> u32 {
     for w in (2..=3u32).rev() {
-        if (w as u64).checked_pow(sym_links as u32).map(|c| c <= 100_000) == Some(true) {
+        if (w as u64)
+            .checked_pow(sym_links as u32)
+            .map(|c| c <= 100_000)
+            == Some(true)
+        {
             return w;
         }
     }
@@ -78,11 +82,7 @@ fn main() {
     while i < 4 {
         let mut topo = fib_igp::builders::random_connected(&mut rng, 8, 5, 3);
         let routers: Vec<RouterId> = topo.routers().collect();
-        let Some(sink) = routers
-            .iter()
-            .copied()
-            .find(|r| topo.links(*r).len() >= 3)
-        else {
+        let Some(sink) = routers.iter().copied().find(|r| topo.links(*r).len() >= 3) else {
             continue;
         };
         let prefix = Prefix::net24(1);

@@ -119,7 +119,11 @@ impl Plan {
 
 /// Natural (IGP) next-hop routers of `r` toward the prefix on `topo`,
 /// with slot counts.
-fn natural_hops(topo: &Topology, r: RouterId, prefix: fib_igp::types::Prefix) -> Vec<(RouterId, u32)> {
+fn natural_hops(
+    topo: &Topology,
+    r: RouterId,
+    prefix: fib_igp::types::Prefix,
+) -> Vec<(RouterId, u32)> {
     let table = compute_routes(topo, r);
     match table.route(prefix) {
         Some(route) if !route.local => {
@@ -247,9 +251,9 @@ pub fn augment(
                 .collect();
             let base = apply_all(topo, &others);
             let desired = working.hops(*r).cloned().unwrap_or_default();
-            let (new_lies, _override_used) =
-                plan_for_router(&base, *r, &desired, prefix, alloc)?;
-            let old_sig = plan_signature(lies_by_router.get(r).map(|v| v.as_slice()).unwrap_or(&[]));
+            let (new_lies, _override_used) = plan_for_router(&base, *r, &desired, prefix, alloc)?;
+            let old_sig =
+                plan_signature(lies_by_router.get(r).map(|v| v.as_slice()).unwrap_or(&[]));
             if plan_signature(&new_lies) != old_sig {
                 lies_by_router.insert(*r, new_lies);
                 changed = true;

@@ -169,11 +169,8 @@ impl FibbingController {
         self.demands_by_prefix()
             .into_iter()
             .flat_map(|(prefix, v)| {
-                v.into_iter().map(move |(src, rate)| Demand {
-                    src,
-                    prefix,
-                    rate,
-                })
+                v.into_iter()
+                    .map(move |(src, rate)| Demand { src, prefix, rate })
             })
             .collect()
     }
@@ -207,12 +204,7 @@ impl FibbingController {
         (l.attach, l.fw.router, l.cost_at_attach().0)
     }
 
-    fn reconcile(
-        &mut self,
-        api: &mut dyn SimApi,
-        prefix: Prefix,
-        new_lies: Vec<Lie>,
-    ) {
+    fn reconcile(&mut self, api: &mut dyn SimApi, prefix: Prefix, new_lies: Vec<Lie>) {
         let old = self.installed.remove(&prefix).unwrap_or_default();
         let mut old_by_sig: BTreeMap<(RouterId, RouterId, u32), Vec<Lie>> = BTreeMap::new();
         for l in old {
@@ -367,7 +359,8 @@ impl App for FibbingController {
             if info.key.from == self.cfg.speaker || info.key.to == self.cfg.speaker {
                 continue;
             }
-            self.caps.insert((info.key.from, info.key.to), info.capacity);
+            self.caps
+                .insert((info.key.from, info.key.to), info.capacity);
             self.monitor.add(info.key, info.capacity);
             if let Some(idx) = api.ifindex_for(info.key.from, info.key.to) {
                 self.iface_map.insert((info.key.from, idx), info.key);

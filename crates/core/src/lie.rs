@@ -129,7 +129,9 @@ impl LieAllocator {
         prefix: Prefix,
         total_cost: Metric,
     ) -> Lie {
-        let attach_metric = Metric(1.min(total_cost.0.max(1)));
+        // Always 1 on the attach link; the remainder (saturating, so a
+        // zero total cost stays well-formed) goes on the announcement.
+        let attach_metric = Metric(1);
         let prefix_metric = total_cost.sub(attach_metric);
         Lie {
             fake_id: self.fake_id(),

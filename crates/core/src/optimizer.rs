@@ -47,7 +47,10 @@ impl fmt::Display for OptError {
             OptError::NoSink(p) => write!(f, "no router announces {p}"),
             OptError::Disconnected => write!(f, "demand sources are disconnected from the sink"),
             OptError::Infeasible { needed_theta } => {
-                write!(f, "infeasible below the θ ceiling (needs θ = {needed_theta:.3})")
+                write!(
+                    f,
+                    "infeasible below the θ ceiling (needs θ = {needed_theta:.3})"
+                )
             }
         }
     }
@@ -279,11 +282,7 @@ fn assemble(
         return Err(OptError::NoSink(prefix));
     }
     let nodes: Vec<RouterId> = topo.routers().collect();
-    let index: BTreeMap<RouterId, usize> = nodes
-        .iter()
-        .enumerate()
-        .map(|(i, r)| (*r, i))
-        .collect();
+    let index: BTreeMap<RouterId, usize> = nodes.iter().enumerate().map(|(i, r)| (*r, i)).collect();
     let mut links = Vec::new();
     for (from, to, metric) in topo.all_links() {
         if from.is_fake() || to.is_fake() {
@@ -524,15 +523,7 @@ mod tests {
     fn plan_paths_reproduces_fig1d_splits() {
         let (t, blue) = paper_topo();
         let caps = caps_all(&t, 100.0);
-        let plan = plan_paths(
-            &t,
-            blue,
-            &[(r(1), 100.0), (r(2), 100.0)],
-            &caps,
-            0.70,
-            8,
-        )
-        .unwrap();
+        let plan = plan_paths(&t, blue, &[(r(1), 100.0), (r(2), 100.0)], &caps, 0.70, 8).unwrap();
         // A (=r1) splits 1/3 via B, 2/3 via R1 — the paper's uneven
         // split realized with 3 slots.
         let fr_a = plan.dag.fractions(r(1));
@@ -555,7 +546,7 @@ mod tests {
         let plan = plan_paths(&t, blue, &[(r(2), 100.0)], &caps, 0.70, 8).unwrap();
         assert!(plan.dag.hops(r(2)).is_some(), "B constrained");
         assert!(
-            plan.loads.get(&(r(1), r(3))).is_none(),
+            !plan.loads.contains_key(&(r(1), r(3))),
             "A–R1 must stay idle: {:?}",
             plan.loads
         );
@@ -579,15 +570,7 @@ mod tests {
         let (t, blue) = paper_topo();
         let caps = caps_all(&t, 100.0);
         // 200 units can't fit below θ=0.5; plan falls back to θ*≈2/3.
-        let plan = plan_paths(
-            &t,
-            blue,
-            &[(r(1), 100.0), (r(2), 100.0)],
-            &caps,
-            0.5,
-            8,
-        )
-        .unwrap();
+        let plan = plan_paths(&t, blue, &[(r(1), 100.0), (r(2), 100.0)], &caps, 0.5, 8).unwrap();
         assert!(plan.theta_used > 0.6 && plan.theta_used < 0.7);
     }
 

@@ -40,8 +40,7 @@ impl WeightedDag {
             assert!(*w >= 1, "weights must be at least 1");
             *merged.entry(*nh).or_insert(0) += w;
         }
-        self.entries
-            .insert(router, merged.into_iter().collect());
+        self.entries.insert(router, merged.into_iter().collect());
         self
     }
 

@@ -77,11 +77,8 @@ fn fractions_close(a: &BTreeMap<RouterId, f64>, b: &BTreeMap<RouterId, f64>) -> 
     if a.len() != b.len() {
         return false;
     }
-    a.iter().all(|(k, v)| {
-        b.get(k)
-            .map(|w| (v - w).abs() <= TOL)
-            .unwrap_or(false)
-    })
+    a.iter()
+        .all(|(k, v)| b.get(k).map(|w| (v - w).abs() <= TOL).unwrap_or(false))
 }
 
 /// Actual per-next-hop-router fractions of every router toward
@@ -191,7 +188,8 @@ mod tests {
         t.add_link_sym(r(1), r(2), Metric(1)).unwrap();
         t.add_link_sym(r(2), r(3), Metric(1)).unwrap();
         t.add_link_sym(r(1), r(3), Metric(5)).unwrap();
-        t.announce_prefix(r(3), Prefix::net24(1), Metric::ZERO).unwrap();
+        t.announce_prefix(r(3), Prefix::net24(1), Metric::ZERO)
+            .unwrap();
         t
     }
 

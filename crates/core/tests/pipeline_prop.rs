@@ -10,17 +10,12 @@ use fib_igp::prelude::*;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
+/// Per-directed-link capacities.
+type Capacities = BTreeMap<(RouterId, RouterId), f64>;
+
 /// Build a random connected scenario: topology, sink prefix, two
 /// demand sources, uniform capacities.
-fn scenario(
-    seed: u64,
-    n: u32,
-) -> (
-    Topology,
-    Prefix,
-    Vec<(RouterId, f64)>,
-    BTreeMap<(RouterId, RouterId), f64>,
-) {
+fn scenario(seed: u64, n: u32) -> (Topology, Prefix, Vec<(RouterId, f64)>, Capacities) {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(seed);

@@ -115,7 +115,8 @@ pub fn attach_prefixes(t: &mut Topology, routers: &[RouterId]) -> Vec<Prefix> {
     let mut out = Vec::with_capacity(routers.len());
     for (i, r) in routers.iter().enumerate() {
         let p = Prefix::net24((i + 1) as u8);
-        t.announce_prefix(*r, p, Metric::ZERO).expect("attach prefix");
+        t.announce_prefix(*r, p, Metric::ZERO)
+            .expect("attach prefix");
         out.push(p);
     }
     out

@@ -108,10 +108,16 @@ impl fmt::Display for WireError {
             WireError::BadPacketType(t) => write!(f, "unknown packet type {t:#x}"),
             WireError::BadLsaKind(k) => write!(f, "unknown LSA kind {k:#x}"),
             WireError::BadChecksum { expect, got } => {
-                write!(f, "packet checksum mismatch: expected {expect:#06x}, got {got:#06x}")
+                write!(
+                    f,
+                    "packet checksum mismatch: expected {expect:#06x}, got {got:#06x}"
+                )
             }
             WireError::BadLsaChecksum { expect, got } => {
-                write!(f, "LSA checksum mismatch: expected {expect:#06x}, got {got:#06x}")
+                write!(
+                    f,
+                    "LSA checksum mismatch: expected {expect:#06x}, got {got:#06x}"
+                )
             }
             WireError::BadLength { declared, actual } => {
                 write!(f, "bad length field: declared {declared}, actual {actual}")

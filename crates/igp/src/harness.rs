@@ -227,11 +227,7 @@ impl Harness {
 
     fn next_event_time(&self) -> Option<Timestamp> {
         let pkt = self.pkts.peek().map(|p| p.at);
-        let timer = self
-            .instances
-            .values()
-            .filter_map(|i| i.next_timer())
-            .min();
+        let timer = self.instances.values().filter_map(|i| i.next_timer()).min();
         match (pkt, timer) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (Some(a), None) => Some(a),
@@ -250,12 +246,7 @@ impl Harness {
             }
             self.now = self.now.max(t);
             // Deliver every packet due now.
-            while self
-                .pkts
-                .peek()
-                .map(|p| p.at <= self.now)
-                .unwrap_or(false)
-            {
+            while self.pkts.peek().map(|p| p.at <= self.now).unwrap_or(false) {
                 let p = self.pkts.pop().unwrap();
                 events += 1;
                 if let Some(inst) = self.instances.get_mut(&p.to) {
@@ -403,7 +394,9 @@ mod tests {
             .unwrap();
         let t = h.now();
         assert!(h.run_until_converged(t + Dur::from_secs(30)));
-        h.instance_mut(r(1)).retract_fake(RouterId::fake(0)).unwrap();
+        h.instance_mut(r(1))
+            .retract_fake(RouterId::fake(0))
+            .unwrap();
         let t = h.now();
         assert!(h.run_until_converged(t + Dur::from_secs(30)));
         for id in [r(1), r(2), r(3)] {

@@ -770,8 +770,7 @@ impl Instance {
                     // re-sends its final chunk when the slave is still
                     // replying to the previous sequence number.
                     let slave_dup = !n.master && !d.init && d.dd_seq == n.dd_seq;
-                    let master_dup =
-                        n.master && !d.init && d.dd_seq.wrapping_add(1) == n.dd_seq;
+                    let master_dup = n.master && !d.init && d.dd_seq.wrapping_add(1) == n.dd_seq;
                     if slave_dup || master_dup {
                         match n.last_dbd.clone() {
                             Some(data) => {
@@ -899,11 +898,7 @@ impl Instance {
     fn on_request(&mut self, iface_id: IfaceId, sender: RouterId, r: LsRequest) {
         let my_id = self.cfg.router_id;
         let known = {
-            let Some(n) = self
-                .ifaces
-                .get(&iface_id)
-                .and_then(|i| i.neighbor.as_ref())
-            else {
+            let Some(n) = self.ifaces.get(&iface_id).and_then(|i| i.neighbor.as_ref()) else {
                 return;
             };
             n.id == sender && n.state >= NbrState::Exchange

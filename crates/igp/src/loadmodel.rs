@@ -87,7 +87,7 @@ pub fn spread(
         for r in dag.nexthops.keys() {
             indeg.entry(*r).or_insert(0);
         }
-        for ((_, to), _) in &fractions {
+        for (_, to) in fractions.keys() {
             *indeg.entry(*to).or_insert(0) += 1;
         }
         let mut inflow: BTreeMap<RouterId, f64> = BTreeMap::new();
@@ -179,7 +179,8 @@ mod tests {
         t.add_link_sym(r(1), r(3), Metric(1)).unwrap();
         t.add_link_sym(r(2), r(4), Metric(1)).unwrap();
         t.add_link_sym(r(3), r(4), Metric(1)).unwrap();
-        t.announce_prefix(r(4), Prefix::net24(1), Metric::ZERO).unwrap();
+        t.announce_prefix(r(4), Prefix::net24(1), Metric::ZERO)
+            .unwrap();
         t
     }
 

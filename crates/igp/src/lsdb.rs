@@ -311,13 +311,14 @@ mod tests {
         let mut db = Lsdb::new();
         db.install(router_lsa(1, 1, &[]));
         db.install(router_lsa(2, 1, &[]));
-        let purge = db.get(&LsaKey {
-            origin: RouterId(1),
-            kind: LsaKind::Router,
-            id: 0,
-        })
-        .unwrap()
-        .to_purge();
+        let purge = db
+            .get(&LsaKey {
+                origin: RouterId(1),
+                kind: LsaKind::Router,
+                id: 0,
+            })
+            .unwrap()
+            .to_purge();
         assert_eq!(db.install(purge), Install::Updated);
         let swept = db.sweep();
         assert_eq!(swept.len(), 1);

@@ -306,9 +306,9 @@ mod tests {
         new.routes.insert(p3, route(9, &[(2, 0)]));
         let d = diff(&old, &new);
         assert_eq!(d.len(), 3);
-        assert!(d.iter().any(
-            |c| matches!(c, RouteChange::Modified { prefix, .. } if *prefix == p1)
-        ));
+        assert!(d
+            .iter()
+            .any(|c| matches!(c, RouteChange::Modified { prefix, .. } if *prefix == p1)));
         assert!(d
             .iter()
             .any(|c| matches!(c, RouteChange::Added(p, _) if *p == p3)));
@@ -324,7 +324,10 @@ mod tests {
         nexthops.insert(r(1), vec![FwAddr::primary(r(2))]);
         nexthops.insert(r(2), vec![FwAddr::primary(r(1))]);
         nexthops.insert(r(3), vec![]);
-        let dag = ForwardingDag { prefix: p, nexthops };
+        let dag = ForwardingDag {
+            prefix: p,
+            nexthops,
+        };
         let cycle = dag.find_loop().expect("loop expected");
         assert!(cycle.len() >= 2);
     }
@@ -336,7 +339,10 @@ mod tests {
         nexthops.insert(r(1), vec![FwAddr::primary(r(2)), FwAddr::primary(r(3))]);
         nexthops.insert(r(2), vec![FwAddr::primary(r(3))]);
         nexthops.insert(r(3), vec![]);
-        let dag = ForwardingDag { prefix: p, nexthops };
+        let dag = ForwardingDag {
+            prefix: p,
+            nexthops,
+        };
         assert_eq!(dag.find_loop(), None);
         assert_eq!(dag.sinks(), vec![r(3)]);
         let fr = dag.edge_fractions();
@@ -350,7 +356,10 @@ mod tests {
         let mut nexthops = BTreeMap::new();
         nexthops.insert(r(1), vec![FwAddr::secondary(r(2), 1)]);
         nexthops.insert(r(2), vec![]);
-        let dag = ForwardingDag { prefix: p, nexthops };
+        let dag = ForwardingDag {
+            prefix: p,
+            nexthops,
+        };
         let s = dag.to_string();
         assert!(s.contains("r1: [r2#1]"));
         assert!(s.contains("r2: local"));

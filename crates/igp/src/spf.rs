@@ -126,10 +126,10 @@ pub fn route_table_from(topo: &Topology, sp: &ShortestPaths) -> RouteTable {
     let mut best: BTreeMap<Prefix, (Metric, Vec<FwAddr>, bool)> = BTreeMap::new();
 
     let consider = |prefix: Prefix,
-                        cost: Metric,
-                        hops: Vec<FwAddr>,
-                        local: bool,
-                        best: &mut BTreeMap<Prefix, (Metric, Vec<FwAddr>, bool)>| {
+                    cost: Metric,
+                    hops: Vec<FwAddr>,
+                    local: bool,
+                    best: &mut BTreeMap<Prefix, (Metric, Vec<FwAddr>, bool)>| {
         if !cost.is_finite() {
             return;
         }
@@ -181,13 +181,7 @@ pub fn route_table_from(topo: &Topology, sp: &ShortestPaths) -> RouteTable {
         if attrs.attach == source {
             // The lie targets this very router: the fake next-hop
             // resolves to the lie's forwarding address.
-            consider(
-                attrs.prefix,
-                via_cost,
-                vec![attrs.fw],
-                false,
-                &mut best,
-            );
+            consider(attrs.prefix, via_cost, vec![attrs.fw], false, &mut best);
         } else {
             let d = sp.dist_to(attrs.attach);
             let cost = d.add(via_cost);
@@ -340,7 +334,17 @@ pub fn enumerate_paths(
     // DFS forward from source following distance-consistent edges.
     let mut out = Vec::new();
     let mut stack = vec![source];
-    dfs_paths(topo, &sp, source, prefix, best, Metric::ZERO, &mut stack, &mut out, limit);
+    dfs_paths(
+        topo,
+        &sp,
+        source,
+        prefix,
+        best,
+        Metric::ZERO,
+        &mut stack,
+        &mut out,
+        limit,
+    );
     out.sort();
     out
 }
@@ -392,7 +396,9 @@ fn dfs_paths(
         // of link.to from the source must equal spent + metric.
         if sp.dist_to(link.to) == next_spent && !stack.contains(&link.to) {
             stack.push(link.to);
-            dfs_paths(topo, sp, link.to, prefix, best, next_spent, stack, out, limit);
+            dfs_paths(
+                topo, sp, link.to, prefix, best, next_spent, stack, out, limit,
+            );
             stack.pop();
         }
     }
@@ -417,7 +423,8 @@ mod tests {
         t.add_link_sym(r(1), r(2), Metric(2)).unwrap();
         t.add_link_sym(r(1), r(3), Metric(1)).unwrap();
         t.add_link_sym(r(3), r(2), Metric(1)).unwrap();
-        t.announce_prefix(r(2), Prefix::net24(1), Metric(0)).unwrap();
+        t.announce_prefix(r(2), Prefix::net24(1), Metric(0))
+            .unwrap();
         t
     }
 
@@ -568,10 +575,7 @@ mod tests {
     fn path_enumeration_lists_equal_cost_paths() {
         let t = square();
         let paths = enumerate_paths(&t, r(1), Prefix::net24(1), 16);
-        assert_eq!(
-            paths,
-            vec![vec![r(1), r(2)], vec![r(1), r(3), r(2)]]
-        );
+        assert_eq!(paths, vec![vec![r(1), r(2)], vec![r(1), r(3), r(2)]]);
     }
 
     #[test]

@@ -77,6 +77,9 @@ impl Dur {
     }
 
     /// Saturating scalar multiplication.
+    // Named like the sibling saturating helpers rather than the `Mul`
+    // operator, which would imply wrapping semantics.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, k: u64) -> Dur {
         Dur(self.0.saturating_mul(k))
     }

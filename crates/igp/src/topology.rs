@@ -200,14 +200,17 @@ impl Topology {
 
     /// Outgoing links of a node (empty for fake nodes).
     pub fn links(&self, from: RouterId) -> &[TopoLink] {
-        self.nodes.get(&from).map(|n| n.links.as_slice()).unwrap_or(&[])
+        self.nodes
+            .get(&from)
+            .map(|n| n.links.as_slice())
+            .unwrap_or(&[])
     }
 
     /// All directed real links as `(from, to, metric)` triples.
     pub fn all_links(&self) -> impl Iterator<Item = (RouterId, RouterId, Metric)> + '_ {
-        self.nodes.iter().flat_map(|(from, n)| {
-            n.links.iter().map(move |l| (*from, l.to, l.metric))
-        })
+        self.nodes
+            .iter()
+            .flat_map(|(from, n)| n.links.iter().map(move |l| (*from, l.to, l.metric)))
     }
 
     /// Attach a prefix announcement to an existing node.
@@ -264,9 +267,9 @@ impl Topology {
 
     /// All `(node, prefix, metric)` announcements.
     pub fn all_announcements(&self) -> impl Iterator<Item = (RouterId, Prefix, Metric)> + '_ {
-        self.nodes.iter().flat_map(|(r, n)| {
-            n.prefixes.iter().map(move |(p, m)| (*r, *p, *m))
-        })
+        self.nodes
+            .iter()
+            .flat_map(|(r, n)| n.prefixes.iter().map(move |(p, m)| (*r, *p, *m)))
     }
 
     /// Inject a fake node.
@@ -336,7 +339,12 @@ impl Topology {
             t.nodes.insert(
                 id,
                 Node {
-                    links: node.links.iter().filter(|l| !l.to.is_fake()).copied().collect(),
+                    links: node
+                        .links
+                        .iter()
+                        .filter(|l| !l.to.is_fake())
+                        .copied()
+                        .collect(),
                     prefixes: node.prefixes.clone(),
                     fake: None,
                 },
@@ -518,7 +526,8 @@ mod tests {
     #[test]
     fn dot_rendering_mentions_every_node() {
         let mut t = two_routers();
-        t.announce_prefix(r(2), Prefix::net24(1), Metric(0)).unwrap();
+        t.announce_prefix(r(2), Prefix::net24(1), Metric(0))
+            .unwrap();
         let dot = t.to_dot();
         assert!(dot.contains("\"r1\" -> \"r2\""));
         assert!(dot.contains("10.0.1.0/24"));

@@ -126,6 +126,8 @@ impl Prefix {
     }
 
     /// The mask length.
+    // A mask length, not a container size; "empty" is `is_default`.
+    #[allow(clippy::len_without_is_empty)]
     pub const fn len(self) -> u8 {
         self.len
     }

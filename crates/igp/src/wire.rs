@@ -152,7 +152,8 @@ fn put_lsa_header(buf: &mut BytesMut, h: &LsaHeader) {
 fn get_lsa_header(buf: &mut Bytes) -> Result<LsaHeader, WireError> {
     need(buf, LSA_HEADER_LEN)?;
     let origin = RouterId(buf.get_u32());
-    let kind = LsaKind::from_u8(buf.get_u8()).ok_or_else(|| WireError::BadLsaKind(0))?;
+    let kind_byte = buf.get_u8();
+    let kind = LsaKind::from_u8(kind_byte).ok_or(WireError::BadLsaKind(kind_byte))?;
     let id = buf.get_u32();
     let seq = SeqNum(buf.get_i32());
     let age = buf.get_u16();
@@ -415,8 +416,7 @@ pub fn decode(mut buf: Bytes) -> Result<(RouterId, Packet), WireError> {
                 need(&buf, 9)?;
                 let origin = RouterId(buf.get_u32());
                 let kind_byte = buf.get_u8();
-                let kind =
-                    LsaKind::from_u8(kind_byte).ok_or(WireError::BadLsaKind(kind_byte))?;
+                let kind = LsaKind::from_u8(kind_byte).ok_or(WireError::BadLsaKind(kind_byte))?;
                 let id = buf.get_u32();
                 keys.push(LsaKey { origin, kind, id });
             }

@@ -25,13 +25,18 @@ fn arb_kind() -> impl Strategy<Value = LsaKind> {
 }
 
 fn arb_header() -> impl Strategy<Value = LsaHeader> {
-    (arb_router(), arb_kind(), any::<u32>(), any::<i32>(), any::<u16>()).prop_map(
-        |(origin, kind, id, seq, age)| LsaHeader {
+    (
+        arb_router(),
+        arb_kind(),
+        any::<u32>(),
+        any::<i32>(),
+        any::<u16>(),
+    )
+        .prop_map(|(origin, kind, id, seq, age)| LsaHeader {
             key: LsaKey { origin, kind, id },
             seq: SeqNum(seq),
             age,
-        },
-    )
+        })
 }
 
 fn arb_lsa() -> impl Strategy<Value = Lsa> {
@@ -80,29 +85,31 @@ fn arb_lsa() -> impl Strategy<Value = Lsa> {
         arb_router(),
         any::<u16>(),
     )
-        .prop_map(
-            |(fid, seq, age, attach, am, p, pm, fwr, fwa)| {
-                let mut l = Lsa::fake(
-                    RouterId::fake(fid % 0x7fff_ffff),
-                    SeqNum(seq),
-                    attach,
-                    Metric(am),
-                    p,
-                    Metric(pm),
-                    FwAddr {
-                        router: fwr,
-                        addr: fwa,
-                    },
-                );
-                l.age = age;
-                l
-            },
-        );
+        .prop_map(|(fid, seq, age, attach, am, p, pm, fwr, fwa)| {
+            let mut l = Lsa::fake(
+                RouterId::fake(fid % 0x7fff_ffff),
+                SeqNum(seq),
+                attach,
+                Metric(am),
+                p,
+                Metric(pm),
+                FwAddr {
+                    router: fwr,
+                    addr: fwa,
+                },
+            );
+            l.age = age;
+            l
+        });
     prop_oneof![router, prefix, fake]
 }
 
 fn arb_packet() -> impl Strategy<Value = Packet> {
-    let hello = (any::<u16>(), any::<u16>(), proptest::collection::vec(arb_router(), 0..8))
+    let hello = (
+        any::<u16>(),
+        any::<u16>(),
+        proptest::collection::vec(arb_router(), 0..8),
+    )
         .prop_map(|(h, d, seen)| {
             Packet::Hello(Hello {
                 hello_interval: h,
@@ -126,18 +133,16 @@ fn arb_packet() -> impl Strategy<Value = Packet> {
                 headers,
             })
         });
-    let req = proptest::collection::vec(
-        (arb_router(), arb_kind(), any::<u32>()),
-        0..8,
-    )
-    .prop_map(|keys| {
-        Packet::LsRequest(LsRequest {
-            keys: keys
-                .into_iter()
-                .map(|(origin, kind, id)| LsaKey { origin, kind, id })
-                .collect(),
-        })
-    });
+    let req = proptest::collection::vec((arb_router(), arb_kind(), any::<u32>()), 0..8).prop_map(
+        |keys| {
+            Packet::LsRequest(LsRequest {
+                keys: keys
+                    .into_iter()
+                    .map(|(origin, kind, id)| LsaKey { origin, kind, id })
+                    .collect(),
+            })
+        },
+    );
     let upd = proptest::collection::vec(arb_lsa(), 0..6)
         .prop_map(|lsas| Packet::LsUpdate(LsUpdate { lsas }));
     let ack = proptest::collection::vec(arb_header(), 0..8)

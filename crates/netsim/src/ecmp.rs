@@ -89,7 +89,10 @@ mod tests {
         }
         for c in &counts {
             // Expect ~1000 each; allow ±15%.
-            assert!((850..=1150).contains(c), "skewed ECMP dispersion: {counts:?}");
+            assert!(
+                (850..=1150).contains(c),
+                "skewed ECMP dispersion: {counts:?}"
+            );
         }
     }
 

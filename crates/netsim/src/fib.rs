@@ -42,7 +42,8 @@ impl Fib {
             if route.local {
                 self.entries.insert(*p, FibEntry::Local);
             } else if !route.nexthops.is_empty() {
-                self.entries.insert(*p, FibEntry::Via(route.nexthops.clone()));
+                self.entries
+                    .insert(*p, FibEntry::Via(route.nexthops.clone()));
             }
         }
     }
@@ -193,7 +194,8 @@ mod tests {
         let wide = Prefix::new(0x0A00_0000, 8);
         let narrow = Prefix::net24(1);
         let mut f = Fib::new();
-        f.entries.insert(wide, FibEntry::Via(vec![FwAddr::primary(r(9))]));
+        f.entries
+            .insert(wide, FibEntry::Via(vec![FwAddr::primary(r(9))]));
         f.entries
             .insert(narrow, FibEntry::Via(vec![FwAddr::primary(r(2))]));
         match f.lookup(Prefix::net24(1)) {

@@ -183,10 +183,7 @@ pub fn max_min_keyed<K: Ord + Clone>(
         })
         .collect();
     let alloc = max_min_allocation(&caps, &fluid_flows);
-    let loads: BTreeMap<K, f64> = keys
-        .into_iter()
-        .zip(alloc.link_loads)
-        .collect();
+    let loads: BTreeMap<K, f64> = keys.into_iter().zip(alloc.link_loads).collect();
     (alloc.rates, loads)
 }
 
@@ -204,7 +201,10 @@ mod tests {
 
     #[test]
     fn single_link_fair_share() {
-        let a = max_min_allocation(&[90.0], &[flow(&[0], None), flow(&[0], None), flow(&[0], None)]);
+        let a = max_min_allocation(
+            &[90.0],
+            &[flow(&[0], None), flow(&[0], None), flow(&[0], None)],
+        );
         for r in &a.rates {
             assert!((r - 30.0).abs() < 1e-6);
         }

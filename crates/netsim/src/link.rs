@@ -138,8 +138,8 @@ mod tests {
 
     #[test]
     fn spec_builder() {
-        let s = LinkSpec::new(RouterId(1), RouterId(2), Metric(5), 4e6)
-            .with_delay(Dur::from_millis(7));
+        let s =
+            LinkSpec::new(RouterId(1), RouterId(2), Metric(5), 4e6).with_delay(Dur::from_millis(7));
         assert_eq!(s.delay, Dur::from_millis(7));
         assert_eq!(s.cost, Metric(5));
     }

@@ -354,11 +354,7 @@ impl Core {
                     .sampled
                     .iter()
                     .map(|(name, key)| {
-                        let rate = self
-                            .links
-                            .get(key)
-                            .map(|r| r.state.rate)
-                            .unwrap_or(0.0);
+                        let rate = self.links.get(key).map(|r| r.state.rate).unwrap_or(0.0);
                         (name.clone(), rate)
                     })
                     .collect();
@@ -507,9 +503,9 @@ impl Core {
             let key = self.flows[id].key;
             match resolve_path(&self.fibs, &key) {
                 Ok(path) => {
-                    let usable = path.iter().all(|l| {
-                        self.links.get(l).map(|r| r.state.up).unwrap_or(false)
-                    });
+                    let usable = path
+                        .iter()
+                        .all(|l| self.links.get(l).map(|r| r.state.up).unwrap_or(false));
                     let f = self.flows.get_mut(id).expect("known flow");
                     if usable {
                         f.path = Some(path);
@@ -536,10 +532,8 @@ impl Core {
             .values()
             .filter_map(|f| f.path.clone().map(|p| (f.id, p, f.cap)))
             .collect();
-        let flow_inputs: Vec<(Vec<LinkKey>, Option<f64>)> = routed
-            .iter()
-            .map(|(_, p, c)| (p.clone(), *c))
-            .collect();
+        let flow_inputs: Vec<(Vec<LinkKey>, Option<f64>)> =
+            routed.iter().map(|(_, p, c)| (p.clone(), *c)).collect();
         let (rates, loads) = max_min_keyed(&capacities, &flow_inputs);
         // Zero everything, then apply.
         for f in self.flows.values_mut() {
@@ -836,8 +830,7 @@ impl Sim {
         // flows, which notify again within the same instant.
         for _round in 0..8 {
             let ticks: Vec<usize> = std::mem::take(&mut self.core.pending_ticks);
-            let events: Vec<(bool, FlowInfo)> =
-                std::mem::take(&mut self.core.pending_flow_events);
+            let events: Vec<(bool, FlowInfo)> = std::mem::take(&mut self.core.pending_flow_events);
             if ticks.is_empty() && events.is_empty() {
                 break;
             }
@@ -981,7 +974,10 @@ mod tests {
         assert!((api.flow_rate(f).unwrap() - 1e5).abs() < 1.0);
         // Delivered ≈ cap × elapsed (5 s minus allocation instant).
         let delivered = api.flow_delivered(f).unwrap();
-        assert!(delivered > 4.0e5 && delivered < 5.5e5, "delivered {delivered}");
+        assert!(
+            delivered > 4.0e5 && delivered < 5.5e5,
+            "delivered {delivered}"
+        );
     }
 
     #[test]
@@ -999,10 +995,7 @@ mod tests {
         let v = api.snmp_get(r(1), &fib_telemetry::mib::oids::if_out_octets().child(idx));
         match v {
             Some(Value::Counter(c)) => {
-                assert!(
-                    (9e5..1.2e6).contains(&(c as f64)),
-                    "unexpected counter {c}"
-                );
+                assert!((9e5..1.2e6).contains(&(c as f64)), "unexpected counter {c}");
             }
             other => panic!("unexpected SNMP value {other:?}"),
         }

@@ -64,11 +64,7 @@ impl TrafficMatrix {
     /// Scale every entry by `k`.
     pub fn scaled(&self, k: f64) -> TrafficMatrix {
         TrafficMatrix {
-            entries: self
-                .entries
-                .iter()
-                .map(|(key, r)| (*key, r * k))
-                .collect(),
+            entries: self.entries.iter().map(|(key, r)| (*key, r * k)).collect(),
         }
     }
 

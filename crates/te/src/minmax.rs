@@ -27,9 +27,7 @@ pub fn even_ecmp_max_util(
     Some(max_utilization(&loads, &capacities_f(capacities)))
 }
 
-fn capacities_f(
-    caps: &BTreeMap<(RouterId, RouterId), f64>,
-) -> BTreeMap<(RouterId, RouterId), f64> {
+fn capacities_f(caps: &BTreeMap<(RouterId, RouterId), f64>) -> BTreeMap<(RouterId, RouterId), f64> {
     caps.clone()
 }
 
@@ -106,7 +104,8 @@ mod tests {
         }
         t.add_link_sym(r(1), r(2), Metric(1)).unwrap();
         t.add_link_sym(r(2), r(4), Metric(1)).unwrap();
-        t.add_link_sym(r(1), r(3), Metric(if asymmetric { 3 } else { 1 })).unwrap();
+        t.add_link_sym(r(1), r(3), Metric(if asymmetric { 3 } else { 1 }))
+            .unwrap();
         t.add_link_sym(r(3), r(4), Metric(1)).unwrap();
         let p = Prefix::net24(1);
         t.announce_prefix(r(4), p, Metric::ZERO).unwrap();

@@ -159,10 +159,7 @@ impl RsvpTe {
                     continue;
                 }
                 let nd = d.add(link.metric);
-                let better = dist
-                    .get(&link.to)
-                    .map(|(dd, _)| nd < *dd)
-                    .unwrap_or(true);
+                let better = dist.get(&link.to).map(|(dd, _)| nd < *dd).unwrap_or(true);
                 if better {
                     dist.insert(link.to, (nd, Some(u)));
                     heap.push(Reverse((nd, link.to)));
@@ -225,7 +222,10 @@ impl RsvpTe {
 
     /// Tear a tunnel down (PathTear per hop, reservations released).
     pub fn teardown(&mut self, id: TunnelId) -> Result<(), RsvpError> {
-        let t = self.tunnels.remove(&id).ok_or(RsvpError::UnknownTunnel(id))?;
+        let t = self
+            .tunnels
+            .remove(&id)
+            .ok_or(RsvpError::UnknownTunnel(id))?;
         for key in &t.path {
             if let Some(r) = self.reserved.get_mut(key) {
                 *r = (*r - t.bw).max(0.0);
@@ -408,10 +408,7 @@ mod tests {
         te.teardown(id).unwrap();
         assert!((te.residual(r(1), r(2)) - 100.0).abs() < 1e-9);
         assert_eq!(te.stats.tear_msgs, 2);
-        assert!(matches!(
-            te.teardown(id),
-            Err(RsvpError::UnknownTunnel(_))
-        ));
+        assert!(matches!(te.teardown(id), Err(RsvpError::UnknownTunnel(_))));
     }
 
     #[test]

@@ -144,9 +144,7 @@ pub fn optimize_weights(
                 cand.set_metric(b, a, Metric(w)).unwrap();
                 evaluations += 1;
                 if let Some((c, _)) = network_cost(&cand, tm, capacities) {
-                    if c < cost - 1e-9
-                        && best_move.map(|(_, _, bc)| c < bc).unwrap_or(true)
-                    {
+                    if c < cost - 1e-9 && best_move.map(|(_, _, bc)| c < bc).unwrap_or(true) {
                         best_move = Some(((a, b), w, c));
                     }
                 }
@@ -322,12 +320,7 @@ mod tests {
         let mut tm = TrafficMatrix::new();
         tm.add(r(1), p, 160.0);
         let res = optimize_weights(&t, &tm, &caps, 8, 10);
-        let d = disruption(
-            &t,
-            &res.topo,
-            Dur::from_secs(5),
-            Dur::from_millis(200),
-        );
+        let d = disruption(&t, &res.topo, Dur::from_secs(5), Dur::from_millis(200));
         assert!(d.devices_reconfigured >= 1);
         assert_eq!(d.lsas_reoriginated, 2 * res.changed_links.len());
         assert!(d.routers_rerouted >= 1);

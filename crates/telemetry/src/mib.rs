@@ -205,10 +205,7 @@ mod tests {
             a.get(&oids::if_out_octets().child(1)),
             Some(Value::Counter(1000))
         );
-        assert_eq!(
-            a.get(&oids::sys_name()),
-            Some(Value::Str("r1".to_string()))
-        );
+        assert_eq!(a.get(&oids::sys_name()), Some(Value::Str("r1".to_string())));
         assert_eq!(a.get(&oids::if_out_octets().child(9)), None);
     }
 

@@ -139,11 +139,7 @@ mod tests {
     }
 
     fn monitor() -> LoadMonitor<&'static str> {
-        let mut m = LoadMonitor::new(
-            CounterWidth::C64,
-            1.0,
-            Threshold::new(0.8, 0.4, Dur::ZERO),
-        );
+        let mut m = LoadMonitor::new(CounterWidth::C64, 1.0, Threshold::new(0.8, 0.4, Dur::ZERO));
         m.add("a-b", 1000.0); // 1000 B/s capacity
         m
     }

@@ -131,9 +131,8 @@ mod tests {
     fn jitter_stays_bounded() {
         let mut p: Poller<u32> = Poller::new(Dur::from_secs(10), 0.1, 3);
         p.add_target(1, Timestamp::ZERO);
-        let mut now = Timestamp::ZERO;
         for _ in 0..50 {
-            now = p.next_deadline().unwrap();
+            let now = p.next_deadline().unwrap();
             let due = p.due(now);
             assert_eq!(due.len(), 1);
             let next = p.next_deadline().unwrap();

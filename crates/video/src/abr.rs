@@ -41,9 +41,7 @@ impl AbrPolicy {
     pub fn decide(&self, ladder: &Ladder, input: AbrInput) -> usize {
         match self {
             AbrPolicy::Constant(level) => (*level).min(ladder.levels() - 1),
-            AbrPolicy::RateBased { safety } => {
-                ladder.level_for_budget(input.throughput * safety)
-            }
+            AbrPolicy::RateBased { safety } => ladder.level_for_budget(input.throughput * safety),
             AbrPolicy::BufferBased { reservoir, cushion } => {
                 if input.buffer_secs <= *reservoir {
                     0
@@ -98,6 +96,6 @@ mod tests {
         assert_eq!(p.decide(&l, input(2.0, 0.0)), 0);
         assert_eq!(p.decide(&l, input(20.0, 0.0)), 3);
         let mid = p.decide(&l, input(10.0, 0.0));
-        assert!(mid >= 1 && mid <= 2, "mid-buffer level: {mid}");
+        assert!((1..=2).contains(&mid), "mid-buffer level: {mid}");
     }
 }

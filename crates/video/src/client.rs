@@ -158,7 +158,9 @@ impl Player {
                 }
             }
             PlayerState::Playing => {
-                let render = dt.min(self.buffer_secs).min(self.video.duration - self.played_secs);
+                let render = dt
+                    .min(self.buffer_secs)
+                    .min(self.video.duration - self.played_secs);
                 self.played_secs += render;
                 self.buffer_secs -= render;
                 self.bitrate_time += render * rate;

@@ -46,6 +46,7 @@ pub fn paper_schedule(
 
 /// A Poisson flash crowd: `n` arrivals at exponential inter-arrival
 /// times of mean `mean_gap` starting at `start`.
+#[allow(clippy::too_many_arguments)] // flat schedule parameters; a builder would obscure call sites
 pub fn poisson_crowd<R: Rng>(
     rng: &mut R,
     start: Timestamp,
@@ -62,7 +63,7 @@ pub fn poisson_crowd<R: Rng>(
     for i in 0..n {
         let u: f64 = rng.gen_range(1e-9..1.0);
         let gap = Dur::from_secs_f64(-u.ln() * mean_gap.as_secs_f64());
-        t = t + gap;
+        t += gap;
         specs.push(SessionSpec::constant(
             t,
             src,

@@ -42,7 +42,14 @@ pub struct SessionSpec {
 
 impl SessionSpec {
     /// A constant-bitrate session (the demo's shape).
-    pub fn constant(start: Timestamp, src: RouterId, dst: Prefix, rate: f64, secs: f64, tag: u64) -> SessionSpec {
+    pub fn constant(
+        start: Timestamp,
+        src: RouterId,
+        dst: Prefix,
+        rate: f64,
+        secs: f64,
+        tag: u64,
+    ) -> SessionSpec {
         SessionSpec {
             start,
             src,
@@ -167,7 +174,8 @@ impl VideoWorkload {
             }
             self.reports.lock().insert(s.spec.tag, s.player.qoe());
         }
-        self.active.retain(|s| !s.finished || true); // keep for reports
+        // Finished sessions stay in `active` so their QoE reports keep
+        // being published; `active_count` filters them out.
     }
 
     /// Number of sessions not yet finished.
@@ -270,8 +278,22 @@ mod tests {
     fn sessions_launch_on_schedule() {
         let mut sim = line(1e6);
         let specs = vec![
-            SessionSpec::constant(Timestamp::from_secs(5), r(1), Prefix::net24(1), 1e5, 100.0, 1),
-            SessionSpec::constant(Timestamp::from_secs(20), r(1), Prefix::net24(1), 1e5, 100.0, 2),
+            SessionSpec::constant(
+                Timestamp::from_secs(5),
+                r(1),
+                Prefix::net24(1),
+                1e5,
+                100.0,
+                1,
+            ),
+            SessionSpec::constant(
+                Timestamp::from_secs(20),
+                r(1),
+                Prefix::net24(1),
+                1e5,
+                100.0,
+                2,
+            ),
         ];
         let (driver, reports) = VideoWorkload::new(specs, Dur::from_millis(100));
         sim.add_app(Box::new(driver));

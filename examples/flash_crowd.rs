@@ -27,7 +27,11 @@ fn run_once(controller: bool) {
         "{}",
         rec.ascii_chart(&["A-R1", "B-R2", "B-R3"], 72, 55.0, cfg.capacity)
     );
-    for phase in [(8.0, 14.0, "t in  8..14s"), (25.0, 34.0, "t in 25..34s"), (45.0, 54.0, "t in 45..54s")] {
+    for phase in [
+        (8.0, 14.0, "t in  8..14s"),
+        (25.0, 34.0, "t in 25..34s"),
+        (45.0, 54.0, "t in 45..54s"),
+    ] {
         let (from, to, label) = phase;
         println!(
             "  {label}:  A-R1 {:>9.0} B/s   B-R2 {:>9.0} B/s   B-R3 {:>9.0} B/s",

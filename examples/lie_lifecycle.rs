@@ -96,12 +96,7 @@ fn main() {
     let lsdb_len = sim.instance(R4).map(|i| i.lsdb().len()).unwrap_or(0);
     let fakes_at_r4 = sim
         .instance(R4)
-        .map(|i| {
-            i.lsdb()
-                .iter()
-                .filter(|l| l.key.origin.is_fake())
-                .count()
-        })
+        .map(|i| i.lsdb().iter().filter(|l| l.key.origin.is_fake()).count())
         .unwrap_or(0);
     println!("\n       R4's LSDB holds {lsdb_len} LSAs, {fakes_at_r4} of them lies.");
 
@@ -123,12 +118,7 @@ fn main() {
     );
     let fakes_left = sim
         .instance(R4)
-        .map(|i| {
-            i.lsdb()
-                .iter()
-                .filter(|l| l.key.origin.is_fake())
-                .count()
-        })
+        .map(|i| i.lsdb().iter().filter(|l| l.key.origin.is_fake()).count())
         .unwrap_or(99);
     println!("       R4's LSDB now holds {fakes_left} lies — the network forgot.");
 }

@@ -38,12 +38,13 @@ fn main() {
 
     let augmented = apply_all(&topo, &plan.lies);
     let table = compute_routes(&augmented, A);
-    println!(
-        "\nA's augmented ECMP slots: {:?}",
-        table.nexthops(BLUE)
-    );
+    println!("\nA's augmented ECMP slots: {:?}", table.nexthops(BLUE));
     for (router, frac) in table.route(BLUE).unwrap().split_by_router() {
-        println!("  {} carries {:.1}% of A's traffic", name(router), frac * 100.0);
+        println!(
+            "  {} carries {:.1}% of A's traffic",
+            name(router),
+            frac * 100.0
+        );
     }
 
     let report = check_preserving(&topo, &augmented, &dag);

@@ -84,8 +84,7 @@ fn main() {
         for budget in [4u32, 8, 16] {
             let plan = plan_split(&fractions, budget).expect("valid fractions");
             let realized = realized_fraction(&plan.weights);
-            let realized_s: Vec<String> =
-                realized.iter().map(|f| format!("{:.3}", f)).collect();
+            let realized_s: Vec<String> = realized.iter().map(|f| format!("{:.3}", f)).collect();
             println!(
                 "  {label} budget {budget:>2}: slots {plan} -> measured [{}]",
                 realized_s.join(", ")

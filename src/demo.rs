@@ -90,7 +90,8 @@ pub fn paper_topology() -> Topology {
         t.add_router(r);
     }
     for (a, b, w) in PAPER_LINKS {
-        t.add_link_sym(a, b, Metric(w)).expect("paper links are valid");
+        t.add_link_sym(a, b, Metric(w))
+            .expect("paper links are valid");
     }
     t.announce_prefix(C, BLUE, Metric::ZERO)
         .expect("C announces the blue prefix");

@@ -75,7 +75,11 @@ fn fig2_with_controller_prevents_congestion() {
     let summary = summarize(&reports);
     assert_eq!(summary.sessions, 62);
     assert!(
-        summary.smooth + reports.iter().filter(|r| !r.completed && r.stalls == 0).count()
+        summary.smooth
+            + reports
+                .iter()
+                .filter(|r| !r.completed && r.stalls == 0)
+                .count()
             >= 58,
         "most sessions smooth, got {summary:?}"
     );

@@ -1,0 +1,89 @@
+//! Workspace determinism smoke test.
+//!
+//! The reproduction's whole verification story rests on determinism:
+//! identical configs (same seed) must yield identical runs. This test
+//! pins the paper's control-plane milestones — the single-lie plan the
+//! controller installs after the t=15 wave (B splits evenly over R2 and
+//! R3) and the two-lie plan after the t=35 wave (A gets a 1/3–2/3
+//! split toward B and R1) — and asserts both the plan structure and
+//! its bit-for-bit reproducibility across two independent runs.
+
+use fibbing::demo::{self, DemoConfig, A, B, BLUE, R1, R2, R3};
+use fibbing::prelude::*;
+
+/// Sorted next-hop routers for `router` toward the blue prefix.
+fn hops(run: &mut demo::Demo, router: RouterId) -> Vec<RouterId> {
+    let mut v: Vec<RouterId> = run
+        .sim
+        .api()
+        .fib_nexthops(router, BLUE)
+        .iter()
+        .map(|h| h.router)
+        .collect();
+    v.sort();
+    v
+}
+
+/// Drive one demo to just past each wave and snapshot the installed
+/// forwarding structure at both milestones.
+#[allow(clippy::type_complexity)]
+fn milestones() -> (
+    Vec<RouterId>,
+    Vec<RouterId>,
+    Vec<RouterId>,
+    Vec<RouterId>,
+    String,
+) {
+    let mut run = demo::build(&DemoConfig::default());
+    run.sim.start();
+
+    // Past the t=15 wave: the controller has started lying at B —
+    // traffic is spread over both R2 and R3 — while A is untouched.
+    // (The first reaction over-provisions slots; reconciliation trims
+    // it to the paper's even split by the next milestone.)
+    run.sim.run_until(Timestamp::from_secs(25));
+    let b_first_wave = hops(&mut run, B);
+    let a_untouched = hops(&mut run, A);
+
+    // Past the t=35 wave, settled: the single-lie plan at B (even
+    // R2/R3 split) and the two-lie plan at A (three ECMP slots, two of
+    // them via R1 — the 1/3–2/3 split).
+    run.sim.run_until(Timestamp::from_secs(45));
+    let b_single_lie = hops(&mut run, B);
+    let a_two_lie = hops(&mut run, A);
+
+    let csv = run.sim.recorder().to_csv();
+    (b_first_wave, a_untouched, b_single_lie, a_two_lie, csv)
+}
+
+#[test]
+fn demo_reproduces_paper_plans_deterministically() {
+    let (bw1, a_idle1, b1, a1, csv1) = milestones();
+    let (bw2, a_idle2, b2, a2, csv2) = milestones();
+
+    // After the first wave, B spreads over both egresses …
+    assert!(
+        bw1.contains(&R2) && bw1.contains(&R3),
+        "B must spread over R2 and R3 after the first wave: {bw1:?}"
+    );
+    // … while A still forwards only via B until its own wave hits.
+    assert_eq!(a_idle1, vec![B], "A untouched until the t=35 wave");
+
+    // The paper's single-lie plan at B: one slot each via R2 and R3.
+    assert_eq!(b1, vec![R2, R3], "B's even split once plans settle");
+    // The paper's two-lie plan at A: 3 slots, two of them via R1.
+    assert_eq!(a1.len(), 3, "A has 3 ECMP slots after the second wave");
+    assert_eq!(
+        a1.iter().filter(|r| **r == R1).count(),
+        2,
+        "two of A's slots point at R1 (the 2/3 share)"
+    );
+    assert!(a1.contains(&B), "one of A's slots still points at B");
+
+    // Same seed ⇒ same plans, same everything.
+    assert_eq!(bw1, bw2, "first-wave reaction differs between runs");
+    assert_eq!(a_idle1, a_idle2);
+    assert_eq!(b1, b2, "single-lie plan differs between runs");
+    assert_eq!(a1, a2, "two-lie plan differs between runs");
+    assert_eq!(csv1, csv2, "recorded traces differ between runs");
+}

@@ -26,8 +26,14 @@ fn fig1b_overload_on_b_r2_c() {
     ];
     let loads = spread(&topo, &demands).expect("routable");
     assert!((loads[&(A, B)] - 100.0).abs() < 1e-9);
-    assert!((loads[&(B, R2)] - 200.0).abs() < 1e-9, "B-R2 must carry 200");
-    assert!((loads[&(R2, C)] - 200.0).abs() < 1e-9, "R2-C must carry 200");
+    assert!(
+        (loads[&(B, R2)] - 200.0).abs() < 1e-9,
+        "B-R2 must carry 200"
+    );
+    assert!(
+        (loads[&(R2, C)] - 200.0).abs() < 1e-9,
+        "R2-C must carry 200"
+    );
     assert_eq!(loads.get(&(A, R1)), None, "the long path is unused");
     assert_eq!(loads.get(&(B, R3)), None, "B-R3 is unused");
     // Max relative load = 200 on capacity-100 links.
@@ -42,8 +48,8 @@ fn fig1b_overload_on_b_r2_c() {
 fn fig1c_exact_lies() {
     let topo = paper_topology();
     let caps = paper_capacities(100.0);
-    let plan = plan_paths(&topo, BLUE, &[(A, 100.0), (B, 100.0)], &caps, 0.50, 8)
-        .expect("plan exists");
+    let plan =
+        plan_paths(&topo, BLUE, &[(A, 100.0), (B, 100.0)], &caps, 0.50, 8).expect("plan exists");
     let mut alloc = LieAllocator::new();
     let aug = augment(&topo, &plan.dag, &mut alloc).expect("augmentable");
     let lies = reduce(&topo, &plan.dag, &aug.lies);
@@ -53,7 +59,11 @@ fn fig1c_exact_lies() {
     let at_a: Vec<&Lie> = lies.iter().filter(|l| l.attach == A).collect();
     assert_eq!(at_b.len(), 1, "one fake node fB at B");
     assert_eq!(at_a.len(), 2, "two fake nodes fA at A");
-    assert_eq!(at_b[0].cost_at_attach(), Metric(2), "fB announces at cost 2");
+    assert_eq!(
+        at_b[0].cost_at_attach(),
+        Metric(2),
+        "fB announces at cost 2"
+    );
     assert_eq!(at_b[0].fw.router, R3, "fB resolves to R3");
     for l in &at_a {
         assert_eq!(l.cost_at_attach(), Metric(3), "fA announces at cost 3");
@@ -111,8 +121,8 @@ fn fig1d_balanced_loads() {
     ];
     let loads = spread(&augmented, &demands).expect("routable");
     let want = [
-        ((A, B), 100.0 / 3.0),       // "33"
-        ((A, R1), 200.0 / 3.0),      // "66"
+        ((A, B), 100.0 / 3.0),  // "33"
+        ((A, R1), 200.0 / 3.0), // "66"
         ((R1, R4), 200.0 / 3.0),
         ((R4, C), 200.0 / 3.0),
         ((B, R2), 200.0 / 3.0),

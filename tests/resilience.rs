@@ -12,7 +12,8 @@ use fibbing::prelude::*;
 fn link_failure_during_crowd_reroutes() {
     let cfg = DemoConfig::default();
     let mut run = demo::build(&cfg);
-    run.sim.schedule_link_admin(Timestamp::from_secs(45), B, R2, false);
+    run.sim
+        .schedule_link_admin(Timestamp::from_secs(45), B, R2, false);
     run.sim.start();
     run.sim.run_until(Timestamp::from_secs(55));
 
@@ -28,12 +29,7 @@ fn link_failure_during_crowd_reroutes() {
         "surviving paths must carry the crowd: B-R3={b_r3} A-R1={a_r1}"
     );
     // Every flow still has a loop-free path.
-    let unrouted = run
-        .sim
-        .flows()
-        .iter()
-        .filter(|f| f.path.is_none())
-        .count();
+    let unrouted = run.sim.flows().iter().filter(|f| f.path.is_none()).count();
     assert_eq!(unrouted, 0, "{unrouted} flows lost their path");
 }
 
@@ -113,7 +109,7 @@ fn crowd_cycles_install_and_retract_repeatedly() {
     sim.add_app(Box::new(FibbingController::new(ctl)));
 
     // Two crowd waves with a quiet gap.
-    let mut wave = |start: u64, stop: u64, sim: &mut Sim| {
+    let wave = |start: u64, stop: u64, sim: &mut Sim| {
         let mut ids = Vec::new();
         for i in 0..31u64 {
             let id = sim.schedule_flow(

@@ -1,0 +1,347 @@
+//! Offline stand-in for `criterion`: a minimal statistics-free
+//! benchmark harness with criterion's API shape.
+//!
+//! Benchmarks declared with [`criterion_group!`]/[`criterion_main!`]
+//! compile to ordinary `harness = false` bench binaries. Each
+//! `Bencher::iter` target is warmed up briefly, then timed for a fixed
+//! wall-clock window, and the mean iteration time is printed:
+//!
+//! ```text
+//! spf_full/20             time: 84.21 µs/iter (1188 iters)
+//! ```
+//!
+//! No sampling distributions, outlier analysis, or HTML reports — the
+//! point is that `cargo bench` runs every registered target quickly and
+//! deterministically enough for CI smoke coverage and coarse
+//! regression eyeballing. Honest numbers still come from dedicated
+//! benchmarking environments.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(dummy: T) -> T {
+    hint::black_box(dummy)
+}
+
+/// Throughput annotation for a benchmark (recorded, reported per-iter).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark's identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (the group name is the prefix).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times closures over a fixed measurement window.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by `iter`.
+    mean_ns: f64,
+    /// Iterations actually executed during measurement.
+    iters: u64,
+    /// Measurement window.
+    window: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly and record the mean time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: a few iterations or 10 ms, whichever first.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 3
+            || (warm_start.elapsed() < Duration::from_millis(10) && warm_iters < 1000)
+        {
+            hint::black_box(routine());
+            warm_iters += 1;
+        }
+
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            hint::black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.window && iters >= 1 {
+                break;
+            }
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+
+    /// Measure `routine` on fresh `setup()` output each iteration;
+    /// only the routine is timed.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up.
+        for _ in 0..3 {
+            hint::black_box(routine(setup()));
+        }
+        let mut timed = Duration::ZERO;
+        let mut iters = 0u64;
+        while timed < self.window {
+            let input = setup();
+            let start = Instant::now();
+            hint::black_box(routine(input));
+            timed += start.elapsed();
+            iters += 1;
+        }
+        self.mean_ns = timed.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    /// Group-scoped measurement window override (criterion semantics:
+    /// `measurement_time` applies to this group only).
+    window: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion's target sample count — accepted for API parity; this
+    /// harness sizes runs by wall-clock window instead.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Shrink or grow this group's measurement window.
+    pub fn measurement_time(&mut self, window: Duration) -> &mut Self {
+        self.window = Some(window);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run `routine` as a benchmark named `id` within this group.
+    pub fn bench_function<R>(&mut self, id: impl Into<BenchmarkId>, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        if !self.criterion.enabled(&format!("{}/{}", self.name, id.id)) {
+            return self;
+        }
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+            window: self.window.unwrap_or(self.criterion.window),
+        };
+        routine(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Run `routine` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        if !self.criterion.enabled(&format!("{}/{}", self.name, id.id)) {
+            return self;
+        }
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+            window: self.window.unwrap_or(self.criterion.window),
+        };
+        routine(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let full = format!("{}/{}", self.name, id.id);
+        let mut line = format!(
+            "{full:<40} time: {:>12}/iter ({} iters)",
+            human_time(b.mean_ns),
+            b.iters
+        );
+        if let Some(Throughput::Bytes(n)) = self.throughput {
+            let gib = n as f64 / b.mean_ns; // bytes/ns == GB/s
+            line.push_str(&format!("  thrpt: {gib:.3} GB/s"));
+        }
+        println!("{line}");
+    }
+
+    /// Finish the group (criterion parity; reporting is immediate).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    window: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // CI sets FIB_BENCH_WINDOW_MS to shrink the smoke run.
+        let ms = std::env::var("FIB_BENCH_WINDOW_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100);
+        Criterion {
+            window: Duration::from_millis(ms),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Honor the CLI filter cargo-bench passes through (`cargo bench
+    /// -- <filter>`); unknown flags are ignored.
+    pub fn configure_from_args(mut self) -> Criterion {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        self.filter = filter;
+        self
+    }
+
+    /// Whether a full benchmark id (`group/name`) passes the filter.
+    fn enabled(&self, full_id: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_id.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            window: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark (no group).
+    pub fn bench_function<R>(&mut self, name: &str, routine: R) -> &mut Criterion
+    where
+        R: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(name, routine);
+        self
+    }
+}
+
+/// Declare a group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            window: Duration::from_millis(5),
+            filter: None,
+        };
+        let mut g = c.benchmark_group("smoke");
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        g.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("spf", 100).id, "spf/100");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+
+    #[test]
+    fn human_time_units() {
+        assert!(human_time(12.0).ends_with("ns"));
+        assert!(human_time(12_500.0).ends_with("µs"));
+        assert!(human_time(12_500_000.0).ends_with("ms"));
+    }
+}
