@@ -4,7 +4,9 @@
 //! to the min-max link utilization problem").
 //!
 //! Run: `cargo run --release -p fib-bench --bin table_minmax_gap`
+//! (add `--seed N` to redraw the random topologies; default 2016)
 
+use fib_bench::cli::Cli;
 use fib_bench::{f, Table};
 use fib_te::prelude::*;
 use fibbing::demo::{paper_capacities, paper_topology, A, B, BLUE};
@@ -60,6 +62,7 @@ fn fibbing_util(case: &Case) -> Option<f64> {
 }
 
 fn main() {
+    let seed = Cli::from_env(&["seed"]).seed(2016);
     println!("== T3: min-max utilization gap across routing schemes ==\n");
     let mut cases = Vec::new();
 
@@ -77,7 +80,7 @@ fn main() {
     // The sink must have degree >= 3 and the demand stays below the
     // sink cut, so the interesting part is *spreading*, not a trivial
     // single-cut bound every scheme hits alike.
-    let mut rng = StdRng::seed_from_u64(2016);
+    let mut rng = StdRng::seed_from_u64(seed);
     let mut i = 0;
     while i < 4 {
         let mut topo = fib_igp::builders::random_connected(&mut rng, 8, 5, 3);
@@ -98,7 +101,7 @@ fn main() {
             topo.all_links().map(|(a, b, _)| ((a, b), 100.0)).collect();
         let sym_links = topo.all_links().filter(|(a, b, _)| a < b).count();
         cases.push(Case {
-            name: format!("random-{i} (n=8, seed 2016)"),
+            name: format!("random-{i} (n=8, seed {seed})"),
             topo,
             prefix,
             demands: sources.into_iter().map(|s| (s, 80.0)).collect(),

@@ -7,6 +7,8 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
+pub mod cli;
+
 /// The directory where regeneration binaries drop CSV artifacts.
 pub fn results_dir() -> PathBuf {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))

@@ -33,7 +33,9 @@ use fib_telemetry::alarm::Threshold;
 use fib_telemetry::counters::CounterWidth;
 use fib_telemetry::mib::{oids, Value};
 use fib_telemetry::monitor::LoadMonitor;
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Controller tuning knobs.
 #[derive(Debug, Clone)]
@@ -65,6 +67,10 @@ pub struct ControllerConfig {
     pub predictive: bool,
     /// Poll SNMP counters (can be disabled for pure-predictive runs).
     pub use_snmp: bool,
+    /// Record the installed-lie count as the `ctrl.lies` trace series
+    /// after every evaluation (consumed by the scenario engine; off by
+    /// default so figure traces stay unchanged).
+    pub trace_lies: bool,
 }
 
 impl ControllerConfig {
@@ -84,6 +90,7 @@ impl ControllerConfig {
             reduce_lies: true,
             predictive: true,
             use_snmp: true,
+            trace_lies: false,
         }
     }
 }
@@ -105,6 +112,21 @@ pub struct ControllerStats {
     pub failures: u64,
 }
 
+/// A live view of the controller, published through
+/// [`FibbingController::watch`] after every evaluation — how the
+/// scenario engine reads reaction counts out of a running simulation
+/// (the controller itself is owned by the simulator once added).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ControllerSnapshot {
+    /// Counters at the last evaluation.
+    pub stats: ControllerStats,
+    /// Lies currently installed across all prefixes.
+    pub installed_lies: usize,
+}
+
+/// Shared handle to the latest [`ControllerSnapshot`].
+pub type ControllerHandle = Arc<Mutex<ControllerSnapshot>>;
+
 /// The demo's Fibbing controller (a netsim [`App`]).
 pub struct FibbingController {
     cfg: ControllerConfig,
@@ -114,6 +136,7 @@ pub struct FibbingController {
     book: BTreeMap<FlowId, FlowInfo>,
     installed: BTreeMap<Prefix, Vec<Lie>>,
     alloc: LieAllocator,
+    watch: Option<ControllerHandle>,
     /// Observable counters.
     pub stats: ControllerStats,
 }
@@ -134,7 +157,31 @@ impl FibbingController {
             book: BTreeMap::new(),
             installed: BTreeMap::new(),
             alloc: LieAllocator::new(),
+            watch: None,
             stats: ControllerStats::default(),
+        }
+    }
+
+    /// A shared handle that tracks the controller live: the snapshot
+    /// behind it is refreshed after every evaluation, so harnesses can
+    /// read stats and the installed-lie count mid-run and after the
+    /// simulator has taken ownership of the app.
+    pub fn watch(&mut self) -> ControllerHandle {
+        let handle = self
+            .watch
+            .get_or_insert_with(|| Arc::new(Mutex::new(ControllerSnapshot::default())));
+        Arc::clone(handle)
+    }
+
+    fn publish(&mut self, api: &mut dyn SimApi) {
+        if let Some(w) = &self.watch {
+            *w.lock() = ControllerSnapshot {
+                stats: self.stats,
+                installed_lies: self.installed_count(),
+            };
+        }
+        if self.cfg.trace_lies {
+            api.record("ctrl.lies", self.installed_count() as f64);
         }
     }
 
@@ -260,7 +307,16 @@ impl FibbingController {
         }
     }
 
+    /// One evaluation pass, ending with a publish even when a
+    /// transient makes the pass bail early — the watch snapshot and
+    /// the `ctrl.lies` trace must not skip exactly the disrupted
+    /// ticks a scenario wants to measure.
     fn evaluate(&mut self, api: &mut dyn SimApi) {
+        self.evaluate_inner(api);
+        self.publish(api);
+    }
+
+    fn evaluate_inner(&mut self, api: &mut dyn SimApi) {
         self.stats.evaluations += 1;
         let Some(view) = api.topology_view(self.cfg.speaker) else {
             return;
@@ -296,13 +352,16 @@ impl FibbingController {
             v
         };
 
+        // Natural (lie-free) utilization decides retraction. It does
+        // not depend on the prefix under consideration, so compute it
+        // once per pass, not once per prefix.
+        let natural = match spread(&real, &demands) {
+            Ok(loads) => Some(max_utilization(&loads, &self.caps)),
+            Err(_) => None,
+        };
         for prefix in prefixes {
             let dem = by_prefix.get(&prefix).cloned().unwrap_or_default();
-            // Natural (lie-free) utilization decides retraction.
-            let natural = match spread(&real, &self.all_demands()) {
-                Ok(loads) => max_utilization(&loads, &self.caps),
-                Err(_) => continue,
-            };
+            let Some(natural) = natural else { continue };
             if self.installed.contains_key(&prefix) && natural <= self.cfg.util_lo {
                 self.retract_all(api, prefix);
                 continue;
@@ -340,6 +399,25 @@ impl FibbingController {
             self.reconcile(api, prefix, lies);
         }
     }
+
+    /// Pick up scripted capacity changes on links learned at start.
+    ///
+    /// Capacity is provisioning data, not link-state, so the IGP never
+    /// tells the controller about it; an operator would push the new
+    /// value into the management plane. A changed capacity re-seeds
+    /// that link's monitor entry (the rate estimator restarts from the
+    /// next sample).
+    fn refresh_capacities(&mut self, api: &mut dyn SimApi) {
+        for info in api.links() {
+            let k = (info.key.from, info.key.to);
+            if let Some(cap) = self.caps.get_mut(&k) {
+                if *cap != info.capacity {
+                    *cap = info.capacity;
+                    self.monitor.add(info.key, info.capacity);
+                }
+            }
+        }
+    }
 }
 
 impl App for FibbingController {
@@ -369,6 +447,7 @@ impl App for FibbingController {
     }
 
     fn on_tick(&mut self, api: &mut dyn SimApi) {
+        self.refresh_capacities(api);
         if self.cfg.use_snmp {
             self.poll_snmp(api);
         }
@@ -479,6 +558,71 @@ mod tests {
         let hops = sim.api().fib_nexthops(r(1), Prefix::net24(1));
         assert_eq!(hops.len(), 1, "lies must be retracted, got {hops:?}");
         assert_eq!(hops[0].router, r(2));
+    }
+
+    #[test]
+    fn watch_handle_tracks_reactions_and_lies() {
+        let mut cfg = ControllerConfig::new(r(100));
+        cfg.trace_lies = true;
+        let mut ctl = FibbingController::new(cfg.clone());
+        let watch = ctl.watch();
+        let mut sim = Sim::new(SimConfig::default());
+        for i in 1..=3 {
+            sim.add_router(r(i));
+        }
+        sim.add_link(LinkSpec::new(r(1), r(2), Metric(1), 1e6));
+        sim.add_link(LinkSpec::new(r(2), r(3), Metric(1), 1e6));
+        sim.add_link(LinkSpec::new(r(1), r(3), Metric(5), 1e6));
+        sim.announce_prefix(r(3), Prefix::net24(1));
+        sim.add_controller_speaker(r(100), r(2));
+        sim.add_app(Box::new(ctl));
+        for i in 0..12 {
+            sim.schedule_flow(
+                Timestamp::from_secs(10) + Dur::from_millis(i * 10),
+                FlowSpec::new(r(1), Prefix::net24(1)).with_cap(1e5),
+            );
+        }
+        sim.start();
+        sim.run_until(Timestamp::from_secs(9));
+        assert_eq!(watch.lock().installed_lies, 0);
+        sim.run_until(Timestamp::from_secs(30));
+        let snap = *watch.lock();
+        assert!(snap.installed_lies >= 1, "lies visible through the watch");
+        assert!(snap.stats.injections >= 1);
+        assert!(snap.stats.evaluations > 0);
+        // The traced series steps from 0 to the installed count.
+        let series = sim.recorder().series("ctrl.lies");
+        assert!(!series.is_empty());
+        assert_eq!(series.first().map(|(_, v)| *v), Some(0.0));
+        assert!(series.iter().any(|(_, v)| *v >= 1.0));
+    }
+
+    #[test]
+    fn capacity_degradation_is_noticed_on_refresh() {
+        // One flow of 500 kB/s over a 1 MB/s shortest path: fine —
+        // until the path's capacity is scripted down to 600 kB/s and
+        // predicted utilization crosses the threshold.
+        let cfg = ControllerConfig::new(r(100));
+        let mut sim = sim_with_controller(cfg);
+        for i in 0..5 {
+            sim.schedule_flow(
+                Timestamp::from_secs(10) + Dur::from_millis(i * 10),
+                FlowSpec::new(r(1), Prefix::net24(1)).with_cap(1e5),
+            );
+        }
+        sim.schedule_link_capacity(Timestamp::from_secs(20), r(1), r(2), 6e5);
+        sim.start();
+        sim.run_until(Timestamp::from_secs(18));
+        assert_eq!(
+            sim.api().fib_nexthops(r(1), Prefix::net24(1)).len(),
+            1,
+            "0.5 utilization: no reaction before the degradation"
+        );
+        sim.run_until(Timestamp::from_secs(40));
+        assert!(
+            sim.api().fib_nexthops(r(1), Prefix::net24(1)).len() >= 2,
+            "controller reacts to the degraded capacity"
+        );
     }
 
     #[test]

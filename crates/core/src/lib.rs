@@ -64,7 +64,9 @@ pub mod verify;
 /// Convenient re-exports of the most used items.
 pub mod prelude {
     pub use crate::augmentation::{augment, augment_simple, reduce, AugmentError, Plan};
-    pub use crate::controller::{ControllerConfig, ControllerStats, FibbingController};
+    pub use crate::controller::{
+        ControllerConfig, ControllerHandle, ControllerSnapshot, ControllerStats, FibbingController,
+    };
     pub use crate::lie::{apply_all, Lie, LieAllocator};
     pub use crate::optimizer::{min_max_theta, plan_paths, OptError, PathPlan};
     pub use crate::requirements::{WeightedDag, WeightedHops};

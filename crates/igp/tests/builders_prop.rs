@@ -1,0 +1,77 @@
+//! Property tests of the topology generators: every graph a builder
+//! can emit — on any seed — must be connected (the scenario engine
+//! routes traffic on them) and byte-identical when rebuilt from the
+//! same seed (the determinism story of the whole reproduction).
+
+use fib_igp::builders::{fat_tree, random_connected, waxman};
+use fib_igp::spf::shortest_paths;
+use fib_igp::topology::Topology;
+use fib_igp::types::RouterId;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Every router reachable from the lowest-id router.
+fn assert_connected(t: &Topology) {
+    let first = t.routers().next().expect("non-empty topology");
+    let sp = shortest_paths(t, first);
+    for r in t.routers() {
+        assert!(sp.dist_to(r).is_finite(), "router {r} unreachable");
+    }
+}
+
+/// Canonical link fingerprint for equality checks.
+fn links_of(t: &Topology) -> Vec<(RouterId, RouterId, u32)> {
+    t.all_links().map(|(a, b, m)| (a, b, m.0)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_connected_is_connected_and_deterministic(
+        seed in 0u64..10_000,
+        n in 2u32..40,
+        extra in 0u32..20,
+        max_metric in 1u32..10,
+    ) {
+        let build = || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            random_connected(&mut rng, n, extra, max_metric)
+        };
+        let t = build();
+        t.validate().expect("structurally valid");
+        assert_connected(&t);
+        prop_assert_eq!(links_of(&t), links_of(&build()));
+    }
+
+    #[test]
+    fn waxman_is_connected_and_deterministic(
+        seed in 0u64..10_000,
+        n in 2u32..32,
+        alpha in 0.05f64..1.0,
+        beta in 0.05f64..1.0,
+        max_metric in 1u32..8,
+    ) {
+        let build = || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            waxman(&mut rng, n, alpha, beta, max_metric)
+        };
+        let t = build();
+        t.validate().expect("structurally valid");
+        assert_connected(&t);
+        prop_assert_eq!(links_of(&t), links_of(&build()));
+    }
+
+    #[test]
+    fn fat_tree_is_connected_with_expected_shape(half in 1u32..4) {
+        let k = half * 2;
+        let t = fat_tree(k);
+        t.validate().expect("structurally valid");
+        assert_connected(&t);
+        let routers = (half * half) + k * k;
+        prop_assert_eq!(t.router_count(), routers as usize);
+        // Seed-independent builder: rebuilding gives the same graph.
+        prop_assert_eq!(links_of(&t), links_of(&fat_tree(k)));
+    }
+}

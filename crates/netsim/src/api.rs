@@ -81,6 +81,26 @@ pub trait SimApi {
     /// Current offered rate on a directed link (bytes/s).
     fn link_rate(&self, key: LinkKey) -> Option<f64>;
 
+    /// Administratively fail a symmetric link (both directions) now.
+    ///
+    /// With carrier detection enabled the IGP instances at both ends
+    /// are notified immediately and re-converge around the failure;
+    /// data flows re-resolve their paths at the end of the current
+    /// event batch. Returns `false` if no such link exists.
+    fn fail_link(&mut self, a: RouterId, b: RouterId) -> bool;
+
+    /// Restore a previously failed symmetric link. Counterpart of
+    /// [`SimApi::fail_link`]; returns `false` if no such link exists.
+    fn restore_link(&mut self, a: RouterId, b: RouterId) -> bool;
+
+    /// Change a symmetric link's per-direction capacity (bytes/s) now.
+    ///
+    /// The fluid allocation is recomputed at the end of the current
+    /// event batch; the IGP is *not* involved (capacity is not part of
+    /// the link-state database). Returns `false` if no such link
+    /// exists or `capacity` is not positive.
+    fn set_link_capacity(&mut self, a: RouterId, b: RouterId, capacity: f64) -> bool;
+
     /// A router's installed ECMP next-hops toward a prefix (empty if
     /// none — used by verification and experiments, not by the
     /// controller's decision logic).

@@ -85,6 +85,10 @@ pub struct SimStats {
     pub snmp_ops: u64,
     /// Path resolutions that failed (flow temporarily unroutable).
     pub unroutable: u64,
+    /// Integrated flow-seconds spent without a usable path (1 flow
+    /// stranded for 2 s contributes 2.0) — the scenario engine's
+    /// blackout metric.
+    pub unroutable_flow_secs: f64,
 }
 
 #[derive(Debug)]
@@ -113,6 +117,11 @@ enum Ev {
         a: RouterId,
         b: RouterId,
         up: bool,
+    },
+    LinkCap {
+        a: RouterId,
+        b: RouterId,
+        capacity: f64,
     },
 }
 
@@ -305,11 +314,16 @@ impl Core {
             }
         }
         // Flow deliveries.
+        let mut stranded = 0usize;
         for f in self.flows.values_mut() {
             if f.rate > 0.0 {
                 f.delivered += f.rate * dt;
             }
+            if f.path.is_none() {
+                stranded += 1;
+            }
         }
+        self.stats.unroutable_flow_secs += stranded as f64 * dt;
     }
 
     fn dispatch(&mut self, ev: Ev) {
@@ -367,6 +381,9 @@ impl Core {
             Ev::LinkAdmin { a, b, up } => {
                 self.set_link_up(a, b, up);
             }
+            Ev::LinkCap { a, b, capacity } => {
+                self.set_link_capacity_inner(a, b, capacity);
+            }
         }
     }
 
@@ -416,14 +433,16 @@ impl Core {
         }
     }
 
-    fn set_link_up(&mut self, a: RouterId, b: RouterId, up: bool) {
+    fn set_link_up(&mut self, a: RouterId, b: RouterId, up: bool) -> bool {
+        let mut found = false;
         for key in [LinkKey::new(a, b), LinkKey::new(b, a)] {
             if let Some(rec) = self.links.get_mut(&key) {
                 rec.state.up = up;
                 self.dirty = true;
+                found = true;
             }
         }
-        if self.cfg.carrier_detect {
+        if found && self.cfg.carrier_detect {
             let pairs = [(a, b), (b, a)];
             for (r, peer) in pairs {
                 let iface = self
@@ -436,6 +455,24 @@ impl Core {
                 }
             }
         }
+        found
+    }
+
+    fn set_link_capacity_inner(&mut self, a: RouterId, b: RouterId, capacity: f64) -> bool {
+        if capacity <= 0.0 {
+            return false;
+        }
+        let mut found = false;
+        for key in [LinkKey::new(a, b), LinkKey::new(b, a)] {
+            if let Some(rec) = self.links.get_mut(&key) {
+                if rec.state.capacity != capacity {
+                    rec.state.capacity = capacity;
+                    self.dirty = true;
+                }
+                found = true;
+            }
+        }
+        found
     }
 
     fn poll_instances(&mut self, t: Timestamp) {
@@ -677,6 +714,18 @@ impl SimApi for Core {
         self.links.get(&key).map(|r| r.state.rate)
     }
 
+    fn fail_link(&mut self, a: RouterId, b: RouterId) -> bool {
+        self.set_link_up(a, b, false)
+    }
+
+    fn restore_link(&mut self, a: RouterId, b: RouterId) -> bool {
+        self.set_link_up(a, b, true)
+    }
+
+    fn set_link_capacity(&mut self, a: RouterId, b: RouterId, capacity: f64) -> bool {
+        self.set_link_capacity_inner(a, b, capacity)
+    }
+
     fn fib_nexthops(&self, router: RouterId, prefix: Prefix) -> Vec<FwAddr> {
         match self.fibs.get(&router).and_then(|f| f.lookup(prefix)) {
             Some(crate::fib::FibEntry::Via(v)) => v.clone(),
@@ -762,9 +811,23 @@ impl Sim {
         self.core.queue.push(at, Ev::SetFlowCap(id, cap));
     }
 
-    /// Schedule a link admin up/down event.
+    /// Schedule a link admin up/down event (the scheduled counterpart
+    /// of [`SimApi::fail_link`] / [`SimApi::restore_link`]).
     pub fn schedule_link_admin(&mut self, at: Timestamp, a: RouterId, b: RouterId, up: bool) {
         self.core.queue.push(at, Ev::LinkAdmin { a, b, up });
+    }
+
+    /// Schedule a symmetric link capacity change (the scheduled
+    /// counterpart of [`SimApi::set_link_capacity`]).
+    pub fn schedule_link_capacity(&mut self, at: Timestamp, a: RouterId, b: RouterId, cap: f64) {
+        self.core.queue.push(
+            at,
+            Ev::LinkCap {
+                a,
+                b,
+                capacity: cap,
+            },
+        );
     }
 
     /// Start the world: instances come up, apps get `on_start`, the
@@ -814,6 +877,14 @@ impl Sim {
             }
             self.core.poll_instances(t);
             self.core.collect_outputs();
+            // Settle the fluid allocation before apps observe the
+            // world: a capacity change or FIB download in this batch
+            // must not be visible as stale rates against new
+            // provisioning. Apps may dirty the world again (new
+            // flows, lies), so settle once more afterwards.
+            if self.core.dirty {
+                self.core.reallocate();
+            }
             self.dispatch_apps();
             if self.core.dirty {
                 self.core.reallocate();
@@ -1047,6 +1118,57 @@ mod tests {
         let path = api.flow_path(f).expect("rerouted after failure");
         assert_eq!(path[0], LinkKey::new(r(1), r(3)), "rerouted via r3");
         assert!((api.flow_rate(f).unwrap() - 1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn api_fail_and_restore_link() {
+        let mut sim = line_sim();
+        let f = sim.schedule_flow(
+            Timestamp::from_secs(10),
+            FlowSpec::new(r(1), Prefix::net24(1)),
+        );
+        sim.start();
+        sim.run_until(Timestamp::from_secs(12));
+        assert!(sim.api().flow_path(f).is_some());
+        // Fail the only link out of r1: the flow strands and the
+        // blackout clock runs.
+        assert!(sim.api().fail_link(r(1), r(2)));
+        assert!(!sim.api().fail_link(r(1), r(9)), "unknown link");
+        sim.run_until(Timestamp::from_secs(20));
+        assert!(sim.api().flow_path(f).is_none(), "no path while down");
+        let stranded = sim.stats().unroutable_flow_secs;
+        assert!(stranded > 7.0, "blackout seconds accrue: {stranded}");
+        // Restore: the IGP re-converges and the flow routes again.
+        assert!(sim.api().restore_link(r(1), r(2)));
+        sim.run_until(Timestamp::from_secs(40));
+        assert!(sim.api().flow_path(f).is_some(), "rerouted after restore");
+        let after = sim.stats().unroutable_flow_secs;
+        assert!(
+            after - stranded < 15.0,
+            "clock stops once routed: {after} vs {stranded}"
+        );
+    }
+
+    #[test]
+    fn capacity_change_rescales_allocation() {
+        let mut sim = line_sim();
+        let f = sim.schedule_flow(
+            Timestamp::from_secs(10),
+            FlowSpec::new(r(1), Prefix::net24(1)),
+        );
+        sim.schedule_link_capacity(Timestamp::from_secs(20), r(1), r(2), 2.5e5);
+        sim.start();
+        sim.run_until(Timestamp::from_secs(15));
+        assert!((sim.api().flow_rate(f).unwrap() - 1e6).abs() < 1.0);
+        sim.run_until(Timestamp::from_secs(25));
+        // The degraded link is now the bottleneck.
+        assert!((sim.api().flow_rate(f).unwrap() - 2.5e5).abs() < 1.0);
+        // Direct API variant, and validation of bad inputs.
+        assert!(sim.api().set_link_capacity(r(1), r(2), 1e6));
+        assert!(!sim.api().set_link_capacity(r(1), r(2), 0.0));
+        assert!(!sim.api().set_link_capacity(r(1), r(9), 1e6));
+        sim.run_until(Timestamp::from_secs(30));
+        assert!((sim.api().flow_rate(f).unwrap() - 1e6).abs() < 1.0);
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! Structured results of one scenario run.
+//!
+//! A [`ScenarioReport`] condenses a run into the metrics the paper's
+//! evaluation cares about — peak/mean link utilization, lie churn,
+//! controller reaction latency, QoE, and blackout time — plus the full
+//! recorded trace. Both CSV renderings are deterministic: the same
+//! spec and seed yield byte-identical output (asserted in the
+//! workspace determinism tests and diffed in CI).
+
+use fib_video::prelude::QoeSummary;
+use std::fmt::Write as _;
+
+/// The condensed outcome of one scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name (from the spec).
+    pub name: String,
+    /// Seed the run used.
+    pub seed: u64,
+    /// Simulated horizon (seconds).
+    pub horizon_secs: f64,
+    /// Routers in the data topology (controller speaker excluded).
+    pub routers: usize,
+    /// Symmetric data links.
+    pub links: usize,
+    /// Video sessions scheduled.
+    pub sessions: usize,
+    /// Peak link utilization across the run (fraction of capacity).
+    pub max_util: f64,
+    /// Time-mean of the per-sample mean link utilization.
+    pub mean_util: f64,
+    /// Peak number of simultaneously installed lies.
+    pub peak_lies: u64,
+    /// Lies still installed at the horizon.
+    pub final_lies: u64,
+    /// Lies injected in total.
+    pub injections: u64,
+    /// Lies retracted in total.
+    pub retractions: u64,
+    /// Controller plan computations.
+    pub reactions: u64,
+    /// Seconds from the last stimulus (workload wave or scripted
+    /// event) to the first installed lie; `None` if no lie was ever
+    /// installed (baselines, under-threshold runs).
+    pub reaction_secs: Option<f64>,
+    /// Integrated flow-seconds without a usable path.
+    pub unroutable_flow_secs: f64,
+    /// Control-plane packets delivered.
+    pub ctrl_pkts: u64,
+    /// Control-plane bytes delivered.
+    pub ctrl_bytes: u64,
+    /// Aggregated viewer experience.
+    pub qoe: QoeSummary,
+    /// The full recorded trace (long-format CSV).
+    pub trace_csv: String,
+}
+
+/// Fixed-precision float rendering shared by every CSV cell.
+fn num(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+impl ScenarioReport {
+    /// The per-scenario summary CSV (`metric,value` long format).
+    pub fn summary_csv(&self) -> String {
+        let mut out = String::from("metric,value\n");
+        let mut kv = |k: &str, v: String| {
+            let _ = writeln!(out, "{k},{v}");
+        };
+        kv("name", self.name.clone());
+        kv("seed", self.seed.to_string());
+        kv("horizon_secs", num(self.horizon_secs));
+        kv("routers", self.routers.to_string());
+        kv("links", self.links.to_string());
+        kv("sessions", self.sessions.to_string());
+        kv("max_util", num(self.max_util));
+        kv("mean_util", num(self.mean_util));
+        kv("peak_lies", self.peak_lies.to_string());
+        kv("final_lies", self.final_lies.to_string());
+        kv("injections", self.injections.to_string());
+        kv("retractions", self.retractions.to_string());
+        kv("reactions", self.reactions.to_string());
+        kv(
+            "reaction_secs",
+            self.reaction_secs.map(num).unwrap_or_else(|| "-".into()),
+        );
+        kv("unroutable_flow_secs", num(self.unroutable_flow_secs));
+        kv("ctrl_pkts", self.ctrl_pkts.to_string());
+        kv("ctrl_bytes", self.ctrl_bytes.to_string());
+        kv("qoe_sessions", self.qoe.sessions.to_string());
+        kv("qoe_smooth", self.qoe.smooth.to_string());
+        kv("qoe_stalls", self.qoe.stalls.to_string());
+        kv("qoe_stall_secs", num(self.qoe.stall_secs));
+        kv("qoe_mean_score", num(self.qoe.mean_score));
+        kv(
+            "qoe_mean_startup",
+            if self.qoe.mean_startup.is_finite() {
+                num(self.qoe.mean_startup)
+            } else {
+                "-".into()
+            },
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ScenarioReport {
+        ScenarioReport {
+            name: "t".into(),
+            seed: 7,
+            horizon_secs: 10.0,
+            routers: 3,
+            links: 2,
+            sessions: 4,
+            max_util: 0.75,
+            mean_util: 0.25,
+            peak_lies: 2,
+            final_lies: 0,
+            injections: 2,
+            retractions: 2,
+            reactions: 1,
+            reaction_secs: Some(1.25),
+            unroutable_flow_secs: 0.0,
+            ctrl_pkts: 100,
+            ctrl_bytes: 5000,
+            qoe: QoeSummary {
+                mean_startup: f64::INFINITY,
+                ..QoeSummary::default()
+            },
+            trace_csv: "series,time,value\n".into(),
+        }
+    }
+
+    #[test]
+    fn summary_is_stable_and_complete() {
+        let r = report();
+        let csv = r.summary_csv();
+        assert!(csv.starts_with("metric,value\n"));
+        assert!(csv.contains("max_util,0.750000"));
+        assert!(csv.contains("reaction_secs,1.250000"));
+        assert!(
+            csv.contains("qoe_mean_startup,-"),
+            "infinite startup is a dash"
+        );
+        assert_eq!(csv, r.summary_csv(), "rendering is deterministic");
+    }
+
+    #[test]
+    fn missing_reaction_renders_dash() {
+        let mut r = report();
+        r.reaction_secs = None;
+        assert!(r.summary_csv().contains("reaction_secs,-"));
+    }
+}

@@ -1,0 +1,1150 @@
+//! The declarative scenario model and its TOML-subset binding.
+//!
+//! A [`ScenarioSpec`] is everything a what-if experiment needs:
+//! a topology (built-in shapes or seeded generators), a controller
+//! configuration, a mix of video workloads, and a timed event script
+//! of faults and demand shifts. Specs live as `.toml` files under
+//! `scenarios/` (see [`crate::toml`] for the exact subset) and are
+//! validated strictly: unknown keys, missing fields, and wrong types
+//! are errors naming the offending key.
+
+use crate::toml::{self, Table, Value};
+use fib_igp::types::RouterId;
+use std::fmt;
+
+/// A spec-level validation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError(pub String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn fail<T>(msg: impl Into<String>) -> Result<T, SpecError> {
+    Err(SpecError(msg.into()))
+}
+
+/// Which topology the scenario runs on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologySpec {
+    /// The paper's Fig. 1a graph (7 routers, blue prefix at C).
+    Paper,
+    /// A line of `n` routers.
+    Line {
+        /// Router count.
+        n: u32,
+    },
+    /// A ring of `n` routers.
+    Ring {
+        /// Router count.
+        n: u32,
+    },
+    /// A `rows x cols` grid.
+    Grid {
+        /// Grid rows.
+        rows: u32,
+        /// Grid columns.
+        cols: u32,
+    },
+    /// A full mesh over `n` routers.
+    FullMesh {
+        /// Router count.
+        n: u32,
+    },
+    /// A random connected graph (spanning tree plus chords).
+    Random {
+        /// Router count.
+        n: u32,
+        /// Chords beyond the spanning tree.
+        extra_edges: u32,
+        /// Metrics drawn uniformly from `1..=max_metric`.
+        max_metric: u32,
+    },
+    /// A Waxman random graph (distance-dependent edges).
+    Waxman {
+        /// Router count.
+        n: u32,
+        /// Waxman alpha (edge density).
+        alpha: f64,
+        /// Waxman beta (distance decay).
+        beta: f64,
+        /// Largest distance-derived metric.
+        max_metric: u32,
+    },
+    /// A `k`-ary fat tree.
+    FatTree {
+        /// Arity (even, >= 2).
+        k: u32,
+    },
+}
+
+/// Controller configuration (one Fibbing controller per scenario).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerSpec {
+    /// Router the controller's speaker attaches to.
+    pub attach: u32,
+    /// Utilization budget handed to the optimizer.
+    pub target_util: f64,
+    /// Reaction threshold.
+    pub util_hi: f64,
+    /// Retraction threshold (natural utilization).
+    pub util_lo: f64,
+    /// ECMP slot budget per router.
+    pub slot_budget: u32,
+    /// Demand assumed for uncapped flows (bytes/s).
+    pub default_flow_rate: f64,
+    /// React to server notifications (predictive mode).
+    pub predictive: bool,
+    /// Poll SNMP counters.
+    pub use_snmp: bool,
+}
+
+impl Default for ControllerSpec {
+    fn default() -> Self {
+        ControllerSpec {
+            attach: 1,
+            target_util: 0.7,
+            util_hi: 0.8,
+            util_lo: 0.3,
+            slot_budget: 8,
+            default_flow_rate: 125_000.0,
+            predictive: true,
+            use_snmp: true,
+        }
+    }
+}
+
+/// One entry of the scenario's video workload mix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// The paper's exact Sec. 3 schedule (1 + 30 + 31 sessions).
+    Paper {
+        /// First source (the paper's S1 at B).
+        src1: u32,
+        /// Second source (the paper's S2 at A).
+        src2: u32,
+        /// Per-video bitrate (bytes/s).
+        rate: f64,
+        /// Clip length (seconds).
+        video_secs: f64,
+    },
+    /// `n` constant-bitrate sessions starting at `at` (spread over 1 s
+    /// like the paper's batches).
+    Constant {
+        /// Batch start time (seconds).
+        at: f64,
+        /// Source router.
+        src: u32,
+        /// Session count.
+        n: u32,
+        /// Per-video bitrate (bytes/s).
+        rate: f64,
+        /// Clip length (seconds).
+        video_secs: f64,
+        /// Which sink's prefix to stream to.
+        dst: usize,
+    },
+    /// A Poisson flash crowd.
+    Poisson {
+        /// First possible arrival (seconds).
+        start: f64,
+        /// Mean inter-arrival gap (seconds).
+        mean_gap_secs: f64,
+        /// Arrival count.
+        n: u32,
+        /// Source router.
+        src: u32,
+        /// Per-video bitrate (bytes/s).
+        rate: f64,
+        /// Clip length (seconds).
+        video_secs: f64,
+        /// Which sink's prefix to stream to.
+        dst: usize,
+    },
+    /// A diurnal demand mix (sinusoidal arrival intensity).
+    Diurnal {
+        /// Cycle period (seconds).
+        period_secs: f64,
+        /// Peak arrival intensity (sessions/second).
+        peak_per_sec: f64,
+        /// Trough arrival intensity (sessions/second).
+        trough_per_sec: f64,
+        /// Source router.
+        src: u32,
+        /// Per-video bitrate (bytes/s).
+        rate: f64,
+        /// Clip length (seconds).
+        video_secs: f64,
+        /// Which sink's prefix to stream to.
+        dst: usize,
+    },
+}
+
+/// A timed entry of the fault/demand script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventSpec {
+    /// When the event fires (seconds).
+    pub at: f64,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+/// The actions an event script can take.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// Fail a symmetric link.
+    FailLink {
+        /// One endpoint.
+        a: u32,
+        /// Other endpoint.
+        b: u32,
+    },
+    /// Restore a failed link.
+    RestoreLink {
+        /// One endpoint.
+        a: u32,
+        /// Other endpoint.
+        b: u32,
+    },
+    /// Change a link's per-direction capacity.
+    SetCapacity {
+        /// One endpoint.
+        a: u32,
+        /// Other endpoint.
+        b: u32,
+        /// New capacity (bytes/s).
+        capacity: f64,
+    },
+    /// A demand surge: `n` sessions at once from `src`.
+    Surge {
+        /// Source router.
+        src: u32,
+        /// Session count.
+        n: u32,
+        /// Per-video bitrate (bytes/s).
+        rate: f64,
+        /// Clip length (seconds).
+        video_secs: f64,
+        /// Which sink's prefix to stream to.
+        dst: usize,
+    },
+    /// A Poisson flash crowd starting at the event time.
+    FlashCrowd {
+        /// Source router.
+        src: u32,
+        /// Arrival count.
+        n: u32,
+        /// Mean inter-arrival gap (seconds).
+        mean_gap_secs: f64,
+        /// Per-video bitrate (bytes/s).
+        rate: f64,
+        /// Clip length (seconds).
+        video_secs: f64,
+        /// Which sink's prefix to stream to.
+        dst: usize,
+    },
+}
+
+/// A complete declarative scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (used for result files and tables).
+    pub name: String,
+    /// One-line description.
+    pub description: String,
+    /// Simulated horizon in seconds.
+    pub horizon_secs: f64,
+    /// Default seed (CLI `--seed` overrides).
+    pub seed: u64,
+    /// Per-direction link capacity in bytes/s (uniform).
+    pub capacity: f64,
+    /// The topology to build.
+    pub topology: TopologySpec,
+    /// Routers announcing destination prefixes (`Prefix::net24(i+1)`
+    /// for the i-th entry). Empty = topology-specific default.
+    pub sinks: Vec<u32>,
+    /// The controller, if enabled (baselines omit it).
+    pub controller: Option<ControllerSpec>,
+    /// The workload mix.
+    pub workloads: Vec<WorkloadSpec>,
+    /// The fault/demand script, in time order.
+    pub events: Vec<EventSpec>,
+    /// Directed links to trace as named series (`ra-rb`).
+    pub trace_links: Vec<(u32, u32)>,
+}
+
+/// Check `table` only contains `allowed` keys.
+fn check_keys(table: &Table, allowed: &[&str], ctx: &str) -> Result<(), SpecError> {
+    for k in table.keys() {
+        if !allowed.contains(&k.as_str()) {
+            return fail(format!(
+                "unknown key `{k}` in {ctx} (allowed: {})",
+                allowed.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn get<'a>(t: &'a Table, key: &str, ctx: &str) -> Result<&'a Value, SpecError> {
+    match t.get(key) {
+        Some(v) => Ok(v),
+        None => fail(format!("missing key `{key}` in {ctx}")),
+    }
+}
+
+fn get_str(t: &Table, key: &str, ctx: &str) -> Result<String, SpecError> {
+    let v = get(t, key, ctx)?;
+    match v.as_str() {
+        Some(s) => Ok(s.to_string()),
+        None => fail(format!(
+            "`{ctx}.{key}` must be a string, got {}",
+            v.type_name()
+        )),
+    }
+}
+
+fn get_f64(t: &Table, key: &str, ctx: &str) -> Result<f64, SpecError> {
+    let v = get(t, key, ctx)?;
+    match v.as_f64() {
+        Some(f) => Ok(f),
+        None => fail(format!(
+            "`{ctx}.{key}` must be a number, got {}",
+            v.type_name()
+        )),
+    }
+}
+
+fn get_u32(t: &Table, key: &str, ctx: &str) -> Result<u32, SpecError> {
+    let v = get(t, key, ctx)?;
+    match v.as_i64() {
+        Some(i) if (0..=u32::MAX as i64).contains(&i) => Ok(i as u32),
+        _ => fail(format!(
+            "`{ctx}.{key}` must be a non-negative integer, got {}",
+            v.type_name()
+        )),
+    }
+}
+
+fn opt_f64(t: &Table, key: &str, ctx: &str, default: f64) -> Result<f64, SpecError> {
+    if t.contains_key(key) {
+        get_f64(t, key, ctx)
+    } else {
+        Ok(default)
+    }
+}
+
+fn opt_u32(t: &Table, key: &str, ctx: &str, default: u32) -> Result<u32, SpecError> {
+    if t.contains_key(key) {
+        get_u32(t, key, ctx)
+    } else {
+        Ok(default)
+    }
+}
+
+fn opt_bool(t: &Table, key: &str, ctx: &str, default: bool) -> Result<bool, SpecError> {
+    match t.get(key) {
+        None => Ok(default),
+        Some(v) => match v.as_bool() {
+            Some(b) => Ok(b),
+            None => fail(format!(
+                "`{ctx}.{key}` must be a boolean, got {}",
+                v.type_name()
+            )),
+        },
+    }
+}
+
+/// Which sink index a workload streams to (default: the first sink).
+fn opt_dst(t: &Table, ctx: &str) -> Result<usize, SpecError> {
+    Ok(opt_u32(t, "dst", ctx, 0)? as usize)
+}
+
+fn parse_topology(t: &Table) -> Result<TopologySpec, SpecError> {
+    let ctx = "topology";
+    let kind = get_str(t, "kind", ctx)?;
+    let spec = match kind.as_str() {
+        "paper" => {
+            check_keys(t, &["kind"], ctx)?;
+            TopologySpec::Paper
+        }
+        "line" => {
+            check_keys(t, &["kind", "n"], ctx)?;
+            TopologySpec::Line {
+                n: get_u32(t, "n", ctx)?,
+            }
+        }
+        "ring" => {
+            check_keys(t, &["kind", "n"], ctx)?;
+            TopologySpec::Ring {
+                n: get_u32(t, "n", ctx)?,
+            }
+        }
+        "grid" => {
+            check_keys(t, &["kind", "rows", "cols"], ctx)?;
+            TopologySpec::Grid {
+                rows: get_u32(t, "rows", ctx)?,
+                cols: get_u32(t, "cols", ctx)?,
+            }
+        }
+        "full_mesh" => {
+            check_keys(t, &["kind", "n"], ctx)?;
+            TopologySpec::FullMesh {
+                n: get_u32(t, "n", ctx)?,
+            }
+        }
+        "random" => {
+            check_keys(t, &["kind", "n", "extra_edges", "max_metric"], ctx)?;
+            TopologySpec::Random {
+                n: get_u32(t, "n", ctx)?,
+                extra_edges: opt_u32(t, "extra_edges", ctx, 4)?,
+                max_metric: opt_u32(t, "max_metric", ctx, 4)?,
+            }
+        }
+        "waxman" => {
+            check_keys(t, &["kind", "n", "alpha", "beta", "max_metric"], ctx)?;
+            TopologySpec::Waxman {
+                n: get_u32(t, "n", ctx)?,
+                alpha: opt_f64(t, "alpha", ctx, 0.6)?,
+                beta: opt_f64(t, "beta", ctx, 0.3)?,
+                max_metric: opt_u32(t, "max_metric", ctx, 4)?,
+            }
+        }
+        "fat_tree" => {
+            check_keys(t, &["kind", "k"], ctx)?;
+            TopologySpec::FatTree {
+                k: get_u32(t, "k", ctx)?,
+            }
+        }
+        other => return fail(format!("unknown topology kind `{other}`")),
+    };
+    Ok(spec)
+}
+
+fn parse_controller(t: &Table) -> Result<Option<ControllerSpec>, SpecError> {
+    let ctx = "controller";
+    check_keys(
+        t,
+        &[
+            "enabled",
+            "attach",
+            "target_util",
+            "util_hi",
+            "util_lo",
+            "slot_budget",
+            "default_flow_rate",
+            "predictive",
+            "use_snmp",
+        ],
+        ctx,
+    )?;
+    if !opt_bool(t, "enabled", ctx, true)? {
+        return Ok(None);
+    }
+    let d = ControllerSpec::default();
+    Ok(Some(ControllerSpec {
+        attach: get_u32(t, "attach", ctx)?,
+        target_util: opt_f64(t, "target_util", ctx, d.target_util)?,
+        util_hi: opt_f64(t, "util_hi", ctx, d.util_hi)?,
+        util_lo: opt_f64(t, "util_lo", ctx, d.util_lo)?,
+        slot_budget: opt_u32(t, "slot_budget", ctx, d.slot_budget)?,
+        default_flow_rate: opt_f64(t, "default_flow_rate", ctx, d.default_flow_rate)?,
+        predictive: opt_bool(t, "predictive", ctx, d.predictive)?,
+        use_snmp: opt_bool(t, "use_snmp", ctx, d.use_snmp)?,
+    }))
+}
+
+fn parse_workload(t: &Table, idx: usize) -> Result<WorkloadSpec, SpecError> {
+    let ctx = format!("workload[{idx}]");
+    let ctx = ctx.as_str();
+    let kind = get_str(t, "kind", ctx)?;
+    let w = match kind.as_str() {
+        "paper" => {
+            check_keys(t, &["kind", "src1", "src2", "rate", "video_secs"], ctx)?;
+            WorkloadSpec::Paper {
+                src1: get_u32(t, "src1", ctx)?,
+                src2: get_u32(t, "src2", ctx)?,
+                rate: opt_f64(t, "rate", ctx, 125_000.0)?,
+                video_secs: opt_f64(t, "video_secs", ctx, 300.0)?,
+            }
+        }
+        "constant" => {
+            check_keys(
+                t,
+                &["kind", "at", "src", "n", "rate", "video_secs", "dst"],
+                ctx,
+            )?;
+            WorkloadSpec::Constant {
+                at: get_f64(t, "at", ctx)?,
+                src: get_u32(t, "src", ctx)?,
+                n: get_u32(t, "n", ctx)?,
+                rate: get_f64(t, "rate", ctx)?,
+                video_secs: get_f64(t, "video_secs", ctx)?,
+                dst: opt_dst(t, ctx)?,
+            }
+        }
+        "poisson" => {
+            check_keys(
+                t,
+                &[
+                    "kind",
+                    "start",
+                    "mean_gap_secs",
+                    "n",
+                    "src",
+                    "rate",
+                    "video_secs",
+                    "dst",
+                ],
+                ctx,
+            )?;
+            WorkloadSpec::Poisson {
+                start: get_f64(t, "start", ctx)?,
+                mean_gap_secs: get_f64(t, "mean_gap_secs", ctx)?,
+                n: get_u32(t, "n", ctx)?,
+                src: get_u32(t, "src", ctx)?,
+                rate: get_f64(t, "rate", ctx)?,
+                video_secs: get_f64(t, "video_secs", ctx)?,
+                dst: opt_dst(t, ctx)?,
+            }
+        }
+        "diurnal" => {
+            check_keys(
+                t,
+                &[
+                    "kind",
+                    "period_secs",
+                    "peak_per_sec",
+                    "trough_per_sec",
+                    "src",
+                    "rate",
+                    "video_secs",
+                    "dst",
+                ],
+                ctx,
+            )?;
+            WorkloadSpec::Diurnal {
+                period_secs: get_f64(t, "period_secs", ctx)?,
+                peak_per_sec: get_f64(t, "peak_per_sec", ctx)?,
+                trough_per_sec: get_f64(t, "trough_per_sec", ctx)?,
+                src: get_u32(t, "src", ctx)?,
+                rate: get_f64(t, "rate", ctx)?,
+                video_secs: get_f64(t, "video_secs", ctx)?,
+                dst: opt_dst(t, ctx)?,
+            }
+        }
+        other => return fail(format!("unknown workload kind `{other}`")),
+    };
+    Ok(w)
+}
+
+fn parse_event(t: &Table, idx: usize) -> Result<EventSpec, SpecError> {
+    let ctx = format!("event[{idx}]");
+    let ctx = ctx.as_str();
+    let at = get_f64(t, "at", ctx)?;
+    let action = get_str(t, "action", ctx)?;
+    let kind = match action.as_str() {
+        "fail_link" => {
+            check_keys(t, &["at", "action", "a", "b"], ctx)?;
+            EventKind::FailLink {
+                a: get_u32(t, "a", ctx)?,
+                b: get_u32(t, "b", ctx)?,
+            }
+        }
+        "restore_link" => {
+            check_keys(t, &["at", "action", "a", "b"], ctx)?;
+            EventKind::RestoreLink {
+                a: get_u32(t, "a", ctx)?,
+                b: get_u32(t, "b", ctx)?,
+            }
+        }
+        "set_capacity" => {
+            check_keys(t, &["at", "action", "a", "b", "capacity"], ctx)?;
+            EventKind::SetCapacity {
+                a: get_u32(t, "a", ctx)?,
+                b: get_u32(t, "b", ctx)?,
+                capacity: get_f64(t, "capacity", ctx)?,
+            }
+        }
+        "surge" => {
+            check_keys(
+                t,
+                &["at", "action", "src", "n", "rate", "video_secs", "dst"],
+                ctx,
+            )?;
+            EventKind::Surge {
+                src: get_u32(t, "src", ctx)?,
+                n: get_u32(t, "n", ctx)?,
+                rate: get_f64(t, "rate", ctx)?,
+                video_secs: get_f64(t, "video_secs", ctx)?,
+                dst: opt_dst(t, ctx)?,
+            }
+        }
+        "flash_crowd" => {
+            check_keys(
+                t,
+                &[
+                    "at",
+                    "action",
+                    "src",
+                    "n",
+                    "mean_gap_secs",
+                    "rate",
+                    "video_secs",
+                    "dst",
+                ],
+                ctx,
+            )?;
+            EventKind::FlashCrowd {
+                src: get_u32(t, "src", ctx)?,
+                n: get_u32(t, "n", ctx)?,
+                mean_gap_secs: get_f64(t, "mean_gap_secs", ctx)?,
+                rate: get_f64(t, "rate", ctx)?,
+                video_secs: get_f64(t, "video_secs", ctx)?,
+                dst: opt_dst(t, ctx)?,
+            }
+        }
+        other => return fail(format!("unknown event action `{other}`")),
+    };
+    Ok(EventSpec { at, kind })
+}
+
+fn parse_trace_links(v: &Value) -> Result<Vec<(u32, u32)>, SpecError> {
+    let Some(items) = v.as_array() else {
+        return fail("`trace_links` must be an array of \"a-b\" strings");
+    };
+    let mut out = Vec::new();
+    for item in items {
+        let Some(s) = item.as_str() else {
+            return fail("`trace_links` entries must be \"a-b\" strings");
+        };
+        let parts: Vec<&str> = s.split('-').collect();
+        let pair = (|| -> Option<(u32, u32)> {
+            let [a, b] = parts.as_slice() else {
+                return None;
+            };
+            Some((a.trim().parse().ok()?, b.trim().parse().ok()?))
+        })();
+        match pair {
+            Some(p) => out.push(p),
+            None => return fail(format!("bad trace link `{s}` (expected \"a-b\")")),
+        }
+    }
+    Ok(out)
+}
+
+impl ScenarioSpec {
+    /// Parse and validate a scenario from TOML-subset source.
+    pub fn from_toml_str(src: &str) -> Result<ScenarioSpec, SpecError> {
+        let root = toml::parse(src).map_err(|e| SpecError(e.to_string()))?;
+        check_keys(
+            &root,
+            &[
+                "name",
+                "description",
+                "horizon_secs",
+                "seed",
+                "capacity",
+                "topology",
+                "sinks",
+                "controller",
+                "workload",
+                "event",
+                "trace_links",
+            ],
+            "scenario",
+        )?;
+        let name = get_str(&root, "name", "scenario")?;
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return fail(format!(
+                "scenario name `{name}` must be a non-empty [A-Za-z0-9_-]+ slug"
+            ));
+        }
+        let topology = match root.get("topology").and_then(|v| v.as_table()) {
+            Some(t) => parse_topology(t)?,
+            None => return fail("missing [topology] table"),
+        };
+        let sinks = match root.get("sinks") {
+            None => Vec::new(),
+            Some(v) => {
+                let Some(items) = v.as_array() else {
+                    return fail("`sinks` must be an array of router ids");
+                };
+                let mut out = Vec::new();
+                for item in items {
+                    match item.as_i64() {
+                        Some(i) if i > 0 => out.push(i as u32),
+                        _ => return fail("`sinks` entries must be positive router ids"),
+                    }
+                }
+                out
+            }
+        };
+        let controller = match root.get("controller") {
+            None => None,
+            Some(Value::Table(t)) => parse_controller(t)?,
+            Some(other) => {
+                return fail(format!(
+                    "`controller` must be a table, got {}",
+                    other.type_name()
+                ))
+            }
+        };
+        let workloads = match root.get("workload") {
+            None => Vec::new(),
+            Some(Value::Array(items)) => {
+                let mut out = Vec::new();
+                for (i, item) in items.iter().enumerate() {
+                    match item.as_table() {
+                        Some(t) => out.push(parse_workload(t, i)?),
+                        None => return fail("`[[workload]]` entries must be tables"),
+                    }
+                }
+                out
+            }
+            Some(other) => {
+                return fail(format!(
+                    "`workload` must be an array of tables, got {}",
+                    other.type_name()
+                ))
+            }
+        };
+        let mut events = match root.get("event") {
+            None => Vec::new(),
+            Some(Value::Array(items)) => {
+                let mut out = Vec::new();
+                for (i, item) in items.iter().enumerate() {
+                    match item.as_table() {
+                        Some(t) => out.push(parse_event(t, i)?),
+                        None => return fail("`[[event]]` entries must be tables"),
+                    }
+                }
+                out
+            }
+            Some(other) => {
+                return fail(format!(
+                    "`event` must be an array of tables, got {}",
+                    other.type_name()
+                ))
+            }
+        };
+        // Time order regardless of file order (stable by original
+        // index for ties, which `sort_by` preserves).
+        events.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("event times are finite"));
+        let trace_links = match root.get("trace_links") {
+            None => Vec::new(),
+            Some(v) => parse_trace_links(v)?,
+        };
+        let seed = match root.get("seed") {
+            None => 0,
+            Some(v) => match v.as_i64() {
+                Some(i) if i >= 0 => i as u64,
+                _ => return fail("`seed` must be a non-negative integer"),
+            },
+        };
+        let spec = ScenarioSpec {
+            name,
+            description: root
+                .get("description")
+                .and_then(|v| v.as_str())
+                .unwrap_or("")
+                .to_string(),
+            horizon_secs: get_f64(&root, "horizon_secs", "scenario")?,
+            seed,
+            capacity: get_f64(&root, "capacity", "scenario")?,
+            topology,
+            sinks,
+            controller,
+            workloads,
+            events,
+            trace_links,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Structural sanity checks beyond types.
+    ///
+    /// Generator parameters are checked here so a bad `.toml` value
+    /// surfaces as a [`SpecError`] naming the key, never as a panic
+    /// from a builder's `assert!` deep inside `fib_igp`.
+    fn validate(&self) -> Result<(), SpecError> {
+        if self.horizon_secs <= 0.0 {
+            return fail("`horizon_secs` must be positive");
+        }
+        if self.capacity <= 0.0 {
+            return fail("`capacity` must be positive");
+        }
+        match self.topology {
+            TopologySpec::Paper => {}
+            TopologySpec::Line { n } | TopologySpec::FullMesh { n } => {
+                if n < 2 {
+                    return fail("`topology.n` must be at least 2");
+                }
+            }
+            TopologySpec::Ring { n } => {
+                if n < 3 {
+                    return fail("`topology.n` must be at least 3 for a ring");
+                }
+            }
+            TopologySpec::Grid { rows, cols } => {
+                if rows == 0 || cols == 0 || rows * cols < 2 {
+                    return fail("`topology.rows`/`topology.cols` must span at least 2 routers");
+                }
+            }
+            TopologySpec::Random { n, max_metric, .. } => {
+                if n < 2 {
+                    return fail("`topology.n` must be at least 2");
+                }
+                if max_metric == 0 {
+                    return fail("`topology.max_metric` must be at least 1");
+                }
+            }
+            TopologySpec::Waxman { n, alpha, beta, .. } => {
+                if n < 2 {
+                    return fail("`topology.n` must be at least 2");
+                }
+                if alpha <= 0.0 || beta <= 0.0 {
+                    return fail("`topology.alpha` and `topology.beta` must be positive");
+                }
+            }
+            TopologySpec::FatTree { k } => {
+                if k < 2 || k % 2 != 0 {
+                    return fail("`topology.k` must be even and at least 2");
+                }
+            }
+        }
+        for (i, w) in self.workloads.iter().enumerate() {
+            if let WorkloadSpec::Diurnal {
+                period_secs,
+                peak_per_sec,
+                trough_per_sec,
+                ..
+            } = w
+            {
+                if *period_secs <= 0.0 {
+                    return fail(format!("`workload[{i}].period_secs` must be positive"));
+                }
+                if *trough_per_sec < 0.0 || peak_per_sec < trough_per_sec {
+                    return fail(format!(
+                        "`workload[{i}]` needs peak_per_sec >= trough_per_sec >= 0"
+                    ));
+                }
+            }
+        }
+        if self.workloads.is_empty()
+            && !self.events.iter().any(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::Surge { .. } | EventKind::FlashCrowd { .. }
+                )
+            })
+        {
+            return fail("scenario has no workload and no demand events — nothing to simulate");
+        }
+        for e in &self.events {
+            if e.at < 0.0 || e.at > self.horizon_secs {
+                return fail(format!(
+                    "event at t={} lies outside the horizon 0..{}",
+                    e.at, self.horizon_secs
+                ));
+            }
+            if let EventKind::SetCapacity { capacity, .. } = e.kind {
+                if capacity <= 0.0 {
+                    return fail("`set_capacity` events need a positive capacity");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The sink routers, applying topology-specific defaults: the
+    /// paper graph's C, the highest-id router otherwise.
+    pub fn effective_sinks(&self) -> Vec<RouterId> {
+        if !self.sinks.is_empty() {
+            return self.sinks.iter().map(|s| RouterId(*s)).collect();
+        }
+        match self.topology {
+            TopologySpec::Paper => vec![RouterId(7)],
+            TopologySpec::Line { n } | TopologySpec::Ring { n } | TopologySpec::FullMesh { n } => {
+                vec![RouterId(n)]
+            }
+            TopologySpec::Grid { rows, cols } => vec![RouterId(rows * cols)],
+            TopologySpec::Random { n, .. } | TopologySpec::Waxman { n, .. } => vec![RouterId(n)],
+            TopologySpec::FatTree { k } => {
+                // Last edge switch of the last pod.
+                let half = k / 2;
+                vec![RouterId(half * half + k * k)]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: &str = r#"
+name = "demo"
+description = "a full example"
+horizon_secs = 55.0
+seed = 7
+capacity = 4e6
+trace_links = ["1-3", "2-4"]
+sinks = [7]
+
+[topology]
+kind = "paper"
+
+[controller]
+enabled = true
+attach = 5
+target_util = 0.5
+
+[[workload]]
+kind = "paper"
+src1 = 2
+src2 = 1
+rate = 125000.0
+video_secs = 300.0
+
+[[event]]
+at = 20.0
+action = "fail_link"
+a = 2
+b = 4
+
+[[event]]
+at = 10.0
+action = "surge"
+src = 2
+n = 5
+rate = 125000.0
+video_secs = 60.0
+"#;
+
+    #[test]
+    fn full_spec_parses() {
+        let s = ScenarioSpec::from_toml_str(FULL).unwrap();
+        assert_eq!(s.name, "demo");
+        assert_eq!(s.topology, TopologySpec::Paper);
+        assert_eq!(s.sinks, vec![7]);
+        let ctl = s.controller.as_ref().unwrap();
+        assert_eq!(ctl.attach, 5);
+        assert!((ctl.target_util - 0.5).abs() < 1e-12);
+        assert!((ctl.util_hi - 0.8).abs() < 1e-12, "default applies");
+        assert_eq!(s.workloads.len(), 1);
+        // Events are sorted by time regardless of file order.
+        assert_eq!(s.events.len(), 2);
+        assert!(s.events[0].at < s.events[1].at);
+        assert!(matches!(s.events[0].kind, EventKind::Surge { .. }));
+        assert_eq!(s.trace_links, vec![(1, 3), (2, 4)]);
+    }
+
+    #[test]
+    fn sinks_default_by_topology() {
+        let mut s = ScenarioSpec::from_toml_str(FULL).unwrap();
+        s.sinks.clear();
+        assert_eq!(s.effective_sinks(), vec![RouterId(7)]);
+        s.topology = TopologySpec::FatTree { k: 4 };
+        assert_eq!(s.effective_sinks(), vec![RouterId(20)]);
+        s.topology = TopologySpec::Grid { rows: 3, cols: 4 };
+        assert_eq!(s.effective_sinks(), vec![RouterId(12)]);
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let bad = FULL.replace("target_util = 0.5", "target_utl = 0.5");
+        let e = ScenarioSpec::from_toml_str(&bad).unwrap_err();
+        assert!(e.to_string().contains("target_utl"), "{e}");
+    }
+
+    #[test]
+    fn controller_disabled_and_missing() {
+        let none = ScenarioSpec::from_toml_str(
+            r#"
+name = "base"
+horizon_secs = 10.0
+capacity = 1e6
+[topology]
+kind = "line"
+n = 3
+[[workload]]
+kind = "constant"
+at = 1.0
+src = 1
+n = 2
+rate = 1e5
+video_secs = 5.0
+"#,
+        )
+        .unwrap();
+        assert!(none.controller.is_none());
+        let disabled = ScenarioSpec::from_toml_str(
+            r#"
+name = "base"
+horizon_secs = 10.0
+capacity = 1e6
+[topology]
+kind = "line"
+n = 3
+[controller]
+enabled = false
+[[workload]]
+kind = "constant"
+at = 1.0
+src = 1
+n = 2
+rate = 1e5
+video_secs = 5.0
+"#,
+        )
+        .unwrap();
+        assert!(disabled.controller.is_none());
+    }
+
+    #[test]
+    fn validation_catches_nonsense() {
+        let no_work = r#"
+name = "x"
+horizon_secs = 10.0
+capacity = 1e6
+[topology]
+kind = "line"
+n = 3
+"#;
+        assert!(ScenarioSpec::from_toml_str(no_work)
+            .unwrap_err()
+            .to_string()
+            .contains("no workload"));
+        let bad_event = FULL.replace("at = 20.0", "at = 99.0");
+        assert!(ScenarioSpec::from_toml_str(&bad_event)
+            .unwrap_err()
+            .to_string()
+            .contains("outside the horizon"));
+        let bad_name = FULL.replace("name = \"demo\"", "name = \"has space\"");
+        assert!(ScenarioSpec::from_toml_str(&bad_name).is_err());
+    }
+
+    #[test]
+    fn generator_parameters_are_validated_not_asserted() {
+        // Values the igp builders would assert on must come back as
+        // SpecErrors naming the key, not process-aborting panics.
+        for (topo, needle) in [
+            ("kind = \"fat_tree\"\nk = 3", "topology.k"),
+            ("kind = \"fat_tree\"\nk = 0", "topology.k"),
+            (
+                "kind = \"waxman\"\nn = 10\nalpha = 0.0\nbeta = 0.3",
+                "alpha",
+            ),
+            (
+                "kind = \"waxman\"\nn = 1\nalpha = 0.5\nbeta = 0.3",
+                "topology.n",
+            ),
+            ("kind = \"ring\"\nn = 2", "topology.n"),
+            ("kind = \"line\"\nn = 1", "topology.n"),
+            ("kind = \"grid\"\nrows = 0\ncols = 3", "topology.rows"),
+            ("kind = \"random\"\nn = 1", "topology.n"),
+            ("kind = \"random\"\nn = 8\nmax_metric = 0", "max_metric"),
+        ] {
+            let src = format!(
+                r#"
+name = "t"
+horizon_secs = 10.0
+capacity = 1e6
+sinks = [1]
+[topology]
+{topo}
+[[workload]]
+kind = "constant"
+at = 1.0
+src = 1
+n = 1
+rate = 1e5
+video_secs = 5.0
+"#
+            );
+            let e = ScenarioSpec::from_toml_str(&src).expect_err(&format!("should reject: {topo}"));
+            assert!(e.to_string().contains(needle), "{topo}: {e}");
+        }
+    }
+
+    #[test]
+    fn diurnal_parameters_are_validated_not_asserted() {
+        for (params, needle) in [
+            (
+                "period_secs = 0.0\npeak_per_sec = 1.0\ntrough_per_sec = 0.1",
+                "period_secs",
+            ),
+            (
+                "period_secs = 60.0\npeak_per_sec = 0.1\ntrough_per_sec = 1.0",
+                "peak_per_sec",
+            ),
+            (
+                "period_secs = 60.0\npeak_per_sec = 1.0\ntrough_per_sec = -0.5",
+                "peak_per_sec",
+            ),
+        ] {
+            let src = format!(
+                r#"
+name = "t"
+horizon_secs = 10.0
+capacity = 1e6
+sinks = [3]
+[topology]
+kind = "line"
+n = 3
+[[workload]]
+kind = "diurnal"
+{params}
+src = 1
+rate = 1e5
+video_secs = 5.0
+"#
+            );
+            let e =
+                ScenarioSpec::from_toml_str(&src).expect_err(&format!("should reject: {params}"));
+            assert!(e.to_string().contains(needle), "{params}: {e}");
+        }
+    }
+
+    #[test]
+    fn all_generator_topologies_parse() {
+        for (kind, extra) in [
+            ("line", "n = 5"),
+            ("ring", "n = 5"),
+            ("grid", "rows = 2\ncols = 3"),
+            ("full_mesh", "n = 4"),
+            ("random", "n = 8\nextra_edges = 4\nmax_metric = 3"),
+            ("waxman", "n = 10\nalpha = 0.5\nbeta = 0.4\nmax_metric = 3"),
+            ("fat_tree", "k = 4"),
+        ] {
+            let src = format!(
+                r#"
+name = "t"
+horizon_secs = 10.0
+capacity = 1e6
+[topology]
+kind = "{kind}"
+{extra}
+[[workload]]
+kind = "constant"
+at = 1.0
+src = 1
+n = 1
+rate = 1e5
+video_secs = 5.0
+"#
+            );
+            ScenarioSpec::from_toml_str(&src).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        }
+    }
+}

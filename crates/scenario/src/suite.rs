@@ -1,0 +1,108 @@
+//! Named suites over the shipped scenario files.
+//!
+//! A suite is an ordered list of scenario names (each backed by
+//! `scenarios/<name>.toml`) plus an optional horizon override —
+//! `smoke` trims the horizon so CI can run the pipeline twice and
+//! byte-diff the outputs in seconds.
+
+use crate::spec::{ScenarioSpec, SpecError};
+use std::path::PathBuf;
+
+/// A named, ordered collection of scenarios.
+#[derive(Debug, Clone, Copy)]
+pub struct Suite {
+    /// Suite name (`--suite` argument).
+    pub name: &'static str,
+    /// What the suite demonstrates.
+    pub description: &'static str,
+    /// Scenario names, in run order.
+    pub scenarios: &'static [&'static str],
+    /// Horizon override in seconds (`None` = per-spec horizons).
+    pub horizon_secs: Option<f64>,
+}
+
+/// Every scenario file shipped under `scenarios/`.
+pub const ALL_SCENARIOS: &[&str] = &[
+    "paper_demo",
+    "flash_crowd_random",
+    "link_failure_under_load",
+    "capacity_degradation",
+    "diurnal_mix",
+    "no_controller_baseline",
+];
+
+/// The built-in suites.
+pub const SUITES: &[Suite] = &[
+    Suite {
+        name: "all",
+        description: "every shipped scenario at its full horizon",
+        scenarios: ALL_SCENARIOS,
+        horizon_secs: None,
+    },
+    Suite {
+        name: "smoke",
+        description: "reduced-horizon pipeline check (CI determinism gate)",
+        scenarios: &[
+            "paper_demo",
+            "link_failure_under_load",
+            "no_controller_baseline",
+        ],
+        horizon_secs: Some(20.0),
+    },
+];
+
+/// Look up a suite by name.
+pub fn find_suite(name: &str) -> Option<&'static Suite> {
+    SUITES.iter().find(|s| s.name == name)
+}
+
+/// The `scenarios/` directory at the workspace root.
+pub fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("scenarios")
+}
+
+/// Load and validate `scenarios/<name>.toml`.
+pub fn load_scenario(name: &str) -> Result<ScenarioSpec, SpecError> {
+    let path = scenarios_dir().join(format!("{name}.toml"));
+    let src = std::fs::read_to_string(&path)
+        .map_err(|e| SpecError(format!("cannot read {}: {e}", path.display())))?;
+    let spec = ScenarioSpec::from_toml_str(&src)?;
+    if spec.name != name {
+        return Err(SpecError(format!(
+            "scenario file {name}.toml declares name `{}`",
+            spec.name
+        )));
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_reference_shipped_scenarios() {
+        assert!(find_suite("all").is_some());
+        assert!(find_suite("smoke").is_some());
+        assert!(find_suite("nope").is_none());
+        for suite in SUITES {
+            for name in suite.scenarios {
+                assert!(
+                    ALL_SCENARIOS.contains(name),
+                    "suite {} references unknown scenario {name}",
+                    suite.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_shipped_spec_parses() {
+        for name in ALL_SCENARIOS {
+            let spec = load_scenario(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(&spec.name, name);
+        }
+    }
+}

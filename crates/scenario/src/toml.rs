@@ -1,0 +1,640 @@
+//! A hand-rolled parser for the TOML subset scenario specs use.
+//!
+//! The workspace builds hermetically with no registry access, so
+//! instead of a `toml` dependency this module implements exactly the
+//! slice of TOML the `scenarios/` files need:
+//!
+//! * comments (`#` to end of line) and blank lines;
+//! * `[table]` and `[[array-of-tables]]` headers, with dotted names;
+//! * `key = value` pairs with bare (`[A-Za-z0-9_-]+`) or quoted keys;
+//! * values: basic `"strings"` (with `\\ \" \n \t \r` escapes),
+//!   integers (optional sign and `_` separators), floats (including
+//!   exponent forms like `4e6`), booleans, and (possibly multi-line)
+//!   arrays.
+//!
+//! Not supported, by design: datetimes, inline tables, literal/
+//! multi-line strings, and dotted keys on the left of `=`. The parser
+//! reports line-numbered errors for anything outside the subset.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A basic string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An array of values.
+    Array(Vec<Value>),
+    /// A table (also the type of the document root).
+    Table(Table),
+}
+
+/// A table: ordered map from key to value.
+pub type Table = BTreeMap<String, Value>;
+
+impl Value {
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an f64 (integers coerce).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as an i64 (floats do not coerce).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a table, if it is one.
+    pub fn as_table(&self) -> Option<&Table> {
+        match self {
+            Value::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Human name of the value's type (for error messages).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => "array",
+            Value::Table(_) => "table",
+        }
+    }
+}
+
+/// A parse failure, with the 1-based line it occurred on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Strip a comment that starts outside any string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+        } else if c == '"' {
+            in_str = true;
+        } else if c == '#' {
+            return &line[..i];
+        }
+    }
+    line
+}
+
+fn is_bare_key_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-'
+}
+
+/// Parse a dotted header name like `a.b.c` into segments.
+fn parse_header_name(name: &str, line: usize) -> Result<Vec<String>, ParseError> {
+    let mut out = Vec::new();
+    for seg in name.split('.') {
+        let seg = seg.trim();
+        if seg.is_empty() || !seg.chars().all(is_bare_key_char) {
+            return err(line, format!("invalid table name `{name}`"));
+        }
+        out.push(seg.to_string());
+    }
+    Ok(out)
+}
+
+/// Navigate (creating as needed) to the table at `path`. The final
+/// segment of an array-of-tables path gets a fresh element appended.
+fn navigate<'a>(
+    root: &'a mut Table,
+    path: &[String],
+    array_leaf: bool,
+    line: usize,
+) -> Result<&'a mut Table, ParseError> {
+    let mut cur = root;
+    for (depth, seg) in path.iter().enumerate() {
+        let last = depth == path.len() - 1;
+        let entry = cur.entry(seg.clone()).or_insert_with(|| {
+            if last && array_leaf {
+                Value::Array(Vec::new())
+            } else {
+                Value::Table(Table::new())
+            }
+        });
+        if last && array_leaf {
+            match entry {
+                Value::Array(items) => {
+                    items.push(Value::Table(Table::new()));
+                    match items.last_mut() {
+                        Some(Value::Table(t)) => return Ok(t),
+                        _ => unreachable!("just pushed a table"),
+                    }
+                }
+                other => {
+                    return err(
+                        line,
+                        format!("`{seg}` is a {}, not an array of tables", other.type_name()),
+                    )
+                }
+            }
+        }
+        cur = match entry {
+            Value::Table(t) => t,
+            // Intermediate segment naming an array of tables: descend
+            // into its most recent element (standard TOML behavior).
+            Value::Array(items) => match items.last_mut() {
+                Some(Value::Table(t)) => t,
+                _ => return err(line, format!("`{seg}` is not a table")),
+            },
+            other => {
+                return err(
+                    line,
+                    format!("`{seg}` is a {}, not a table", other.type_name()),
+                )
+            }
+        };
+    }
+    Ok(cur)
+}
+
+/// Scan a value's text from `chars`, returning the parsed value and
+/// how many bytes were consumed.
+struct ValueParser<'a> {
+    src: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> ValueParser<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        // Newlines appear only in accumulated multi-line array text.
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.bump();
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<Value, ParseError> {
+        let quote = self.bump();
+        debug_assert_eq!(quote, Some('"'));
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return err(self.line, "unterminated string"),
+                Some('"') => return Ok(Value::Str(out)),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    other => {
+                        return err(self.line, format!("unsupported escape `\\{other:?}`"));
+                    }
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, ParseError> {
+        let bracket = self.bump();
+        debug_assert_eq!(bracket, Some('['));
+        let mut items = Vec::new();
+        // Elements must be comma-separated; a trailing comma is fine.
+        let mut expect_item = true;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None => return err(self.line, "unterminated array"),
+                Some(']') => {
+                    self.bump();
+                    return Ok(Value::Array(items));
+                }
+                Some(',') => {
+                    if expect_item {
+                        return err(self.line, "unexpected `,` in array");
+                    }
+                    self.bump();
+                    expect_item = true;
+                }
+                _ => {
+                    if !expect_item {
+                        return err(self.line, "missing `,` between array elements");
+                    }
+                    items.push(self.parse_value()?);
+                    expect_item = false;
+                }
+            }
+        }
+    }
+
+    fn parse_scalar(&mut self) -> Result<Value, ParseError> {
+        let rest = &self.src[self.pos..];
+        let end = rest
+            .find([',', ']', ' ', '\t', '\n', '\r'])
+            .unwrap_or(rest.len());
+        let tok = &rest[..end];
+        if tok.is_empty() {
+            return err(self.line, "expected a value");
+        }
+        self.pos += end;
+        match tok {
+            "true" => return Ok(Value::Bool(true)),
+            "false" => return Ok(Value::Bool(false)),
+            _ => {}
+        }
+        let clean: String = tok.chars().filter(|c| *c != '_').collect();
+        let looks_float = clean.contains(['.', 'e', 'E']);
+        if looks_float {
+            if let Ok(f) = clean.parse::<f64>() {
+                return Ok(Value::Float(f));
+            }
+        } else if let Ok(i) = clean.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+        err(self.line, format!("cannot parse value `{tok}`"))
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('"') => self.parse_string(),
+            Some('[') => self.parse_array(),
+            Some('{') => err(self.line, "inline tables are not supported"),
+            _ => self.parse_scalar(),
+        }
+    }
+}
+
+/// Parse a TOML-subset document into its root table.
+pub fn parse(src: &str) -> Result<Table, ParseError> {
+    let mut root = Table::new();
+    let mut current_path: Vec<String> = Vec::new();
+    let mut current_is_array = false;
+    // Pending multi-line array continuation: accumulated text + key.
+    let mut lines = src.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let Some(name) = rest.strip_suffix("]]") else {
+                return err(lineno, "malformed [[array-of-tables]] header");
+            };
+            current_path = parse_header_name(name.trim(), lineno)?;
+            current_is_array = true;
+            // Append the new element eagerly so empty tables exist.
+            navigate(&mut root, &current_path, true, lineno)?;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return err(lineno, "malformed [table] header");
+            };
+            current_path = parse_header_name(name.trim(), lineno)?;
+            current_is_array = false;
+            let target = navigate(&mut root, &current_path, false, lineno)?;
+            let _ = target;
+            continue;
+        }
+        // key = value
+        let Some(eq) = line.find('=') else {
+            return err(lineno, format!("expected `key = value`, got `{line}`"));
+        };
+        let key_raw = line[..eq].trim();
+        let key = if let Some(stripped) = key_raw.strip_prefix('"') {
+            match stripped.strip_suffix('"') {
+                Some(k) => k.to_string(),
+                None => return err(lineno, "malformed quoted key"),
+            }
+        } else {
+            if key_raw.is_empty() || !key_raw.chars().all(is_bare_key_char) {
+                return err(lineno, format!("invalid key `{key_raw}`"));
+            }
+            key_raw.to_string()
+        };
+        // Accumulate continuation lines until brackets balance (for
+        // multi-line arrays).
+        let mut text = line[eq + 1..].trim().to_string();
+        while bracket_depth(&text) > 0 {
+            match lines.next() {
+                Some((_, cont)) => {
+                    text.push('\n');
+                    text.push_str(strip_comment(cont).trim());
+                }
+                None => return err(lineno, "unterminated array"),
+            }
+        }
+        let mut vp = ValueParser {
+            src: &text,
+            pos: 0,
+            line: lineno,
+        };
+        let value = vp.parse_value()?;
+        vp.skip_ws();
+        if vp.pos < vp.src.len() {
+            return err(
+                lineno,
+                format!("trailing characters after value: `{}`", &vp.src[vp.pos..]),
+            );
+        }
+        let target = if current_path.is_empty() {
+            &mut root
+        } else {
+            // Re-navigating on each key is O(depth) — fine for specs.
+            navigate_existing(&mut root, &current_path, current_is_array, lineno)?
+        };
+        if target.insert(key.clone(), value).is_some() {
+            return err(lineno, format!("duplicate key `{key}`"));
+        }
+    }
+    Ok(root)
+}
+
+/// Net bracket depth of `text`, ignoring brackets inside strings.
+fn bracket_depth(text: &str) -> i32 {
+    let mut depth = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+        } else {
+            match c {
+                '"' => in_str = true,
+                '[' => depth += 1,
+                ']' => depth -= 1,
+                _ => {}
+            }
+        }
+    }
+    depth
+}
+
+/// Like [`navigate`] but never appends a new array element: it finds
+/// the most recent one (key assignment after a `[[header]]`).
+fn navigate_existing<'a>(
+    root: &'a mut Table,
+    path: &[String],
+    array_leaf: bool,
+    line: usize,
+) -> Result<&'a mut Table, ParseError> {
+    let mut cur = root;
+    for (depth, seg) in path.iter().enumerate() {
+        let last = depth == path.len() - 1;
+        let entry = match cur.get_mut(seg) {
+            Some(e) => e,
+            None => return err(line, format!("internal: missing table `{seg}`")),
+        };
+        cur = match entry {
+            Value::Array(items) => match items.last_mut() {
+                Some(Value::Table(t)) => t,
+                _ => return err(line, format!("`{seg}` is not a table array")),
+            },
+            Value::Table(t) => {
+                if last && array_leaf {
+                    return err(line, format!("`{seg}` is not a table array"));
+                }
+                t
+            }
+            other => {
+                return err(
+                    line,
+                    format!("`{seg}` is a {}, not a table", other.type_name()),
+                )
+            }
+        };
+    }
+    Ok(cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_comments() {
+        let t = parse(
+            r#"
+# a comment
+name = "flash crowd" # trailing comment
+count = 42
+big = 1_000_000
+rate = 4e6
+neg = -2.5
+on = true
+off = false
+"#,
+        )
+        .unwrap();
+        assert_eq!(t["name"], Value::Str("flash crowd".into()));
+        assert_eq!(t["count"], Value::Int(42));
+        assert_eq!(t["big"], Value::Int(1_000_000));
+        assert_eq!(t["rate"], Value::Float(4e6));
+        assert_eq!(t["neg"], Value::Float(-2.5));
+        assert_eq!(t["on"], Value::Bool(true));
+        assert_eq!(t["off"], Value::Bool(false));
+    }
+
+    #[test]
+    fn strings_with_escapes_and_hashes() {
+        let t = parse(r#"s = "a \"quoted\" # not a comment\n""#).unwrap();
+        assert_eq!(t["s"].as_str().unwrap(), "a \"quoted\" # not a comment\n");
+    }
+
+    #[test]
+    fn tables_and_dotted_headers() {
+        let t = parse(
+            r#"
+top = 1
+[controller]
+enabled = true
+[topology.params]
+n = 12
+"#,
+        )
+        .unwrap();
+        assert_eq!(t["top"], Value::Int(1));
+        let ctl = t["controller"].as_table().unwrap();
+        assert_eq!(ctl["enabled"], Value::Bool(true));
+        let params = t["topology"].as_table().unwrap()["params"]
+            .as_table()
+            .unwrap();
+        assert_eq!(params["n"], Value::Int(12));
+    }
+
+    #[test]
+    fn arrays_of_tables() {
+        let t = parse(
+            r#"
+[[event]]
+at = 10.0
+action = "fail_link"
+
+[[event]]
+at = 20.0
+action = "restore_link"
+"#,
+        )
+        .unwrap();
+        let events = t["event"].as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[1].as_table().unwrap()["action"].as_str().unwrap(),
+            "restore_link"
+        );
+    }
+
+    #[test]
+    fn arrays_single_and_multi_line() {
+        let t = parse(
+            r#"
+links = ["1-2", "2-3"]
+nested = [[1, 2], [3]]
+multi = [
+  1,  # first
+  2,
+  3,
+]
+"#,
+        )
+        .unwrap();
+        assert_eq!(
+            t["links"],
+            Value::Array(vec![Value::Str("1-2".into()), Value::Str("2-3".into())])
+        );
+        assert_eq!(
+            t["nested"],
+            Value::Array(vec![
+                Value::Array(vec![Value::Int(1), Value::Int(2)]),
+                Value::Array(vec![Value::Int(3)]),
+            ])
+        );
+        assert_eq!(
+            t["multi"],
+            Value::Array(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+        );
+    }
+
+    #[test]
+    fn arrays_enforce_comma_separation() {
+        // Trailing comma is valid TOML.
+        assert_eq!(
+            parse("a = [1, 2,]").unwrap()["a"],
+            Value::Array(vec![Value::Int(1), Value::Int(2)])
+        );
+        assert_eq!(parse("a = []").unwrap()["a"], Value::Array(vec![]));
+        for bad in ["a = [1 2]", "a = [1,,2]", "a = [,1]", "a = [\"x\" \"y\"]"] {
+            let e = parse(bad).unwrap_err();
+            assert!(
+                e.message.contains("array"),
+                "`{bad}` must be rejected, got {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("a = 1\nb = @nope").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+        assert!(parse("a = 1\na = 2")
+            .unwrap_err()
+            .message
+            .contains("duplicate"));
+        assert!(parse("x = {a = 1}").unwrap_err().message.contains("inline"));
+        assert!(parse("[bad").is_err());
+        assert!(parse("just words").is_err());
+        assert!(parse("s = \"unterminated").is_err());
+        assert!(parse("v = [1, 2").is_err());
+    }
+
+    #[test]
+    fn type_accessors() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(0.5).as_f64(), Some(0.5));
+        assert_eq!(Value::Float(0.5).as_i64(), None);
+        assert_eq!(Value::Str("x".into()).type_name(), "string");
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+    }
+}

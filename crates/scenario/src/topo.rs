@@ -1,0 +1,90 @@
+//! Binding from [`TopologySpec`] to concrete [`Topology`] values.
+//!
+//! All randomness comes from the caller's RNG, so a scenario's
+//! topology is a pure function of its seed.
+
+use crate::spec::TopologySpec;
+use fib_igp::builders;
+use fib_igp::topology::Topology;
+use rand::rngs::StdRng;
+
+/// Build the topology a spec names. Deterministic per RNG state.
+pub fn build_topology(spec: &TopologySpec, rng: &mut StdRng) -> Topology {
+    match *spec {
+        TopologySpec::Paper => builders::paper_fig1(),
+        TopologySpec::Line { n } => builders::line(n),
+        TopologySpec::Ring { n } => builders::ring(n),
+        TopologySpec::Grid { rows, cols } => builders::grid(rows, cols),
+        TopologySpec::FullMesh { n } => builders::full_mesh(n),
+        TopologySpec::Random {
+            n,
+            extra_edges,
+            max_metric,
+        } => builders::random_connected(rng, n, extra_edges, max_metric),
+        TopologySpec::Waxman {
+            n,
+            alpha,
+            beta,
+            max_metric,
+        } => builders::waxman(rng, n, alpha, beta, max_metric),
+        TopologySpec::FatTree { k } => builders::fat_tree(k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fib_igp::spf::shortest_paths;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_kind_builds_connected() {
+        let kinds = [
+            TopologySpec::Paper,
+            TopologySpec::Line { n: 4 },
+            TopologySpec::Ring { n: 5 },
+            TopologySpec::Grid { rows: 2, cols: 3 },
+            TopologySpec::FullMesh { n: 4 },
+            TopologySpec::Random {
+                n: 9,
+                extra_edges: 4,
+                max_metric: 3,
+            },
+            TopologySpec::Waxman {
+                n: 10,
+                alpha: 0.6,
+                beta: 0.3,
+                max_metric: 4,
+            },
+            TopologySpec::FatTree { k: 4 },
+        ];
+        for kind in kinds {
+            let mut rng = StdRng::seed_from_u64(7);
+            let t = build_topology(&kind, &mut rng);
+            t.validate().unwrap();
+            let first = t.routers().next().unwrap();
+            let sp = shortest_paths(&t, first);
+            for r in t.routers() {
+                assert!(sp.dist_to(r).is_finite(), "{kind:?}: {r} unreachable");
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_kinds_are_deterministic() {
+        let kind = TopologySpec::Waxman {
+            n: 14,
+            alpha: 0.5,
+            beta: 0.4,
+            max_metric: 5,
+        };
+        let build = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            build_topology(&kind, &mut rng)
+                .all_links()
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(build(3), build(3));
+        assert_ne!(build(3), build(4), "different seeds differ");
+    }
+}

@@ -22,26 +22,48 @@ pub fn paper_schedule(
     rate: f64,
     video_secs: f64,
 ) -> Vec<SessionSpec> {
-    let mut specs = Vec::new();
-    let mut tag = 0u64;
-    let mut push_batch = |specs: &mut Vec<SessionSpec>, t0: u64, src: RouterId, n: u64| {
-        for i in 0..n {
-            let jitter = Dur::from_millis(i * 1000 / n.max(1));
-            specs.push(SessionSpec::constant(
-                Timestamp::from_secs(t0) + jitter,
-                src,
-                dst,
-                rate,
-                video_secs,
-                tag,
-            ));
-            tag += 1;
-        }
-    };
-    push_batch(&mut specs, 0, s1, 1);
-    push_batch(&mut specs, 15, s1, 30);
-    push_batch(&mut specs, 35, s2, 31);
+    let mut specs = batch(Timestamp::from_secs(0), s1, dst, 1, rate, video_secs, 0);
+    specs.extend(batch(
+        Timestamp::from_secs(15),
+        s1,
+        dst,
+        30,
+        rate,
+        video_secs,
+        1,
+    ));
+    specs.extend(batch(
+        Timestamp::from_secs(35),
+        s2,
+        dst,
+        31,
+        rate,
+        video_secs,
+        31,
+    ));
     specs
+}
+
+/// A batch of `n` constant-bitrate sessions starting at `start`,
+/// spread over one second (launching 30 players takes a moment in the
+/// real demo too) — the building block of [`paper_schedule`] and the
+/// scenario engine's constant workloads and demand surges. Tags run
+/// `tag_base..tag_base + n`.
+pub fn batch(
+    start: Timestamp,
+    src: RouterId,
+    dst: Prefix,
+    n: u32,
+    rate: f64,
+    video_secs: f64,
+    tag_base: u64,
+) -> Vec<SessionSpec> {
+    (0..u64::from(n))
+        .map(|i| {
+            let jitter = Dur::from_millis(i * 1000 / u64::from(n.max(1)));
+            SessionSpec::constant(start + jitter, src, dst, rate, video_secs, tag_base + i)
+        })
+        .collect()
 }
 
 /// A Poisson flash crowd: `n` arrivals at exponential inter-arrival
@@ -73,6 +95,62 @@ pub fn poisson_crowd<R: Rng>(
             tag_base + u64::from(i),
         ));
     }
+    specs
+}
+
+/// A diurnal demand mix: session arrivals whose intensity swings
+/// sinusoidally between `trough_per_sec` and `peak_per_sec` with the
+/// given period, over `[0, horizon_secs)` — the "daily cycle"
+/// compressed into an experiment horizon.
+///
+/// Arrival times come from integrating the intensity (deterministic);
+/// the RNG only jitters each arrival inside its integration step, so
+/// the same seed always yields the same schedule.
+#[allow(clippy::too_many_arguments)] // flat schedule parameters; a builder would obscure call sites
+pub fn diurnal<R: Rng>(
+    rng: &mut R,
+    horizon_secs: f64,
+    period_secs: f64,
+    peak_per_sec: f64,
+    trough_per_sec: f64,
+    src: RouterId,
+    dst: Prefix,
+    rate: f64,
+    video_secs: f64,
+    tag_base: u64,
+) -> Vec<SessionSpec> {
+    assert!(period_secs > 0.0, "period must be positive");
+    assert!(
+        peak_per_sec >= trough_per_sec && trough_per_sec >= 0.0,
+        "need peak >= trough >= 0"
+    );
+    let mid = (peak_per_sec + trough_per_sec) / 2.0;
+    let amp = (peak_per_sec - trough_per_sec) / 2.0;
+    let step = 0.1; // integration step in seconds
+    let mut specs = Vec::new();
+    let mut acc = 0.0;
+    let mut tag = tag_base;
+    let mut t = 0.0;
+    while t < horizon_secs {
+        // Trough at t=0, peak half a period in.
+        let lambda = mid - amp * (2.0 * std::f64::consts::PI * t / period_secs).cos();
+        acc += lambda * step;
+        while acc >= 1.0 {
+            acc -= 1.0;
+            let jitter = rng.gen_range(0.0..step);
+            specs.push(SessionSpec::constant(
+                Timestamp::from_secs(0) + Dur::from_secs_f64(t + jitter),
+                src,
+                dst,
+                rate,
+                video_secs,
+                tag,
+            ));
+            tag += 1;
+        }
+        t += step;
+    }
+    specs.sort_by_key(|s| s.start);
     specs
 }
 
@@ -110,6 +188,53 @@ mod tests {
         tags.sort();
         tags.dedup();
         assert_eq!(tags.len(), 62);
+    }
+
+    #[test]
+    fn diurnal_mix_swings_and_is_deterministic() {
+        let mk = || {
+            let mut rng = StdRng::seed_from_u64(11);
+            diurnal(
+                &mut rng,
+                120.0,
+                120.0,
+                1.0,
+                0.1,
+                r(1),
+                Prefix::net24(1),
+                1e5,
+                30.0,
+                500,
+            )
+        };
+        let a = mk();
+        // Mean intensity 0.55/s over 120 s ≈ 66 arrivals.
+        assert!((50..=80).contains(&a.len()), "got {}", a.len());
+        for w in a.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+        // Peak half (centered on t=60) sees far more arrivals than the
+        // trough halves.
+        let in_range = |from: f64, to: f64| {
+            a.iter()
+                .filter(|s| {
+                    let t = s.start.as_secs_f64();
+                    t >= from && t < to
+                })
+                .count()
+        };
+        assert!(in_range(30.0, 90.0) > 2 * (in_range(0.0, 30.0) + in_range(90.0, 120.0)));
+        // Same seed ⇒ same schedule; tags unique from the base.
+        let b = mk();
+        assert_eq!(
+            a.iter().map(|s| (s.start, s.tag)).collect::<Vec<_>>(),
+            b.iter().map(|s| (s.start, s.tag)).collect::<Vec<_>>()
+        );
+        let mut tags: Vec<u64> = a.iter().map(|s| s.tag).collect();
+        tags.sort();
+        tags.dedup();
+        assert_eq!(tags.len(), a.len());
+        assert!(tags[0] >= 500);
     }
 
     #[test]

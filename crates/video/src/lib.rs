@@ -32,7 +32,7 @@ pub mod prelude {
     pub use crate::abr::{AbrInput, AbrPolicy};
     pub use crate::catalog::{Ladder, Video};
     pub use crate::client::{Player, PlayerConfig, PlayerState};
-    pub use crate::flashcrowd::{paper_schedule, poisson_crowd};
+    pub use crate::flashcrowd::{batch, diurnal, paper_schedule, poisson_crowd};
     pub use crate::qoe::{summarize, QoeReport, QoeSummary};
     pub use crate::workload::{QoeHandle, SessionSpec, VideoWorkload};
 }

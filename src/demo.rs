@@ -84,18 +84,12 @@ pub const PAPER_LINKS: [(RouterId, RouterId, u32); 8] = [
 ];
 
 /// The Fig. 1a topology with the blue prefix announced at C.
+///
+/// Delegates to [`fib_igp::builders::paper_fig1`], the canonical
+/// definition shared with the scenario engine; [`PAPER_LINKS`] names
+/// the same links for capacity maps and `LinkSpec` construction.
 pub fn paper_topology() -> Topology {
-    let mut t = Topology::new();
-    for r in [A, B, R1, R2, R3, R4, C] {
-        t.add_router(r);
-    }
-    for (a, b, w) in PAPER_LINKS {
-        t.add_link_sym(a, b, Metric(w))
-            .expect("paper links are valid");
-    }
-    t.announce_prefix(C, BLUE, Metric::ZERO)
-        .expect("C announces the blue prefix");
-    t
+    fib_igp::builders::paper_fig1()
 }
 
 /// Uniform per-direction capacities for the paper topology.
@@ -220,6 +214,18 @@ mod tests {
         let from_b = enumerate_paths(&t, B, BLUE, 8);
         assert_eq!(from_a, vec![vec![A, B, R2, C]]);
         assert_eq!(from_b, vec![vec![B, R2, C]]);
+    }
+
+    #[test]
+    fn paper_links_match_the_canonical_builder() {
+        // PAPER_LINKS (used for LinkSpecs and capacity maps) and the
+        // igp builder must describe the same graph.
+        let t = paper_topology();
+        assert_eq!(t.all_links().count(), PAPER_LINKS.len() * 2);
+        for (a, b, w) in PAPER_LINKS {
+            assert_eq!(t.link_metric(a, b), Some(Metric(w)), "{a}-{b}");
+            assert_eq!(t.link_metric(b, a), Some(Metric(w)), "{b}-{a}");
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | [`core`] | Fibbing itself: lies, augmentation, uneven splits, optimizer, verification, the controller |
 //! | [`te`] | baselines: RSVP-TE tunnels, Fortz–Thorup weight search, ECMP optimality bounds |
 //! | [`video`] | the workload: playback buffers, ABR, QoE, flash crowds |
+//! | [`scenario`] | declarative what-if harness: topology × workload × fault-script specs, runner, reports |
 //!
 //! ## Quickstart
 //!
@@ -37,6 +38,7 @@
 pub use fib_core as core;
 pub use fib_igp as igp;
 pub use fib_netsim as netsim;
+pub use fib_scenario as scenario;
 pub use fib_te as te;
 pub use fib_telemetry as telemetry;
 pub use fib_video as video;
@@ -48,6 +50,7 @@ pub mod prelude {
     pub use fib_core::prelude::*;
     pub use fib_igp::prelude::*;
     pub use fib_netsim::prelude::*;
+    pub use fib_scenario::prelude::*;
     pub use fib_te::prelude::*;
     pub use fib_telemetry::prelude::*;
     pub use fib_video::prelude::*;

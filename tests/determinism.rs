@@ -10,6 +10,8 @@
 
 use fibbing::demo::{self, DemoConfig, A, B, BLUE, R1, R2, R3};
 use fibbing::prelude::*;
+use fibbing::scenario::runner::{build as build_scenario, RunOptions};
+use fibbing::scenario::suite::load_scenario;
 
 /// Sorted next-hop routers for `router` toward the blue prefix.
 fn hops(run: &mut demo::Demo, router: RouterId) -> Vec<RouterId> {
@@ -86,4 +88,78 @@ fn demo_reproduces_paper_plans_deterministically() {
     assert_eq!(b1, b2, "single-lie plan differs between runs");
     assert_eq!(a1, a2, "two-lie plan differs between runs");
     assert_eq!(csv1, csv2, "recorded traces differ between runs");
+}
+
+/// Sorted next-hop routers toward the blue prefix, scenario flavor.
+fn scenario_hops(run: &mut ScenarioRun, router: RouterId) -> Vec<RouterId> {
+    let mut v: Vec<RouterId> = run
+        .sim
+        .api()
+        .fib_nexthops(router, BLUE)
+        .iter()
+        .map(|h| h.router)
+        .collect();
+    v.sort();
+    v
+}
+
+/// The same pinned milestones, reached through the declarative
+/// scenario engine instead of the hand-wired demo module: the
+/// `scenarios/paper_demo.toml` port must reproduce the paper's t=15
+/// single-lie and t=35 two-lie plans, and the whole run — summary and
+/// trace CSVs included — must be byte-identical across same-seed runs.
+#[test]
+fn scenario_paper_demo_reproduces_plans_deterministically() {
+    let spec = load_scenario("paper_demo").expect("shipped spec parses");
+    let milestones = || {
+        let mut run = build_scenario(
+            &spec,
+            RunOptions {
+                seed: Some(7),
+                horizon_secs: Some(45.0),
+            },
+        )
+        .expect("paper_demo builds");
+        run.run_until_secs(25.0);
+        let b_wave = scenario_hops(&mut run, B);
+        let a_idle = scenario_hops(&mut run, A);
+        run.run_until_secs(45.0);
+        let b_settled = scenario_hops(&mut run, B);
+        let a_settled = scenario_hops(&mut run, A);
+        let report = run.finish();
+        (b_wave, a_idle, b_settled, a_settled, report)
+    };
+    let (bw1, ai1, b1, a1, r1) = milestones();
+    let (bw2, ai2, b2, a2, r2) = milestones();
+
+    assert!(
+        bw1.contains(&R2) && bw1.contains(&R3),
+        "B must spread over R2 and R3 after the first wave: {bw1:?}"
+    );
+    assert_eq!(ai1, vec![B], "A untouched until the t=35 wave");
+    assert_eq!(b1, vec![R2, R3], "B's settled single-lie plan");
+    assert_eq!(a1.len(), 3, "A has 3 ECMP slots after the second wave");
+    assert_eq!(a1.iter().filter(|r| **r == R1).count(), 2, "2 slots via R1");
+    assert!(a1.contains(&B), "one slot still via B");
+
+    assert_eq!(bw1, bw2);
+    assert_eq!(ai1, ai2);
+    assert_eq!(b1, b2);
+    assert_eq!(a1, a2);
+    assert_eq!(
+        r1.summary_csv(),
+        r2.summary_csv(),
+        "scenario summary CSV differs between same-seed runs"
+    );
+    assert_eq!(
+        r1.trace_csv, r2.trace_csv,
+        "scenario trace CSV differs between same-seed runs"
+    );
+    // The report actually carries the signals the suite table prints.
+    assert!(
+        r1.peak_lies >= 2,
+        "both waves install lies: {:?}",
+        r1.peak_lies
+    );
+    assert!(r1.max_util > 0.0 && r1.qoe.sessions == 62);
 }
