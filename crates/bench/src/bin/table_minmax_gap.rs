@@ -4,16 +4,26 @@
 //! to the min-max link utilization problem").
 //!
 //! Run: `cargo run --release -p fib-bench --bin table_minmax_gap`
-//! (add `--seed N` to redraw the random topologies; default 2016)
+//!
+//! Flags: `--seed N` redraws the random topologies (default 2016),
+//! `--cases N` sets how many random cases follow the paper case
+//! (default 4), `--max-secs S` stops starting new cases once the
+//! elapsed wall time exceeds `S` (skipped cases are recorded, the
+//! table stays well-formed). Besides the table CSV, every run writes
+//! `results/BENCH_table_minmax_gap.json` with per-case, per-phase wall
+//! times so the perf trajectory of the optimizer hot paths is tracked
+//! run over run.
 
 use fib_bench::cli::Cli;
-use fib_bench::{f, Table};
+use fib_bench::{f, results_dir, Table};
 use fib_te::prelude::*;
 use fibbing::demo::{paper_capacities, paper_topology, A, B, BLUE};
 use fibbing::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
 
 struct Case {
     name: String,
@@ -21,7 +31,7 @@ struct Case {
     prefix: Prefix,
     demands: Vec<(RouterId, f64)>,
     caps: BTreeMap<(RouterId, RouterId), f64>,
-    /// Weight bound for the exhaustive even-ECMP search (0 = skip).
+    /// Weight bound for the best-even-ECMP search (0 = skip).
     exhaustive_w: u32,
 }
 
@@ -61,8 +71,65 @@ fn fibbing_util(case: &Case) -> Option<f64> {
     Some(max_utilization(&loads, &case.caps))
 }
 
+/// One case's measurements: values for the table, wall times for the
+/// JSON perf record.
+#[derive(Default)]
+struct Measured {
+    even: Option<f64>,
+    best: Option<f64>,
+    fib: Option<f64>,
+    theta: Option<f64>,
+    gap: Option<f64>,
+    secs_even: f64,
+    secs_best: f64,
+    secs_fib: f64,
+    secs_theta: f64,
+    skipped: bool,
+}
+
+fn measure(case: &Case) -> Measured {
+    let mut m = Measured::default();
+    let mut tm = TrafficMatrix::new();
+    for (s, r) in &case.demands {
+        tm.add(*s, case.prefix, *r);
+    }
+    let t0 = Instant::now();
+    m.even = even_ecmp_max_util(&case.topo, &tm, &case.caps);
+    m.secs_even = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    m.best = if case.exhaustive_w >= 2 {
+        best_ecmp_weights_max_util(&case.topo, &tm, &case.caps, case.exhaustive_w).map(|(u, _)| u)
+    } else {
+        None
+    };
+    m.secs_best = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    m.fib = fibbing_util(case);
+    m.secs_fib = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    m.theta = min_max_theta(&case.topo, case.prefix, &case.demands, &case.caps).ok();
+    m.secs_theta = t0.elapsed().as_secs_f64();
+    m.gap = match (m.fib, m.theta) {
+        (Some(fv), Some(tv)) if tv > 0.0 => Some(100.0 * (fv - tv) / tv),
+        _ => None,
+    };
+    m
+}
+
+fn json_num(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x:.6}"),
+        _ => "null".to_string(),
+    }
+}
+
 fn main() {
-    let seed = Cli::from_env(&["seed"]).seed(2016);
+    let cli = Cli::from_env(&["seed", "cases", "max-secs"]);
+    let seed = cli.seed(2016);
+    let n_cases = cli.u64_flag("cases").unwrap_or(4) as usize;
+    let max_secs = cli.f64_flag("max-secs").unwrap_or(f64::INFINITY);
+    let started = Instant::now();
+
     println!("== T3: min-max utilization gap across routing schemes ==\n");
     let mut cases = Vec::new();
 
@@ -82,7 +149,7 @@ fn main() {
     // single-cut bound every scheme hits alike.
     let mut rng = StdRng::seed_from_u64(seed);
     let mut i = 0;
-    while i < 4 {
+    while i < n_cases {
         let mut topo = fib_igp::builders::random_connected(&mut rng, 8, 5, 3);
         let routers: Vec<RouterId> = topo.routers().collect();
         let Some(sink) = routers.iter().copied().find(|r| topo.links(*r).len() >= 3) else {
@@ -90,6 +157,18 @@ fn main() {
         };
         let prefix = Prefix::net24(1);
         topo.announce_prefix(sink, prefix, Metric::ZERO).unwrap();
+        // Sources must not neighbor the sink (or the case degenerates
+        // to a single-cut bound). Some draws leave fewer than two such
+        // routers — seed 2016's very first draw has exactly one, which
+        // made the old rejection loop here spin forever; redraw the
+        // topology instead.
+        let eligible = routers
+            .iter()
+            .filter(|r| **r != sink && !topo.has_link(**r, sink))
+            .count();
+        if eligible < 2 {
+            continue;
+        }
         let mut sources = Vec::new();
         while sources.len() < 2 {
             let s = routers[rng.gen_range(0..routers.len())];
@@ -119,37 +198,93 @@ fn main() {
         "optimum θ*",
         "Fibbing gap %",
     ]);
+    let cell = |v: Option<f64>| v.map(f).unwrap_or_else(|| "-".to_string());
+    let mut measured = Vec::new();
     for case in &cases {
-        let mut tm = TrafficMatrix::new();
-        for (s, r) in &case.demands {
-            tm.add(*s, case.prefix, *r);
-        }
-        let even = even_ecmp_max_util(&case.topo, &tm, &case.caps);
-        let best = if case.exhaustive_w >= 2 {
-            best_ecmp_weights_max_util(&case.topo, &tm, &case.caps, case.exhaustive_w)
-                .map(|(u, _)| u)
+        let m = if started.elapsed().as_secs_f64() > max_secs {
+            eprintln!("[{}: skipped, --max-secs {max_secs} exceeded]", case.name);
+            Measured {
+                skipped: true,
+                ..Measured::default()
+            }
         } else {
-            None
+            let m = measure(case);
+            eprintln!(
+                "[{}: even {:.3}s, best {:.3}s, fibbing {:.3}s, theta {:.3}s]",
+                case.name, m.secs_even, m.secs_best, m.secs_fib, m.secs_theta
+            );
+            m
         };
-        let fib = fibbing_util(case);
-        let theta = min_max_theta(&case.topo, case.prefix, &case.demands, &case.caps).ok();
-        let gap = match (fib, theta) {
-            (Some(fv), Some(tv)) if tv > 0.0 => Some(100.0 * (fv - tv) / tv),
-            _ => None,
-        };
-        let cell = |v: Option<f64>| v.map(f).unwrap_or_else(|| "-".to_string());
-        t.row(&[
-            case.name.clone(),
-            cell(even),
-            cell(best),
-            cell(fib),
-            cell(theta),
-            cell(gap),
-        ]);
+        if m.skipped {
+            t.row(&[
+                case.name.clone(),
+                "skipped".to_string(),
+                "skipped".to_string(),
+                "skipped".to_string(),
+                "skipped".to_string(),
+                "-".to_string(),
+            ]);
+        } else {
+            t.row(&[
+                case.name.clone(),
+                cell(m.even),
+                cell(m.best),
+                cell(m.fib),
+                cell(m.theta),
+                cell(m.gap),
+            ]);
+        }
+        measured.push(m);
     }
     t.emit("table3_minmax_gap");
     println!("Reading: even ECMP on the deployed weights hotspots badly; even");
     println!("the *best possible* ECMP weights (NP-hard to find) are limited");
     println!("to even splits. Fibbing's rounded plans sit within a few percent");
     println!("of the fractional optimum θ*, matching the paper's claim.");
+
+    // Machine-readable perf record: values + wall time per phase per
+    // case. Timing keys all end in `_secs` so a determinism diff can
+    // strip them with one filter.
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"table_minmax_gap\",");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"cases\": [");
+    for (i, (case, m)) in cases.iter().zip(&measured).enumerate() {
+        let comma = if i + 1 < cases.len() { "," } else { "" };
+        if m.skipped {
+            let _ = writeln!(
+                json,
+                "    {{\"name\": \"{}\", \"skipped\": true}}{comma}",
+                case.name
+            );
+            continue;
+        }
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"even\": {}, \"best\": {}, \"fibbing\": {}, \
+             \"theta_star\": {}, \"gap_pct\": {}, \"even_secs\": {:.6}, \
+             \"best_secs\": {:.6}, \"fibbing_secs\": {:.6}, \"theta_secs\": {:.6}}}{comma}",
+            case.name,
+            json_num(m.even),
+            json_num(m.best),
+            json_num(m.fib),
+            json_num(m.theta),
+            json_num(m.gap),
+            m.secs_even,
+            m.secs_best,
+            m.secs_fib,
+            m.secs_theta,
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"total_secs\": {:.6}",
+        started.elapsed().as_secs_f64()
+    );
+    json.push_str("}\n");
+    let path = results_dir().join("BENCH_table_minmax_gap.json");
+    std::fs::write(&path, json).expect("write bench json");
+    println!("[saved {}]", path.display());
 }

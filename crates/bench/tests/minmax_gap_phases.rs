@@ -1,0 +1,61 @@
+//! Guard: every phase of the T3 optimality-gap pipeline terminates
+//! promptly on the paper case — the case CI runs on every push.
+//!
+//! The bound is a hang tripwire, not a benchmark: each phase runs in
+//! microseconds-to-milliseconds (release) but the assert allows 5 s so
+//! debug builds and loaded CI runners never flake. Fine-grained perf
+//! regression tracking lives in `results/BENCH_table_minmax_gap.json`,
+//! which the `table_minmax_gap` bin writes on every run.
+
+use fib_te::prelude::*;
+use fibbing::demo::{paper_capacities, paper_topology, A, B, BLUE};
+use fibbing::prelude::*;
+use std::time::{Duration, Instant};
+
+const PHASE_BUDGET: Duration = Duration::from_secs(5);
+
+#[test]
+fn paper_case_phases_are_fast() {
+    let topo = paper_topology();
+    let caps = paper_capacities(100.0);
+    let demands = vec![(A, 100.0), (B, 100.0)];
+    let mut tm = TrafficMatrix::new();
+    for (s, r) in &demands {
+        tm.add(*s, BLUE, *r);
+    }
+
+    let t0 = Instant::now();
+    let even = even_ecmp_max_util(&topo, &tm, &caps);
+    let even_t = t0.elapsed();
+    eprintln!("even: {even:?} in {even_t:?}");
+
+    let t0 = Instant::now();
+    let best = best_ecmp_weights_max_util(&topo, &tm, &caps, 3).map(|(u, _)| u);
+    let best_t = t0.elapsed();
+    eprintln!("best: {best:?} in {best_t:?}");
+
+    let t0 = Instant::now();
+    let theta = min_max_theta(&topo, BLUE, &demands, &caps);
+    let theta_t = t0.elapsed();
+    eprintln!("theta: {theta:?} in {theta_t:?}");
+
+    let t0 = Instant::now();
+    let plan = plan_paths(&topo, BLUE, &demands, &caps, 0.01, 8);
+    let plan_t = t0.elapsed();
+    eprintln!("plan: ok={} in {plan_t:?}", plan.is_ok());
+
+    assert!(even.is_some() && best.is_some() && theta.is_ok() && plan.is_ok());
+    for (name, took) in [
+        ("even_ecmp_max_util", even_t),
+        ("best_ecmp_weights_max_util", best_t),
+        ("min_max_theta", theta_t),
+        ("plan_paths", plan_t),
+    ] {
+        assert!(
+            took < PHASE_BUDGET,
+            "{name} took {took:?} (budget {PHASE_BUDGET:?}) — the \
+             optimality-gap pipeline has regressed toward its old \
+             minutes-long behaviour"
+        );
+    }
+}

@@ -68,7 +68,7 @@ pub mod prelude {
         ControllerConfig, ControllerHandle, ControllerSnapshot, ControllerStats, FibbingController,
     };
     pub use crate::lie::{apply_all, Lie, LieAllocator};
-    pub use crate::optimizer::{min_max_theta, plan_paths, OptError, PathPlan};
+    pub use crate::optimizer::{min_max_theta, plan_paths, MinMaxSolver, OptError, PathPlan};
     pub use crate::requirements::{WeightedDag, WeightedHops};
     pub use crate::splitting::{apportion, min_slots_for, plan_split, SplitError, SplitPlan};
     pub use crate::verify::{actual_fractions, check, check_preserving, Mismatch, VerifyReport};

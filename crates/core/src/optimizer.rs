@@ -11,6 +11,16 @@
 //!   solution to the min-max link utilization problem") and the
 //!   reference for the optimality-gap table.
 //!
+//! * [`MinMaxSolver`] — the reusable engine behind [`min_max_theta`].
+//!   The flow network is assembled **once** per problem; bisection
+//!   probes rescale arc capacities in place and reuse the flow found
+//!   so far (a feasible flow at θ stays feasible at θ′ > θ; scaling
+//!   down only cancels the overflow on arcs the smaller θ saturates).
+//!   A single max-flow at θ = 1 additionally yields an analytic lower
+//!   bound from its min cut, shrinking the bisection window. Callers
+//!   that need both a feasibility check and θ* (like [`plan_paths`])
+//!   share one solver instead of rebuilding the network per question.
+//!
 //! * [`plan_paths`] — a *min-cost flow at a utilization budget*:
 //!   capacities are scaled to `target_util`, arc costs are IGP
 //!   metrics, and demand is routed at minimum total cost. Cheap
@@ -143,6 +153,9 @@ impl Dinic {
         0.0
     }
 
+    /// Augment from the current residual state until no path remains;
+    /// returns the *additional* flow found (so warm starts compose).
+    /// On return, `level` marks the source side of a min cut.
     fn max_flow(&mut self, s: usize, t: usize) -> f64 {
         let mut flow = 0.0;
         while self.bfs(s, t) {
@@ -156,6 +169,46 @@ impl Dinic {
             }
         }
         flow
+    }
+
+    /// BFS a `from → to` path over forward arcs currently carrying
+    /// flow; returns the arc ids along it (empty when `from == to`).
+    fn flow_path(&self, from: usize, to: usize) -> Option<Vec<usize>> {
+        if from == to {
+            return Some(Vec::new());
+        }
+        let n = self.head.len();
+        let mut prev = vec![usize::MAX; n];
+        let mut seen = vec![false; n];
+        seen[from] = true;
+        let mut q = std::collections::VecDeque::new();
+        q.push_back(from);
+        'bfs: while let Some(u) = q.pop_front() {
+            for &e in &self.head[u] {
+                // Even ids are forward arcs; their flow sits on the
+                // paired reverse arc's capacity.
+                if e % 2 == 0 && self.cap[e ^ 1] > EPS && !seen[self.to[e]] {
+                    seen[self.to[e]] = true;
+                    prev[self.to[e]] = e;
+                    if self.to[e] == to {
+                        break 'bfs;
+                    }
+                    q.push_back(self.to[e]);
+                }
+            }
+        }
+        if !seen[to] {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut node = to;
+        while node != from {
+            let e = prev[node];
+            path.push(e);
+            node = self.to[e ^ 1];
+        }
+        path.reverse();
+        Some(path)
     }
 }
 
@@ -309,57 +362,287 @@ fn assemble(
     })
 }
 
-fn feasible(p: &Problem, theta: f64) -> bool {
-    if p.total <= EPS {
-        return true;
+/// Tolerance on routed flow vs. total demand when deciding
+/// feasibility (absolute, in traffic units — the historical value).
+const FLOW_TOL: f64 = 1e-6;
+
+/// A reusable min-max utilization solver for one assembled problem.
+///
+/// The Dinic network (link arcs, source arcs carrying the demands,
+/// infinite sink arcs) is built **once**. Every feasibility probe at a
+/// utilization θ rescales the link-arc capacities in place and keeps
+/// the flow already routed:
+///
+/// * scaling **up** only adds residual capacity, so the current flow
+///   stays valid and the max-flow merely continues augmenting;
+/// * scaling **down** keeps the flow wherever it still fits and
+///   cancels just the overflow on arcs the smaller θ saturates,
+///   walking it back to the source/sink along flow-carrying paths.
+///
+/// On top of the warm starts, the min cut of the very first max-flow
+/// (at θ = 1) yields the analytic lower bound
+/// `(total − cut_source_capacity) / cut_link_capacity ≤ θ*`, which
+/// shrinks the bisection window before it starts. The same solver
+/// answers both plain feasibility questions ([`Self::is_feasible`])
+/// and the optimum ([`Self::theta_star`], cached), so callers such as
+/// [`plan_paths`] assemble the problem exactly once.
+pub struct MinMaxSolver {
+    p: Problem,
+    net: Dinic,
+    s: usize,
+    t: usize,
+    /// `(arc id, unscaled capacity)` of every link arc.
+    link_arcs: Vec<(usize, f64)>,
+    /// `(arc id, demand)` of every source arc (for flow resets).
+    demand_arcs: Vec<(usize, f64)>,
+    /// Arc ids of the sink arcs (for flow resets).
+    sink_arcs: Vec<usize>,
+    /// Scale currently applied to the link arcs.
+    theta: f64,
+    /// Value of the flow currently routed.
+    flow: f64,
+    /// Memoized optimum.
+    theta_star: Option<f64>,
+}
+
+impl MinMaxSolver {
+    /// Assemble the flow network for routing `demands` toward `prefix`
+    /// over `topo` with per-link `capacities`. Fails with
+    /// [`OptError::NoSink`] when nothing announces the prefix.
+    pub fn new(
+        topo: &Topology,
+        prefix: Prefix,
+        demands: &[(RouterId, f64)],
+        capacities: &BTreeMap<(RouterId, RouterId), f64>,
+    ) -> Result<MinMaxSolver, OptError> {
+        let p = assemble(topo, prefix, demands, capacities)?;
+        let n = p.nodes.len();
+        let (s, t) = (n, n + 1);
+        let mut net = Dinic::new(n + 2);
+        let mut link_arcs = Vec::with_capacity(p.links.len());
+        for ((u, v), cap, _) in &p.links {
+            let id = net.add_edge(p.index[u], p.index[v], *cap); // θ = 1
+            link_arcs.push((id, *cap));
+        }
+        let mut demand_arcs = Vec::with_capacity(p.demands.len());
+        for (src, d) in &p.demands {
+            let id = net.add_edge(s, p.index[src], *d);
+            demand_arcs.push((id, *d));
+        }
+        let mut sink_arcs = Vec::with_capacity(p.sinks.len());
+        for sink in &p.sinks {
+            sink_arcs.push(net.add_edge(p.index[sink], t, f64::INFINITY));
+        }
+        Ok(MinMaxSolver {
+            p,
+            net,
+            s,
+            t,
+            link_arcs,
+            demand_arcs,
+            sink_arcs,
+            theta: 1.0,
+            flow: 0.0,
+            theta_star: None,
+        })
     }
-    let n = p.nodes.len();
-    let (s, t) = (n, n + 1);
-    let mut dinic = Dinic::new(n + 2);
-    for ((u, v), cap, _) in &p.links {
-        dinic.add_edge(p.index[u], p.index[v], theta * cap);
+
+    /// Total demand of the assembled problem (traffic units).
+    pub fn total_demand(&self) -> f64 {
+        self.p.total
     }
-    for (src, d) in &p.demands {
-        dinic.add_edge(s, p.index[src], *d);
+
+    /// The assembled problem (shared with `plan_paths`).
+    fn problem(&self) -> &Problem {
+        &self.p
     }
-    for sink in &p.sinks {
-        dinic.add_edge(p.index[sink], t, f64::INFINITY);
+
+    /// Can all demand be routed with every link at or below `theta`
+    /// utilization? Warm-starts from whatever flow previous probes
+    /// left behind.
+    pub fn is_feasible(&mut self, theta: f64) -> bool {
+        if self.p.total <= EPS {
+            return true;
+        }
+        self.rescale(theta);
+        self.flow += self.net.max_flow(self.s, self.t);
+        self.flow >= self.p.total - FLOW_TOL
     }
-    dinic.max_flow(s, t) >= p.total - 1e-6
+
+    /// Rescale every link arc to `theta` × capacity, preserving the
+    /// routed flow. Arcs whose flow no longer fits get the overflow
+    /// cancelled; everything else keeps its flow and merely has its
+    /// residual recomputed (so repeated rescaling never drifts).
+    fn rescale(&mut self, theta: f64) {
+        // Record θ up front: a reset inside `cancel_overflow` must
+        // restore capacities at the *new* scale, or arcs processed
+        // earlier in this loop would keep stale ones.
+        self.theta = theta;
+        for i in 0..self.link_arcs.len() {
+            let (id, cap) = self.link_arcs[i];
+            let target = theta * cap;
+            let routed = self.net.cap[id ^ 1];
+            if routed > target + EPS {
+                self.cancel_overflow(id, routed - target);
+            }
+            let routed = self.net.cap[id ^ 1];
+            self.net.cap[id] = (target - routed).max(0.0);
+        }
+    }
+
+    /// Remove `excess` units of flow passing through arc `id` by
+    /// walking the overflow back along flow-carrying paths (source →
+    /// arc tail, arc head → sink). Falls back to a full flow reset in
+    /// the pathological case where the flow support contains a cycle
+    /// that hides such paths.
+    fn cancel_overflow(&mut self, id: usize, mut excess: f64) {
+        let (u, v) = (self.net.to[id ^ 1], self.net.to[id]);
+        while excess > EPS {
+            let (p1, p2) = (self.net.flow_path(self.s, u), self.net.flow_path(v, self.t));
+            let (Some(p1), Some(p2)) = (p1, p2) else {
+                // Flow cycle through the arc: no s→u / v→t witness.
+                // Rare enough that rebuilding the flow is fine.
+                self.reset_flow();
+                return;
+            };
+            // An arc may appear on both path halves; the bottleneck
+            // must account for pushing it back twice.
+            let mut uses: BTreeMap<usize, f64> = BTreeMap::new();
+            *uses.entry(id).or_insert(0.0) += 1.0;
+            for e in p1.iter().chain(p2.iter()) {
+                *uses.entry(*e).or_insert(0.0) += 1.0;
+            }
+            let mut push = excess;
+            for (e, times) in &uses {
+                push = push.min(self.net.cap[e ^ 1] / times);
+            }
+            if push <= EPS {
+                self.reset_flow();
+                return;
+            }
+            for (e, times) in &uses {
+                let amount = push * times;
+                self.net.cap[*e] += amount;
+                self.net.cap[e ^ 1] -= amount;
+            }
+            self.flow -= push;
+            excess -= push;
+        }
+    }
+
+    /// Drop all routed flow, restoring nominal capacities at the
+    /// current θ.
+    fn reset_flow(&mut self) {
+        for &(id, cap) in &self.link_arcs {
+            self.net.cap[id] = self.theta * cap;
+            self.net.cap[id ^ 1] = 0.0;
+        }
+        for &(id, d) in &self.demand_arcs {
+            self.net.cap[id] = d;
+            self.net.cap[id ^ 1] = 0.0;
+        }
+        for &id in &self.sink_arcs {
+            self.net.cap[id] = f64::INFINITY;
+            self.net.cap[id ^ 1] = 0.0;
+        }
+        self.flow = 0.0;
+    }
+
+    /// Source-arc and (unscaled) link-arc capacity crossing the min
+    /// cut left behind by the last max-flow run.
+    fn min_cut_parts(&self) -> (f64, f64) {
+        let reachable = |node: usize| self.net.level[node] >= 0;
+        let mut cut_src = 0.0;
+        for &(id, d) in &self.demand_arcs {
+            if !reachable(self.net.to[id]) {
+                cut_src += d;
+            }
+        }
+        let mut cut_links = 0.0;
+        for &(id, cap) in &self.link_arcs {
+            if reachable(self.net.to[id ^ 1]) && !reachable(self.net.to[id]) {
+                cut_links += cap;
+            }
+        }
+        (cut_src, cut_links)
+    }
+
+    /// The optimal min-max utilization θ* (memoized). Errors with
+    /// [`OptError::Disconnected`] when some demand cannot reach the
+    /// sink at any utilization.
+    pub fn theta_star(&mut self) -> Result<f64, OptError> {
+        if let Some(t) = self.theta_star {
+            return Ok(t);
+        }
+        if self.p.total <= EPS {
+            self.theta_star = Some(0.0);
+            return Ok(0.0);
+        }
+        // One max-flow at θ = 1 seeds both the bisection window and
+        // the analytic cut bound: every cut must satisfy
+        // `cut_src + θ·cut_links ≥ total`.
+        let feasible_at_one = self.is_feasible(1.0);
+        let (cut_src, cut_links) = self.min_cut_parts();
+        let bound = if cut_links > EPS {
+            ((self.p.total - cut_src) / cut_links).max(0.0)
+        } else {
+            0.0
+        };
+        let (mut lo, mut hi);
+        if feasible_at_one {
+            hi = 1.0;
+            lo = bound.min(1.0);
+        } else {
+            if cut_links <= EPS {
+                // The binding cut has no link arcs: some demand can
+                // never reach the sink, at any θ.
+                return Err(OptError::Disconnected);
+            }
+            // Any θ below the cut bound is infeasible, so the window
+            // starts there (θ = 1 was just probed infeasible too).
+            lo = bound.max(1.0);
+            let mut cand = lo;
+            let mut grown = 0;
+            loop {
+                if self.is_feasible(cand) {
+                    hi = cand;
+                    break;
+                }
+                lo = cand;
+                cand *= 2.0;
+                grown += 1;
+                if grown > 64 {
+                    return Err(OptError::Disconnected);
+                }
+            }
+        }
+        for _ in 0..100 {
+            if hi - lo <= 1e-9 * hi.max(1.0) {
+                break;
+            }
+            let mid = 0.5 * (lo + hi);
+            if self.is_feasible(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        self.theta_star = Some(hi);
+        Ok(hi)
+    }
 }
 
 /// Optimal min-max utilization θ* for routing `demands` toward
 /// `prefix` (fractional, splittable flow). This is the paper's cited
-/// lower bound.
+/// lower bound. Convenience wrapper over [`MinMaxSolver`]; callers
+/// with several questions about one problem should hold the solver.
 pub fn min_max_theta(
     topo: &Topology,
     prefix: Prefix,
     demands: &[(RouterId, f64)],
     capacities: &BTreeMap<(RouterId, RouterId), f64>,
 ) -> Result<f64, OptError> {
-    let p = assemble(topo, prefix, demands, capacities)?;
-    if p.total <= EPS {
-        return Ok(0.0);
-    }
-    let mut hi = 1.0;
-    let mut doubled = 0;
-    while !feasible(&p, hi) {
-        hi *= 2.0;
-        doubled += 1;
-        if doubled > 24 {
-            return Err(OptError::Disconnected);
-        }
-    }
-    let mut lo = 0.0;
-    for _ in 0..60 {
-        let mid = 0.5 * (lo + hi);
-        if feasible(&p, mid) {
-            hi = mid;
-        } else {
-            lo = mid;
-        }
-    }
-    Ok(hi)
+    MinMaxSolver::new(topo, prefix, demands, capacities)?.theta_star()
 }
 
 /// Compute a forwarding plan keeping every link at or below
@@ -375,9 +658,9 @@ pub fn plan_paths(
     slot_budget: u32,
 ) -> Result<PathPlan, OptError> {
     assert!(target_util > 0.0);
-    let p = assemble(topo, prefix, demands, capacities)?;
+    let mut solver = MinMaxSolver::new(topo, prefix, demands, capacities)?;
     let mut dag = WeightedDag::new(prefix);
-    if p.total <= EPS {
+    if solver.total_demand() <= EPS {
         return Ok(PathPlan {
             theta_used: 0.0,
             max_util: 0.0,
@@ -387,13 +670,14 @@ pub fn plan_paths(
     }
 
     // Choose θ: the budget if feasible, else the min-max optimum
-    // (slightly padded for numerical safety).
-    let theta = if feasible(&p, target_util) {
+    // (slightly padded for numerical safety). One solver answers both
+    // questions on one assembled network.
+    let theta = if solver.is_feasible(target_util) {
         target_util
     } else {
-        let opt = min_max_theta(topo, prefix, demands, capacities)?;
-        opt * (1.0 + 1e-6)
+        solver.theta_star()? * (1.0 + 1e-6)
     };
+    let p = solver.problem();
 
     // Min-cost flow at θ.
     let n = p.nodes.len();
@@ -607,5 +891,162 @@ mod tests {
         let caps = caps_all(&t, 10.0);
         let theta = min_max_theta(&t, blue, &[(r(1), 100.0)], &caps).unwrap();
         assert!((theta - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn solver_is_reusable_across_probes() {
+        let (t, blue) = paper_topo();
+        let caps = caps_all(&t, 100.0);
+        let mut solver =
+            MinMaxSolver::new(&t, blue, &[(r(1), 100.0), (r(2), 100.0)], &caps).unwrap();
+        // Down, up, down again: exercises both grow and shrink paths.
+        assert!(!solver.is_feasible(0.5));
+        assert!(solver.is_feasible(1.0));
+        assert!(!solver.is_feasible(0.6));
+        assert!(solver.is_feasible(0.7));
+        let theta = solver.theta_star().unwrap();
+        assert!((theta - 2.0 / 3.0).abs() < 1e-6, "theta {theta}");
+        // Memoized and still consistent with later probes.
+        assert_eq!(solver.theta_star().unwrap(), theta);
+        assert!(solver.is_feasible(theta + 1e-3));
+        assert!(!solver.is_feasible(theta - 1e-3));
+    }
+
+    /// The pre-solver implementation, kept verbatim as the oracle the
+    /// rescaling solver is pinned against: a fresh Dinic network per
+    /// bisection probe, doubling from θ = 1, 60 blind halvings of
+    /// `[0, hi]`.
+    mod fresh_reference {
+        use super::super::*;
+
+        fn feasible(p: &Problem, theta: f64) -> bool {
+            if p.total <= EPS {
+                return true;
+            }
+            let n = p.nodes.len();
+            let (s, t) = (n, n + 1);
+            let mut dinic = Dinic::new(n + 2);
+            for ((u, v), cap, _) in &p.links {
+                dinic.add_edge(p.index[u], p.index[v], theta * cap);
+            }
+            for (src, d) in &p.demands {
+                dinic.add_edge(s, p.index[src], *d);
+            }
+            for sink in &p.sinks {
+                dinic.add_edge(p.index[sink], t, f64::INFINITY);
+            }
+            dinic.max_flow(s, t) >= p.total - 1e-6
+        }
+
+        pub fn min_max_theta(
+            topo: &Topology,
+            prefix: Prefix,
+            demands: &[(RouterId, f64)],
+            capacities: &BTreeMap<(RouterId, RouterId), f64>,
+        ) -> Result<f64, OptError> {
+            let p = assemble(topo, prefix, demands, capacities)?;
+            if p.total <= EPS {
+                return Ok(0.0);
+            }
+            let mut hi = 1.0;
+            let mut doubled = 0;
+            while !feasible(&p, hi) {
+                hi *= 2.0;
+                doubled += 1;
+                if doubled > 24 {
+                    return Err(OptError::Disconnected);
+                }
+            }
+            let mut lo = 0.0;
+            for _ in 0..60 {
+                let mid = 0.5 * (lo + hi);
+                if feasible(&p, mid) {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            Ok(hi)
+        }
+    }
+
+    mod equivalence {
+        use super::*;
+        use fib_igp::builders::random_connected;
+        use proptest::prelude::*;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        type Scenario = (
+            Topology,
+            Prefix,
+            Vec<(RouterId, f64)>,
+            BTreeMap<(RouterId, RouterId), f64>,
+        );
+
+        /// A seeded random problem: connected topology, one sink,
+        /// 1–3 demand sources, heterogeneous capacities.
+        fn scenario(seed: u64, n: u32) -> Scenario {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut topo = random_connected(&mut rng, n, n / 2, 4);
+            let routers: Vec<RouterId> = topo.routers().collect();
+            let sink = routers[rng.gen_range(0..routers.len())];
+            let prefix = Prefix::net24(1);
+            topo.announce_prefix(sink, prefix, Metric::ZERO).unwrap();
+            let n_dem = rng.gen_range(1..=3usize);
+            let mut demands: Vec<(RouterId, f64)> = Vec::new();
+            while demands.len() < n_dem.min(routers.len() - 1) {
+                let s = routers[rng.gen_range(0..routers.len())];
+                if s != sink && !demands.iter().any(|(r, _)| *r == s) {
+                    demands.push((s, rng.gen_range(20.0..250.0)));
+                }
+            }
+            let caps: BTreeMap<(RouterId, RouterId), f64> = topo
+                .all_links()
+                .map(|(a, b, _)| ((a, b), rng.gen_range(40.0..160.0)))
+                .collect();
+            (topo, prefix, demands, caps)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The rescaling solver's θ* matches the fresh-bisection
+            /// oracle within 1e-6 on seeded random topologies.
+            #[test]
+            fn rescaling_solver_matches_fresh_bisection(seed in 0u64..4000, n in 4u32..16) {
+                let (topo, prefix, demands, caps) = scenario(seed, n);
+                let fresh = fresh_reference::min_max_theta(&topo, prefix, &demands, &caps);
+                let fast = min_max_theta(&topo, prefix, &demands, &caps);
+                match (fresh, fast) {
+                    (Ok(a), Ok(b)) => {
+                        prop_assert!((a - b).abs() <= 1e-6 * a.max(1.0),
+                            "fresh {a} vs solver {b}");
+                    }
+                    (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+                    (a, b) => prop_assert!(false, "diverged: fresh {a:?} vs solver {b:?}"),
+                }
+            }
+
+            /// Warm-started probes (including shrink-after-grow) agree
+            /// with fresh feasibility at unambiguous θ values around θ*.
+            #[test]
+            fn warm_probes_match_known_optimum(seed in 0u64..4000, n in 4u32..12) {
+                let (topo, prefix, demands, caps) = scenario(seed, n);
+                let Ok(star) = fresh_reference::min_max_theta(&topo, prefix, &demands, &caps)
+                else { return Ok(()); };
+                let mut solver = MinMaxSolver::new(&topo, prefix, &demands, &caps).unwrap();
+                // Zig-zag order exercises grow, shrink, and re-grow.
+                for (k, expect) in [
+                    (2.0, true), (0.5, false), (1.5, true),
+                    (0.8, false), (1.1, true), (0.9, false),
+                ] {
+                    let got = solver.is_feasible(k * star);
+                    prop_assert!(got == expect, "probe at {k}·θ* (θ* = {star}): {got}");
+                }
+                let solved = solver.theta_star().unwrap();
+                prop_assert!((solved - star).abs() <= 1e-6 * star.max(1.0));
+            }
+        }
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! [`Sim`] binds everything together in one deterministic event loop:
 //!
-//! * an IGP [`Instance`](fib_igp::instance::Instance) per router,
+//! * an IGP [`Instance`] per router,
 //!   exchanging real (encoded, checksummed) protocol packets over the
 //!   simulated links with propagation delay;
 //! * FIB downloads from converged instances into data-plane [`Fib`]s;
