@@ -252,6 +252,14 @@ impl Instance {
         self.last_table.as_ref()
     }
 
+    /// SPF engine ablation counters: `(full Dijkstra runs, partial
+    /// route-phase-only runs)`. Lie-only (type-5-style) churn must
+    /// land in the second bucket — the simulator aggregates these so
+    /// scenarios can assert it.
+    pub fn spf_run_counts(&self) -> (u64, u64) {
+        (self.spf.full_runs, self.spf.partial_runs)
+    }
+
     /// Add a point-to-point interface with the given cost.
     pub fn add_iface(&mut self, id: IfaceId, cost: Metric) {
         self.ifaces.insert(
@@ -1254,7 +1262,9 @@ impl Instance {
         }
         self.last_spf_version = Some(version);
         let topo = self.lsdb.to_topology();
-        let table = self.spf.compute(&topo, self.cfg.router_id);
+        let table = self
+            .spf
+            .compute_versioned(&topo, self.cfg.router_id, self.lsdb.real_version());
         self.stats.spf_runs += 1;
         if self.last_table.as_ref() != Some(&table) {
             self.last_table = Some(table.clone());

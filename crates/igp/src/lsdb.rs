@@ -40,6 +40,7 @@ pub struct DbVersion(pub u64);
 pub struct Lsdb {
     entries: BTreeMap<LsaKey, Lsa>,
     version: u64,
+    real_version: u64,
 }
 
 impl Lsdb {
@@ -51,6 +52,22 @@ impl Lsdb {
     /// Current content version.
     pub fn version(&self) -> DbVersion {
         DbVersion(self.version)
+    }
+
+    /// Version of the *real graph* only: bumped when a router LSA
+    /// changes, untouched by lie (fake) and prefix churn. The SPF
+    /// engine uses it to decide — in O(1), without hashing the
+    /// topology — that a change cannot have moved any real node and a
+    /// cheap partial run suffices ([`crate::spf::SpfEngine`]).
+    pub fn real_version(&self) -> u64 {
+        self.real_version
+    }
+
+    fn bump(&mut self, key: &LsaKey) {
+        self.version += 1;
+        if key.kind == crate::lsa::LsaKind::Router {
+            self.real_version += 1;
+        }
     }
 
     /// Number of stored LSAs (including MaxAge ones not yet swept).
@@ -88,14 +105,16 @@ impl Lsdb {
                     // do not create state (RFC 2328 §13 step 5 nuance).
                     return Install::PurgeUnknown;
                 }
-                self.entries.insert(lsa.key, lsa);
-                self.version += 1;
+                let key = lsa.key;
+                self.entries.insert(key, lsa);
+                self.bump(&key);
                 Install::New
             }
             Some(stored) => match lsa.freshness_vs(stored) {
                 Freshness::Newer => {
-                    self.entries.insert(lsa.key, lsa);
-                    self.version += 1;
+                    let key = lsa.key;
+                    self.entries.insert(key, lsa);
+                    self.bump(&key);
                     Install::Updated
                 }
                 Freshness::Same => Install::Duplicate,
@@ -118,7 +137,7 @@ impl Lsdb {
         for k in dead {
             if let Some(l) = self.entries.remove(&k) {
                 headers.push(l.header());
-                self.version += 1;
+                self.bump(&k);
             }
         }
         headers
@@ -129,7 +148,7 @@ impl Lsdb {
     pub fn remove(&mut self, key: &LsaKey) -> Option<Lsa> {
         let removed = self.entries.remove(key);
         if removed.is_some() {
-            self.version += 1;
+            self.bump(key);
         }
         removed
     }
@@ -151,6 +170,12 @@ impl Lsdb {
         }
         if !expired.is_empty() {
             self.version += 1;
+            if expired
+                .iter()
+                .any(|k| k.kind == crate::lsa::LsaKind::Router)
+            {
+                self.real_version += 1;
+            }
         }
         expired
     }

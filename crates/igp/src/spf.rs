@@ -248,6 +248,9 @@ pub fn compute_all_routes(topo: &Topology) -> BTreeMap<RouterId, RouteTable> {
 #[derive(Debug, Default)]
 pub struct SpfEngine {
     cache: BTreeMap<RouterId, (u64, ShortestPaths)>,
+    /// Last real-graph version seen per source (the O(1) fast path of
+    /// [`SpfEngine::compute_versioned`]).
+    seen_real: BTreeMap<RouterId, u64>,
     /// Counts of full Dijkstra runs (for benchmarks/ablation).
     pub full_runs: u64,
     /// Counts of cache hits where only the route phase ran.
@@ -280,6 +283,39 @@ impl SpfEngine {
     /// Dijkstra result when the real graph is unchanged.
     pub fn compute(&mut self, topo: &Topology, source: RouterId) -> RouteTable {
         let fp = real_graph_fingerprint(topo);
+        self.compute_with_fingerprint(topo, source, fp)
+    }
+
+    /// Like [`SpfEngine::compute`], but gated on the caller's
+    /// real-graph version counter (see `Lsdb::real_version`): when the
+    /// version is unchanged since the last call the cached Dijkstra is
+    /// reused *without even hashing the topology* — the common case on
+    /// lie/prefix (type-5-style) churn, where only the cheap route
+    /// phase runs. A bumped version falls back to the fingerprint
+    /// check, so a content-identical re-origination still takes the
+    /// partial path.
+    pub fn compute_versioned(
+        &mut self,
+        topo: &Topology,
+        source: RouterId,
+        real_version: u64,
+    ) -> RouteTable {
+        if self.seen_real.get(&source) == Some(&real_version) {
+            if let Some((_, sp)) = self.cache.get(&source) {
+                self.partial_runs += 1;
+                return route_table_from(topo, sp);
+            }
+        }
+        self.seen_real.insert(source, real_version);
+        self.compute(topo, source)
+    }
+
+    fn compute_with_fingerprint(
+        &mut self,
+        topo: &Topology,
+        source: RouterId,
+        fp: u64,
+    ) -> RouteTable {
         let need_full = match self.cache.get(&source) {
             Some((cached_fp, _)) => *cached_fp != fp,
             None => true,
@@ -298,6 +334,7 @@ impl SpfEngine {
     /// Drop all cached state.
     pub fn invalidate(&mut self) {
         self.cache.clear();
+        self.seen_real.clear();
     }
 }
 
@@ -569,6 +606,41 @@ mod tests {
         t.set_metric(r(1), r(3), Metric(5)).unwrap();
         let _ = eng.compute(&t, r(1));
         assert_eq!((eng.full_runs, eng.partial_runs), (2, 1));
+    }
+
+    #[test]
+    fn versioned_engine_skips_hashing_on_stable_real_graph() {
+        let mut t = square();
+        let mut eng = SpfEngine::new();
+        let _ = eng.compute_versioned(&t, r(1), 0);
+        assert_eq!((eng.full_runs, eng.partial_runs), (1, 0));
+        // Same version: partial without consulting the fingerprint.
+        t.add_fake_node(
+            RouterId::fake(0),
+            FakeAttrs {
+                attach: r(1),
+                attach_metric: Metric(1),
+                prefix: Prefix::net24(1),
+                prefix_metric: Metric(1),
+                fw: FwAddr::secondary(r(3), 1),
+            },
+        )
+        .unwrap();
+        let rt = eng.compute_versioned(&t, r(1), 0);
+        assert_eq!((eng.full_runs, eng.partial_runs), (1, 1));
+        assert_eq!(rt.routes[&Prefix::net24(1)].nexthops.len(), 3);
+        // Bumped version, identical real graph: the fingerprint check
+        // still lands on the partial path.
+        let _ = eng.compute_versioned(&t, r(1), 1);
+        assert_eq!((eng.full_runs, eng.partial_runs), (1, 2));
+        // Bumped version, changed real graph: full run.
+        t.set_metric(r(1), r(3), Metric(5)).unwrap();
+        let _ = eng.compute_versioned(&t, r(1), 2);
+        assert_eq!((eng.full_runs, eng.partial_runs), (2, 2));
+        // A stale version after invalidate() recomputes from scratch.
+        eng.invalidate();
+        let _ = eng.compute_versioned(&t, r(1), 2);
+        assert_eq!((eng.full_runs, eng.partial_runs), (3, 2));
     }
 
     #[test]

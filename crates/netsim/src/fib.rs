@@ -37,15 +37,38 @@ impl Fib {
 
     /// Download a route table (replaces all entries).
     pub fn install(&mut self, table: &RouteTable) {
-        self.entries.clear();
+        let _ = self.install_diff(table);
+    }
+
+    /// Download a route table and report which prefixes' entries
+    /// actually changed (added, removed, or rewritten) — the
+    /// invalidation feed for the simulator's dirty-set recompute: only
+    /// flows destined to a changed prefix can be rerouted by this
+    /// download.
+    pub fn install_diff(&mut self, table: &RouteTable) -> Vec<Prefix> {
+        let mut next: BTreeMap<Prefix, FibEntry> = BTreeMap::new();
         for (p, route) in &table.routes {
             if route.local {
-                self.entries.insert(*p, FibEntry::Local);
+                next.insert(*p, FibEntry::Local);
             } else if !route.nexthops.is_empty() {
-                self.entries
-                    .insert(*p, FibEntry::Via(route.nexthops.clone()));
+                next.insert(*p, FibEntry::Via(route.nexthops.clone()));
             }
         }
+        let mut changed: Vec<Prefix> = Vec::new();
+        for (p, e) in &next {
+            if self.entries.get(p) != Some(e) {
+                changed.push(*p);
+            }
+        }
+        for p in self.entries.keys() {
+            if !next.contains_key(p) {
+                changed.push(*p);
+            }
+        }
+        changed.sort();
+        changed.dedup();
+        self.entries = next;
+        changed
     }
 
     /// Longest-prefix-match lookup (exact container since prefixes are
@@ -187,6 +210,43 @@ mod tests {
             fib.lookup(Prefix::net24(1)),
             Some(FibEntry::Via(v)) if v.len() == 1
         ));
+    }
+
+    #[test]
+    fn install_diff_reports_exact_changes() {
+        let route = |to: u32| Route {
+            dist: Metric(1),
+            nexthops: vec![FwAddr::primary(r(to))],
+            local: false,
+        };
+        let mut t1 = RouteTable::empty(r(1));
+        t1.routes.insert(Prefix::net24(1), route(2));
+        t1.routes.insert(Prefix::net24(2), route(3));
+        let mut fib = Fib::new();
+        // First install: everything is new.
+        assert_eq!(
+            fib.install_diff(&t1),
+            vec![Prefix::net24(1), Prefix::net24(2)]
+        );
+        // Identical re-install: nothing changed.
+        assert!(fib.install_diff(&t1).is_empty());
+        // One rewrite, one removal, one addition.
+        let mut t2 = RouteTable::empty(r(1));
+        t2.routes.insert(Prefix::net24(1), route(9));
+        t2.routes.insert(Prefix::net24(3), route(3));
+        assert_eq!(
+            fib.install_diff(&t2),
+            vec![Prefix::net24(1), Prefix::net24(2), Prefix::net24(3)]
+        );
+        // A route losing all next-hops (and not local) is a removal.
+        let mut t3 = t2.clone();
+        t3.routes
+            .get_mut(&Prefix::net24(3))
+            .unwrap()
+            .nexthops
+            .clear();
+        assert_eq!(fib.install_diff(&t3), vec![Prefix::net24(3)]);
+        assert_eq!(fib.len(), 1);
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! * [`link`] — capacitated, delayed, directed links;
 //! * [`fib`] — downloaded forwarding tables and hop-by-hop path
 //!   resolution with per-router ECMP hashing ([`ecmp`]);
+//! * [`dirty`] — dirty-set invalidation tracking and the
+//!   prefix → flows reverse index behind incremental recompute;
 //! * [`fluid`] — max-min fair bandwidth sharing (the first-order model
 //!   of competing TCP flows), with application rate caps;
 //! * [`flow`] — traffic flows and notifications;
@@ -23,6 +25,7 @@
 #![forbid(unsafe_code)]
 
 pub mod api;
+pub mod dirty;
 pub mod ecmp;
 pub mod event;
 pub mod fib;
@@ -39,7 +42,7 @@ pub mod prelude {
     pub use crate::event::EventQueue;
     pub use crate::fib::{resolve_path, Fib, FibEntry, PathError};
     pub use crate::flow::{Flow, FlowId, FlowInfo, FlowSpec};
-    pub use crate::fluid::{max_min_allocation, max_min_keyed, Allocation, FluidFlow};
+    pub use crate::fluid::{max_min_allocation, max_min_keyed, Allocation, Allocator, FluidFlow};
     pub use crate::link::{LinkInfo, LinkKey, LinkSpec, LinkState};
     pub use crate::sim::{Sim, SimConfig, SimStats};
     pub use crate::trace::Recorder;

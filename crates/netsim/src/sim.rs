@@ -15,16 +15,26 @@
 //!   receiving ticks and flow notifications.
 //!
 //! Any change (FIB update, flow churn, link event) marks the world
-//! dirty; at the end of each event batch the allocator recomputes
-//! paths and rates, so traces reflect transients like ECMP shifts
+//! dirty; at the end of each event batch the allocator settles paths
+//! and rates, so traces reflect transients like ECMP shifts
 //! mid-convergence.
+//!
+//! The settling is *incremental* (see [`crate::dirty`]): each change
+//! marks exactly the flows it can reroute — the started/stopped flow,
+//! flows crossing a failed or restored link, flows destined to a
+//! prefix whose FIB entry changed on a router their path visits — and
+//! the reallocation pass re-resolves only those, feeding the reusable
+//! [`crate::fluid::Allocator`]. [`SimStats`] counts resolved vs
+//! skipped paths and allocator fills vs skips so a regression back to
+//! global recompute is visible as data, not just as wall time.
 
 use crate::api::{App, SimApi};
+use crate::dirty::{DirtySet, FlowIndex};
 use crate::ecmp::FlowKey;
 use crate::event::EventQueue;
 use crate::fib::{resolve_path, Fib};
 use crate::flow::{Flow, FlowId, FlowInfo, FlowSpec};
-use crate::fluid::max_min_keyed;
+use crate::fluid::Allocator;
 use crate::link::{LinkInfo, LinkKey, LinkSpec, LinkState};
 use crate::trace::Recorder;
 use bytes::Bytes;
@@ -81,9 +91,28 @@ pub struct SimStats {
     pub ctrl_dropped: u64,
     /// Fluid re-allocations performed.
     pub reallocs: u64,
+    /// Simulation events dispatched (packets, flow churn, ticks,
+    /// samples, link scripts).
+    pub events: u64,
+    /// Flow paths re-resolved because the dirty set named them.
+    pub paths_resolved: u64,
+    /// Flow paths kept from cache across reallocations (what the old
+    /// global recompute would have re-resolved; `paths_resolved +
+    /// paths_skipped` is exactly the pre-refactor resolution count).
+    pub paths_skipped: u64,
+    /// Allocation fill passes actually executed.
+    pub alloc_fills: u64,
+    /// Allocations answered from the unchanged-input cache.
+    pub alloc_skips: u64,
+    /// Full Dijkstra runs across all IGP instances.
+    pub spf_full_runs: u64,
+    /// Route-phase-only (partial) SPF runs across all IGP instances
+    /// (lie/prefix churn that left the real graph untouched).
+    pub spf_partial_runs: u64,
     /// SNMP operations served.
     pub snmp_ops: u64,
-    /// Path resolutions that failed (flow temporarily unroutable).
+    /// Dirty-flow re-resolutions that failed (flow found temporarily
+    /// unroutable; counted per resolution attempt, not per realloc).
     pub unroutable: u64,
     /// Integrated flow-seconds spent without a usable path (1 flow
     /// stranded for 2 s contributes 2.0) — the scenario engine's
@@ -98,6 +127,9 @@ struct LinkRec {
     tx_iface: IfaceId,
     /// Interface on `state.key.to` receiving from this direction.
     rx_iface: IfaceId,
+    /// Provisioned IGP cost (from the link spec — the operator's view,
+    /// served by [`SimApi::links`] without consulting any LSDB).
+    cost: Metric,
     /// Fractional byte carry for counter integration.
     carry: f64,
 }
@@ -137,9 +169,11 @@ pub struct Core {
     agents: BTreeMap<RouterId, Agent>,
     prefix_owners: Vec<(Prefix, RouterId)>,
     flows: BTreeMap<FlowId, Flow>,
+    flow_index: FlowIndex,
+    alloc: Allocator<LinkKey>,
     next_flow_id: u64,
     last_accrue: Timestamp,
-    dirty: bool,
+    dirty: DirtySet,
     started: bool,
     pending_flow_events: Vec<(bool, FlowInfo)>, // (started?, info)
     pending_ticks: Vec<usize>,
@@ -169,9 +203,11 @@ impl Core {
             agents: BTreeMap::new(),
             prefix_owners: Vec::new(),
             flows: BTreeMap::new(),
+            flow_index: FlowIndex::new(),
+            alloc: Allocator::new(),
             next_flow_id: 0,
             last_accrue: Timestamp::ZERO,
-            dirty: false,
+            dirty: DirtySet::new(),
             started: false,
             pending_flow_events: Vec::new(),
             pending_ticks: Vec::new(),
@@ -234,6 +270,7 @@ impl Core {
                 },
                 tx_iface: ia,
                 rx_iface: ib,
+                cost: spec.cost,
                 carry: 0.0,
             },
         );
@@ -249,6 +286,7 @@ impl Core {
                 },
                 tx_iface: ib,
                 rx_iface: ia,
+                cost: spec.cost,
                 carry: 0.0,
             },
         );
@@ -327,6 +365,7 @@ impl Core {
     }
 
     fn dispatch(&mut self, ev: Ev) {
+        self.stats.events += 1;
         match ev {
             Ev::Pkt { to, iface, data } => {
                 let len = data.len() as u64;
@@ -404,15 +443,18 @@ impl Core {
             delivered: 0.0,
         };
         let info = flow.info();
+        self.flow_index.insert(key.dst, id);
         self.flows.insert(id, flow);
-        self.dirty = true;
+        self.dirty.mark_flow(id);
         self.pending_flow_events.push((true, info));
     }
 
     fn stop_flow_inner(&mut self, id: FlowId) -> bool {
         match self.flows.remove(&id) {
             Some(f) => {
-                self.dirty = true;
+                self.flow_index.remove(f.key.dst, id);
+                self.dirty.forget_flow(id);
+                self.dirty.mark_realloc();
                 self.pending_flow_events.push((false, f.info()));
                 true
             }
@@ -425,7 +467,8 @@ impl Core {
             Some(f) => {
                 if f.cap != cap {
                     f.cap = cap;
-                    self.dirty = true;
+                    // A cap moves rates, never paths: no re-resolution.
+                    self.dirty.mark_realloc();
                 }
                 true
             }
@@ -435,11 +478,25 @@ impl Core {
 
     fn set_link_up(&mut self, a: RouterId, b: RouterId, up: bool) -> bool {
         let mut found = false;
-        for key in [LinkKey::new(a, b), LinkKey::new(b, a)] {
+        let keys = [LinkKey::new(a, b), LinkKey::new(b, a)];
+        for key in keys {
             if let Some(rec) = self.links.get_mut(&key) {
                 rec.state.up = up;
-                self.dirty = true;
+                self.dirty.mark_realloc();
                 found = true;
+            }
+        }
+        if found {
+            // Re-resolve flows whose cached path crosses the link, and
+            // — on restore — every stranded flow: its FIB path may now
+            // be usable again even before the IGP reacts.
+            let dirty = &mut self.dirty;
+            for f in self.flows.values() {
+                match &f.path {
+                    Some(p) if p.iter().any(|l| keys.contains(l)) => dirty.mark_flow(f.id),
+                    None if up => dirty.mark_flow(f.id),
+                    _ => {}
+                }
             }
         }
         if found && self.cfg.carrier_detect {
@@ -467,7 +524,8 @@ impl Core {
             if let Some(rec) = self.links.get_mut(&key) {
                 if rec.state.capacity != capacity {
                     rec.state.capacity = capacity;
-                    self.dirty = true;
+                    // Capacity moves rates, never paths.
+                    self.dirty.mark_realloc();
                 }
                 found = true;
             }
@@ -492,8 +550,13 @@ impl Core {
                 match out {
                     Output::Send { iface, data } => sends.push((id, iface, data)),
                     Output::FibUpdate(table) => {
-                        self.fibs.entry(id).or_default().install(&table);
-                        self.dirty = true;
+                        let changed = self.fibs.entry(id).or_default().install_diff(&table);
+                        // The instance only emits on route-table change,
+                        // so settle the allocation either way (pinned
+                        // realloc instants); re-resolve exactly the
+                        // flows this download can reroute.
+                        self.dirty.mark_realloc();
+                        self.invalidate_fib_change(id, &changed);
                     }
                     Output::NeighborChange { .. } => {}
                 }
@@ -530,14 +593,43 @@ impl Core {
         }
     }
 
-    /// Re-resolve all flow paths and recompute the fluid allocation.
+    /// Mark the flows a FIB download at `router` can actually reroute:
+    /// destined to a changed prefix (via the reverse index) *and*
+    /// either currently stranded or passing through `router` — a walk
+    /// that never visits the router cannot change when only that
+    /// router's table did.
+    fn invalidate_fib_change(&mut self, router: RouterId, changed: &[Prefix]) {
+        let dirty = &mut self.dirty;
+        for p in changed {
+            for id in self.flow_index.affected_by(*p) {
+                let Some(f) = self.flows.get(&id) else {
+                    continue;
+                };
+                let touched = match &f.path {
+                    None => true,
+                    Some(path) => f.key.src == router || path.iter().any(|l| l.to == router),
+                };
+                if touched {
+                    dirty.mark_flow(id);
+                }
+            }
+        }
+    }
+
+    /// Settle the data plane after an event batch: re-resolve exactly
+    /// the dirty flows' paths, then hand the full routed set to the
+    /// reusable allocator (which itself skips when nothing moved).
     fn reallocate(&mut self) {
-        self.dirty = false;
         self.stats.reallocs += 1;
-        // Paths.
-        let flow_ids: Vec<FlowId> = self.flows.keys().copied().collect();
-        for id in &flow_ids {
-            let key = self.flows[id].key;
+        let dirty_flows = self.dirty.take();
+        let mut resolved = 0u64;
+        for id in &dirty_flows {
+            // A flow may have been marked and then stopped in the same
+            // batch.
+            let Some(key) = self.flows.get(id).map(|f| f.key) else {
+                continue;
+            };
+            resolved += 1;
             match resolve_path(&self.fibs, &key) {
                 Ok(path) => {
                     let usable = path
@@ -557,30 +649,33 @@ impl Core {
                 }
             }
         }
-        // Allocation over up links only.
+        self.stats.paths_resolved += resolved;
+        self.stats.paths_skipped += self.flows.len() as u64 - resolved;
+        // Allocation over up links only; flow inputs reference the
+        // cached paths directly (no per-realloc clones).
         let capacities: BTreeMap<LinkKey, f64> = self
             .links
             .iter()
             .filter(|(_, r)| r.state.up)
             .map(|(k, r)| (*k, r.state.capacity))
             .collect();
-        let routed: Vec<(FlowId, Vec<LinkKey>, Option<f64>)> = self
-            .flows
-            .values()
-            .filter_map(|f| f.path.clone().map(|p| (f.id, p, f.cap)))
-            .collect();
-        let flow_inputs: Vec<(Vec<LinkKey>, Option<f64>)> =
-            routed.iter().map(|(_, p, c)| (p.clone(), *c)).collect();
-        let (rates, loads) = max_min_keyed(&capacities, &flow_inputs);
-        // Zero everything, then apply.
+        self.alloc.allocate(
+            &capacities,
+            self.flows
+                .values()
+                .filter_map(|f| f.path.as_deref().map(|p| (p, f.cap))),
+        );
+        let rates = self.alloc.rates();
+        let mut next_rate = rates.iter().copied();
         for f in self.flows.values_mut() {
-            f.rate = 0.0;
-        }
-        for ((id, _, _), rate) in routed.iter().zip(rates) {
-            self.flows.get_mut(id).expect("known flow").rate = rate;
+            f.rate = if f.path.is_some() {
+                next_rate.next().expect("one rate per routed flow")
+            } else {
+                0.0
+            };
         }
         for (k, rec) in self.links.iter_mut() {
-            rec.state.rate = loads.get(k).copied().unwrap_or(0.0);
+            rec.state.rate = self.alloc.load(k);
         }
     }
 }
@@ -595,37 +690,17 @@ impl SimApi for Core {
     }
 
     fn links(&self) -> Vec<LinkInfo> {
+        // The IGP cost is provisioning data (the operator configured
+        // it), so it is recorded on the link itself at creation time —
+        // no LSDB consultation, no per-link topology materialization.
         self.links
             .iter()
-            .map(|(k, r)| {
-                let cost = self
-                    .instances
-                    .get(&k.from)
-                    .and_then(|i| i.route_table().map(|_| Metric(0)))
-                    .unwrap_or(Metric(0));
-                // The IGP cost is provisioning data; read it from the
-                // topology view instead of the instance to avoid
-                // guessing: fall back to the spec cost recorded at
-                // link creation time via the instance iface config is
-                // not exposed, so use the speaker's own LSDB.
-                let _ = cost;
-                let cost = self
-                    .instances
-                    .get(&k.from)
-                    .map(|i| {
-                        i.lsdb()
-                            .to_topology()
-                            .link_metric(k.from, k.to)
-                            .unwrap_or(Metric::INF)
-                    })
-                    .unwrap_or(Metric::INF);
-                LinkInfo {
-                    key: *k,
-                    capacity: r.state.capacity,
-                    cost,
-                    delay: r.state.delay,
-                    up: r.state.up,
-                }
+            .map(|(k, r)| LinkInfo {
+                key: *k,
+                capacity: r.state.capacity,
+                cost: r.cost,
+                delay: r.state.delay,
+                up: r.state.up,
             })
             .collect()
     }
@@ -849,7 +924,7 @@ impl Sim {
             app.on_start(&mut self.core);
         }
         self.core.collect_outputs();
-        if self.core.dirty {
+        if self.core.dirty.needs_realloc() {
             self.core.reallocate();
         }
     }
@@ -882,11 +957,11 @@ impl Sim {
             // must not be visible as stale rates against new
             // provisioning. Apps may dirty the world again (new
             // flows, lies), so settle once more afterwards.
-            if self.core.dirty {
+            if self.core.dirty.needs_realloc() {
                 self.core.reallocate();
             }
             self.dispatch_apps();
-            if self.core.dirty {
+            if self.core.dirty.needs_realloc() {
                 self.core.reallocate();
             }
         }
@@ -942,9 +1017,18 @@ impl Sim {
         &self.core.recorder
     }
 
-    /// World statistics.
+    /// World statistics (allocator and per-instance SPF counters are
+    /// folded in at read time).
     pub fn stats(&self) -> SimStats {
-        self.core.stats
+        let mut s = self.core.stats;
+        s.alloc_fills = self.core.alloc.fills;
+        s.alloc_skips = self.core.alloc.skips;
+        for inst in self.core.instances.values() {
+            let (full, partial) = inst.spf_run_counts();
+            s.spf_full_runs += full;
+            s.spf_partial_runs += partial;
+        }
+        s
     }
 
     /// A router's protocol instance (inspection).

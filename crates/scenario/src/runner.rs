@@ -2,17 +2,25 @@
 //!
 //! [`build`] turns a validated [`ScenarioSpec`] into a ready
 //! [`ScenarioRun`]: a [`Sim`] populated with the topology, an optional
-//! Fibbing controller, the full video session schedule (workload mix
-//! plus demand events, all generated up front from the seed), a
-//! utilization probe, and the scripted link faults. [`ScenarioRun`]
-//! then drives the deterministic event loop and condenses the outcome
-//! into a [`ScenarioReport`].
+//! Fibbing controller, the video session schedule, a utilization
+//! probe, and the scripted link faults. [`ScenarioRun`] then drives
+//! the deterministic event loop and condenses the outcome into a
+//! [`ScenarioReport`].
+//!
+//! Sessions are *streamed*, not materialized: each workload entry
+//! becomes one compact [`SessionGroup`] (source, rate, tag base, and
+//! the arrival instants drawn from the seeded RNG), and the driver
+//! builds the actual session objects lazily as their start times
+//! arrive. A 2 000-session flash crowd costs a few dozen bytes per
+//! pending session instead of a full spec each — the difference that
+//! lets `metro_core`-scale scenarios run.
 //!
 //! Determinism: the only RNG streams are derived from the scenario
-//! seed (one for the topology, one for the workloads), every schedule
-//! is materialized before the simulation starts, and the simulator
-//! itself is a deterministic discrete-event system — so identical
-//! spec + seed yields byte-identical reports.
+//! seed (one for the topology, one for the workloads), every arrival
+//! instant is drawn before the simulation starts — in spec order, the
+//! same draw sequence the old eager builder used, so same-seed runs
+//! are byte-identical across the refactor — and the simulator itself
+//! is a deterministic discrete-event system.
 
 use crate::report::ScenarioReport;
 use crate::spec::{ControllerSpec, EventKind, ScenarioSpec, SpecError, WorkloadSpec};
@@ -24,9 +32,9 @@ use fib_igp::types::{Prefix, RouterId};
 use fib_netsim::api::{App, SimApi};
 use fib_netsim::link::LinkSpec;
 use fib_netsim::sim::{Sim, SimConfig};
-use fib_video::flashcrowd::batch;
 use fib_video::prelude::{
-    diurnal, paper_schedule, poisson_crowd, summarize, QoeHandle, SessionSpec, VideoWorkload,
+    batch_starts, diurnal_starts, poisson_starts, summarize, GroupedSource, QoeHandle,
+    SessionGroup, VideoWorkload,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -140,6 +148,13 @@ fn check_link(topo: &Topology, a: u32, b: u32, what: &str) -> Result<(), SpecErr
 /// Compose a scenario into a started [`ScenarioRun`].
 pub fn build(spec: &ScenarioSpec, opts: RunOptions) -> Result<ScenarioRun, SpecError> {
     let seed = opts.seed.unwrap_or(spec.seed);
+    if spec.pin_seed && seed != spec.seed {
+        return fail(format!(
+            "scenario `{}` pins seed {} (its fault script names links of \
+             that seed's graph); run it without --seed",
+            spec.name, spec.seed
+        ));
+    }
     let horizon_secs = opts.horizon_secs.unwrap_or(spec.horizon_secs);
     if horizon_secs <= 0.0 {
         return fail("horizon must be positive");
@@ -210,18 +225,36 @@ pub fn build(spec: &ScenarioSpec, opts: RunOptions) -> Result<ScenarioRun, SpecE
         }
     };
 
-    // The full session schedule: workload mix first, then
-    // demand-generating events, all from the workload RNG stream.
+    // The session schedule, as compact waves: one [`SessionGroup`]
+    // per workload entry / demand event. Arrival instants are drawn
+    // from the workload RNG stream here, in spec order — exactly the
+    // draw sequence the old eager builder used, so same-seed runs are
+    // byte-identical — but the per-session objects are built lazily
+    // by the driver as each start time arrives.
     let mut wl_rng = StdRng::seed_from_u64(workload_seed(seed));
-    let mut schedule: Vec<SessionSpec> = Vec::new();
+    let mut groups: Vec<SessionGroup> = Vec::new();
+    let mut session_count: u64 = 0;
     let mut stimuli: Vec<f64> = Vec::new();
-    let push = |mut sessions: Vec<SessionSpec>, schedule: &mut Vec<SessionSpec>| {
-        let base = schedule.len() as u64;
-        for s in &mut sessions {
-            s.tag += base;
-        }
-        schedule.append(&mut sessions);
-    };
+    fn push_group(
+        groups: &mut Vec<SessionGroup>,
+        session_count: &mut u64,
+        src: RouterId,
+        dst: Prefix,
+        rate: f64,
+        video_secs: f64,
+        starts: Vec<Timestamp>,
+    ) {
+        let tag_base = *session_count;
+        *session_count += starts.len() as u64;
+        groups.push(SessionGroup {
+            src,
+            dst,
+            rate,
+            video_secs,
+            tag_base,
+            starts,
+        });
+    }
     for w in &spec.workloads {
         match w {
             WorkloadSpec::Paper {
@@ -232,10 +265,21 @@ pub fn build(spec: &ScenarioSpec, opts: RunOptions) -> Result<ScenarioRun, SpecE
             } => {
                 let s1 = check_router(&topo, *src1, "workload.src1")?;
                 let s2 = check_router(&topo, *src2, "workload.src2")?;
-                push(
-                    paper_schedule(s1, s2, prefix_of(0)?, *rate, *video_secs),
-                    &mut schedule,
-                );
+                let dst = prefix_of(0)?;
+                // The paper's Sec. 3 waves: 1 at t=0 and 30 at t=15
+                // from the first source, then 31 at t=35 from the
+                // second (same shape as `paper_schedule`).
+                for (src, at, n) in [(s1, 0, 1u32), (s1, 15, 30), (s2, 35, 31)] {
+                    push_group(
+                        &mut groups,
+                        &mut session_count,
+                        src,
+                        dst,
+                        *rate,
+                        *video_secs,
+                        batch_starts(Timestamp::from_secs(at), n),
+                    );
+                }
                 stimuli.extend([0.0, 15.0, 35.0]);
             }
             WorkloadSpec::Constant {
@@ -247,17 +291,14 @@ pub fn build(spec: &ScenarioSpec, opts: RunOptions) -> Result<ScenarioRun, SpecE
                 dst,
             } => {
                 let src = check_router(&topo, *src, "workload.src")?;
-                push(
-                    batch(
-                        at_secs(*at),
-                        src,
-                        prefix_of(*dst)?,
-                        *n,
-                        *rate,
-                        *video_secs,
-                        0,
-                    ),
-                    &mut schedule,
+                push_group(
+                    &mut groups,
+                    &mut session_count,
+                    src,
+                    prefix_of(*dst)?,
+                    *rate,
+                    *video_secs,
+                    batch_starts(at_secs(*at), *n),
                 );
                 stimuli.push(*at);
             }
@@ -271,19 +312,19 @@ pub fn build(spec: &ScenarioSpec, opts: RunOptions) -> Result<ScenarioRun, SpecE
                 dst,
             } => {
                 let src = check_router(&topo, *src, "workload.src")?;
-                push(
-                    poisson_crowd(
+                push_group(
+                    &mut groups,
+                    &mut session_count,
+                    src,
+                    prefix_of(*dst)?,
+                    *rate,
+                    *video_secs,
+                    poisson_starts(
                         &mut wl_rng,
                         at_secs(*start),
                         Dur::from_secs_f64(*mean_gap_secs),
                         *n,
-                        src,
-                        prefix_of(*dst)?,
-                        *rate,
-                        *video_secs,
-                        0,
                     ),
-                    &mut schedule,
                 );
                 stimuli.push(*start);
             }
@@ -297,20 +338,20 @@ pub fn build(spec: &ScenarioSpec, opts: RunOptions) -> Result<ScenarioRun, SpecE
                 dst,
             } => {
                 let src = check_router(&topo, *src, "workload.src")?;
-                push(
-                    diurnal(
+                push_group(
+                    &mut groups,
+                    &mut session_count,
+                    src,
+                    prefix_of(*dst)?,
+                    *rate,
+                    *video_secs,
+                    diurnal_starts(
                         &mut wl_rng,
                         horizon_secs,
                         *period_secs,
                         *peak_per_sec,
                         *trough_per_sec,
-                        src,
-                        prefix_of(*dst)?,
-                        *rate,
-                        *video_secs,
-                        0,
                     ),
-                    &mut schedule,
                 );
                 // A continuous process, not a discrete stimulus.
             }
@@ -341,17 +382,14 @@ pub fn build(spec: &ScenarioSpec, opts: RunOptions) -> Result<ScenarioRun, SpecE
                 dst,
             } => {
                 let src = check_router(&topo, *src, "surge event")?;
-                push(
-                    batch(
-                        at_secs(e.at),
-                        src,
-                        prefix_of(*dst)?,
-                        *n,
-                        *rate,
-                        *video_secs,
-                        0,
-                    ),
-                    &mut schedule,
+                push_group(
+                    &mut groups,
+                    &mut session_count,
+                    src,
+                    prefix_of(*dst)?,
+                    *rate,
+                    *video_secs,
+                    batch_starts(at_secs(e.at), *n),
                 );
                 stimuli.push(e.at);
             }
@@ -364,26 +402,27 @@ pub fn build(spec: &ScenarioSpec, opts: RunOptions) -> Result<ScenarioRun, SpecE
                 dst,
             } => {
                 let src = check_router(&topo, *src, "flash_crowd event")?;
-                push(
-                    poisson_crowd(
+                push_group(
+                    &mut groups,
+                    &mut session_count,
+                    src,
+                    prefix_of(*dst)?,
+                    *rate,
+                    *video_secs,
+                    poisson_starts(
                         &mut wl_rng,
                         at_secs(e.at),
                         Dur::from_secs_f64(*mean_gap_secs),
                         *n,
-                        src,
-                        prefix_of(*dst)?,
-                        *rate,
-                        *video_secs,
-                        0,
                     ),
-                    &mut schedule,
                 );
                 stimuli.push(e.at);
             }
         }
     }
-    let sessions = schedule.len();
-    let (driver, qoe) = VideoWorkload::new(schedule, Dur::from_millis(100));
+    let sessions = session_count as usize;
+    let (driver, qoe) =
+        VideoWorkload::from_source(Box::new(GroupedSource::new(groups)), Dur::from_millis(100));
     sim.add_app(Box::new(driver));
     sim.add_app(Box::new(UtilProbe {
         exclude: ctrl.as_ref().map(|_| CONTROLLER_ID),
@@ -590,6 +629,43 @@ video_secs = 60.0
         assert_eq!(report.injections, 0);
         assert!(report.reaction_secs.is_none());
         assert!(report.max_util > 0.9, "uncontrolled overload saturates");
+    }
+
+    #[test]
+    fn pinned_seed_rejects_overrides() {
+        let pinned = TINY.replace("seed = 1", "seed = 1\npin_seed = true");
+        let spec = ScenarioSpec::from_toml_str(&pinned).unwrap();
+        // The spec's own seed (explicit or defaulted) is fine.
+        assert!(build(
+            &spec,
+            RunOptions {
+                seed: Some(1),
+                horizon_secs: Some(5.0),
+            },
+        )
+        .is_ok());
+        // Any other seed is rejected, loudly.
+        let err = match build(
+            &spec,
+            RunOptions {
+                seed: Some(2),
+                ..RunOptions::default()
+            },
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("pinned seed must reject overrides"),
+        };
+        assert!(err.to_string().contains("pins seed"), "{err}");
+        // Unpinned specs still take overrides.
+        let spec = ScenarioSpec::from_toml_str(TINY).unwrap();
+        assert!(build(
+            &spec,
+            RunOptions {
+                seed: Some(2),
+                horizon_secs: Some(5.0),
+            },
+        )
+        .is_ok());
     }
 
     #[test]

@@ -260,6 +260,12 @@ pub struct ScenarioSpec {
     pub horizon_secs: f64,
     /// Default seed (CLI `--seed` overrides).
     pub seed: u64,
+    /// Refuse to run under any other seed. For specs whose event
+    /// script names links of one particular seeded graph (the metro
+    /// scenarios): a `--seed` override would either fail a ghost link
+    /// or — worse — silently run a different fault against a
+    /// different topology.
+    pub pin_seed: bool,
     /// Per-direction link capacity in bytes/s (uniform).
     pub capacity: f64,
     /// The topology to build.
@@ -648,6 +654,7 @@ impl ScenarioSpec {
                 "description",
                 "horizon_secs",
                 "seed",
+                "pin_seed",
                 "capacity",
                 "topology",
                 "sinks",
@@ -759,6 +766,7 @@ impl ScenarioSpec {
                 .to_string(),
             horizon_secs: get_f64(&root, "horizon_secs", "scenario")?,
             seed,
+            pin_seed: opt_bool(&root, "pin_seed", "scenario", false)?,
             capacity: get_f64(&root, "capacity", "scenario")?,
             topology,
             sinks,

@@ -29,6 +29,8 @@ pub const ALL_SCENARIOS: &[&str] = &[
     "capacity_degradation",
     "diurnal_mix",
     "no_controller_baseline",
+    "metro_edge",
+    "metro_core",
 ];
 
 /// The built-in suites.
@@ -46,8 +48,15 @@ pub const SUITES: &[Suite] = &[
             "paper_demo",
             "link_failure_under_load",
             "no_controller_baseline",
+            "metro_edge",
         ],
         horizon_secs: Some(20.0),
+    },
+    Suite {
+        name: "scale",
+        description: "city-scale stress runs riding on incremental recompute",
+        scenarios: &["metro_edge", "metro_core"],
+        horizon_secs: None,
     },
 ];
 

@@ -44,6 +44,15 @@ pub fn paper_schedule(
     specs
 }
 
+/// Arrival instants of a [`batch`]: `n` starts spread over one second
+/// from `start`. The compact form the scenario engine stores (a
+/// [`crate::workload::SessionGroup`]) instead of materialized specs.
+pub fn batch_starts(start: Timestamp, n: u32) -> Vec<Timestamp> {
+    (0..u64::from(n))
+        .map(|i| start + Dur::from_millis(i * 1000 / u64::from(n.max(1))))
+        .collect()
+}
+
 /// A batch of `n` constant-bitrate sessions starting at `start`,
 /// spread over one second (launching 30 players takes a moment in the
 /// real demo too) — the building block of [`paper_schedule`] and the
@@ -58,12 +67,31 @@ pub fn batch(
     video_secs: f64,
     tag_base: u64,
 ) -> Vec<SessionSpec> {
-    (0..u64::from(n))
-        .map(|i| {
-            let jitter = Dur::from_millis(i * 1000 / u64::from(n.max(1)));
-            SessionSpec::constant(start + jitter, src, dst, rate, video_secs, tag_base + i)
-        })
+    batch_starts(start, n)
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| SessionSpec::constant(t, src, dst, rate, video_secs, tag_base + i as u64))
         .collect()
+}
+
+/// Arrival instants of a [`poisson_crowd`]: `n` arrivals at
+/// exponential inter-arrival times of mean `mean_gap` from `start`,
+/// drawn from `rng` in arrival order.
+pub fn poisson_starts<R: Rng>(
+    rng: &mut R,
+    start: Timestamp,
+    mean_gap: Dur,
+    n: u32,
+) -> Vec<Timestamp> {
+    let mut starts = Vec::with_capacity(n as usize);
+    let mut t = start;
+    for _ in 0..n {
+        let u: f64 = rng.gen_range(1e-9..1.0);
+        let gap = Dur::from_secs_f64(-u.ln() * mean_gap.as_secs_f64());
+        t += gap;
+        starts.push(t);
+    }
+    starts
 }
 
 /// A Poisson flash crowd: `n` arrivals at exponential inter-arrival
@@ -80,22 +108,54 @@ pub fn poisson_crowd<R: Rng>(
     video_secs: f64,
     tag_base: u64,
 ) -> Vec<SessionSpec> {
-    let mut specs = Vec::new();
-    let mut t = start;
-    for i in 0..n {
-        let u: f64 = rng.gen_range(1e-9..1.0);
-        let gap = Dur::from_secs_f64(-u.ln() * mean_gap.as_secs_f64());
-        t += gap;
-        specs.push(SessionSpec::constant(
-            t,
-            src,
-            dst,
-            rate,
-            video_secs,
-            tag_base + u64::from(i),
-        ));
+    poisson_starts(rng, start, mean_gap, n)
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| SessionSpec::constant(t, src, dst, rate, video_secs, tag_base + i as u64))
+        .collect()
+}
+
+/// A diurnal demand mix: session arrivals whose intensity swings
+/// sinusoidally between `trough_per_sec` and `peak_per_sec` with the
+/// given period, over `[0, horizon_secs)` — the "daily cycle"
+/// compressed into an experiment horizon.
+///
+/// Arrival times come from integrating the intensity (deterministic);
+/// the RNG only jitters each arrival inside its integration step, so
+/// the same seed always yields the same schedule.
+/// Arrival instants of a [`diurnal`] mix, in *generation* order (tags
+/// follow generation order; the jitter inside an integration step may
+/// locally reorder start times — launch order sorts stably by start).
+pub fn diurnal_starts<R: Rng>(
+    rng: &mut R,
+    horizon_secs: f64,
+    period_secs: f64,
+    peak_per_sec: f64,
+    trough_per_sec: f64,
+) -> Vec<Timestamp> {
+    assert!(period_secs > 0.0, "period must be positive");
+    assert!(
+        peak_per_sec >= trough_per_sec && trough_per_sec >= 0.0,
+        "need peak >= trough >= 0"
+    );
+    let mid = (peak_per_sec + trough_per_sec) / 2.0;
+    let amp = (peak_per_sec - trough_per_sec) / 2.0;
+    let step = 0.1; // integration step in seconds
+    let mut starts = Vec::new();
+    let mut acc = 0.0;
+    let mut t = 0.0;
+    while t < horizon_secs {
+        // Trough at t=0, peak half a period in.
+        let lambda = mid - amp * (2.0 * std::f64::consts::PI * t / period_secs).cos();
+        acc += lambda * step;
+        while acc >= 1.0 {
+            acc -= 1.0;
+            let jitter = rng.gen_range(0.0..step);
+            starts.push(Timestamp::from_secs(0) + Dur::from_secs_f64(t + jitter));
+        }
+        t += step;
     }
-    specs
+    starts
 }
 
 /// A diurnal demand mix: session arrivals whose intensity swings
@@ -119,37 +179,12 @@ pub fn diurnal<R: Rng>(
     video_secs: f64,
     tag_base: u64,
 ) -> Vec<SessionSpec> {
-    assert!(period_secs > 0.0, "period must be positive");
-    assert!(
-        peak_per_sec >= trough_per_sec && trough_per_sec >= 0.0,
-        "need peak >= trough >= 0"
-    );
-    let mid = (peak_per_sec + trough_per_sec) / 2.0;
-    let amp = (peak_per_sec - trough_per_sec) / 2.0;
-    let step = 0.1; // integration step in seconds
-    let mut specs = Vec::new();
-    let mut acc = 0.0;
-    let mut tag = tag_base;
-    let mut t = 0.0;
-    while t < horizon_secs {
-        // Trough at t=0, peak half a period in.
-        let lambda = mid - amp * (2.0 * std::f64::consts::PI * t / period_secs).cos();
-        acc += lambda * step;
-        while acc >= 1.0 {
-            acc -= 1.0;
-            let jitter = rng.gen_range(0.0..step);
-            specs.push(SessionSpec::constant(
-                Timestamp::from_secs(0) + Dur::from_secs_f64(t + jitter),
-                src,
-                dst,
-                rate,
-                video_secs,
-                tag,
-            ));
-            tag += 1;
-        }
-        t += step;
-    }
+    let mut specs: Vec<SessionSpec> =
+        diurnal_starts(rng, horizon_secs, period_secs, peak_per_sec, trough_per_sec)
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| SessionSpec::constant(t, src, dst, rate, video_secs, tag_base + i as u64))
+            .collect();
     specs.sort_by_key(|s| s.start);
     specs
 }

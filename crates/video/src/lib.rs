@@ -32,7 +32,12 @@ pub mod prelude {
     pub use crate::abr::{AbrInput, AbrPolicy};
     pub use crate::catalog::{Ladder, Video};
     pub use crate::client::{Player, PlayerConfig, PlayerState};
-    pub use crate::flashcrowd::{batch, diurnal, paper_schedule, poisson_crowd};
+    pub use crate::flashcrowd::{
+        batch, batch_starts, diurnal, diurnal_starts, paper_schedule, poisson_crowd, poisson_starts,
+    };
     pub use crate::qoe::{summarize, QoeReport, QoeSummary};
-    pub use crate::workload::{QoeHandle, SessionSpec, VideoWorkload};
+    pub use crate::workload::{
+        EagerSource, GroupedSource, QoeHandle, SessionGroup, SessionSource, SessionSpec,
+        VideoWorkload,
+    };
 }

@@ -8,6 +8,15 @@
 //! delivered bytes every tick, runs ABR at segment granularity, and
 //! publishes live QoE reports through a shared handle the experiment
 //! harness reads after the run.
+//!
+//! Sessions arrive through a [`SessionSource`]: either an eager,
+//! pre-materialized list (small experiments) or a [`GroupedSource`]
+//! holding only compact per-wave parameters plus arrival instants —
+//! the full [`SessionSpec`] (asset, ladder, player config) is built
+//! lazily at launch time, and finished sessions are dropped from the
+//! active set, so memory tracks the number of *concurrent* viewers,
+//! not the total schedule length. City-scale scenarios (thousands of
+//! sessions) rely on this.
 
 use crate::abr::{AbrInput, AbrPolicy};
 use crate::catalog::Video;
@@ -65,6 +74,141 @@ impl SessionSpec {
 /// Shared live QoE map: tag → latest report.
 pub type QoeHandle = Arc<Mutex<BTreeMap<u64, QoeReport>>>;
 
+/// Where the driver's sessions come from, in launch (time) order.
+///
+/// Implementations must yield sessions with non-decreasing
+/// [`SessionSpec::start`]; [`SessionSource::peek_start`] lets the
+/// driver stop scanning at the first future arrival.
+pub trait SessionSource {
+    /// Start time of the next session, `None` when exhausted.
+    fn peek_start(&self) -> Option<Timestamp>;
+    /// Materialize and take the next session.
+    fn next_session(&mut self) -> Option<SessionSpec>;
+    /// Sessions not yet launched.
+    fn remaining(&self) -> usize;
+}
+
+/// An eager source: a pre-built schedule, sorted at construction.
+pub struct EagerSource {
+    schedule: Vec<SessionSpec>,
+    cursor: usize,
+}
+
+impl EagerSource {
+    /// Wrap a schedule (sorted here; stable, so equal start times keep
+    /// their original order).
+    pub fn new(mut schedule: Vec<SessionSpec>) -> EagerSource {
+        schedule.sort_by_key(|s| s.start);
+        EagerSource {
+            schedule,
+            cursor: 0,
+        }
+    }
+}
+
+impl SessionSource for EagerSource {
+    fn peek_start(&self) -> Option<Timestamp> {
+        self.schedule.get(self.cursor).map(|s| s.start)
+    }
+
+    fn next_session(&mut self) -> Option<SessionSpec> {
+        let spec = self.schedule.get(self.cursor).cloned();
+        if spec.is_some() {
+            self.cursor += 1;
+        }
+        spec
+    }
+
+    fn remaining(&self) -> usize {
+        self.schedule.len() - self.cursor
+    }
+}
+
+/// One wave of identical constant-bitrate sessions: the compact form
+/// a scenario stores instead of materialized [`SessionSpec`]s.
+///
+/// `starts` lists each session's arrival in *generation* order (the
+/// order the seeded RNG produced them); session `i` gets tag
+/// `tag_base + i`. The source interleaves waves by start time.
+#[derive(Debug, Clone)]
+pub struct SessionGroup {
+    /// Server-side ingress router.
+    pub src: RouterId,
+    /// Client-side destination prefix.
+    pub dst: Prefix,
+    /// Per-video bitrate (bytes/s).
+    pub rate: f64,
+    /// Clip length (seconds).
+    pub video_secs: f64,
+    /// First tag; session `i` of the group is `tag_base + i`.
+    pub tag_base: u64,
+    /// Arrival instants, in generation order.
+    pub starts: Vec<Timestamp>,
+}
+
+/// A lazy source over [`SessionGroup`]s: only `(start, group, index)`
+/// triples are kept per session; the spec (asset, ladder, player) is
+/// built when the session actually launches.
+pub struct GroupedSource {
+    groups: Vec<SessionGroup>,
+    /// (start, group, index-in-group), stably sorted by start — the
+    /// same permutation the old eager global sort produced.
+    order: Vec<(Timestamp, u32, u32)>,
+    cursor: usize,
+}
+
+impl GroupedSource {
+    /// Build the launch order over the given waves.
+    pub fn new(groups: Vec<SessionGroup>) -> GroupedSource {
+        let mut order: Vec<(Timestamp, u32, u32)> = Vec::new();
+        for (g, group) in groups.iter().enumerate() {
+            for (i, t) in group.starts.iter().enumerate() {
+                order.push((*t, g as u32, i as u32));
+            }
+        }
+        order.sort_by_key(|(t, _, _)| *t);
+        GroupedSource {
+            groups,
+            order,
+            cursor: 0,
+        }
+    }
+
+    /// Total sessions across all groups.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` if no sessions are scheduled at all.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+impl SessionSource for GroupedSource {
+    fn peek_start(&self) -> Option<Timestamp> {
+        self.order.get(self.cursor).map(|(t, _, _)| *t)
+    }
+
+    fn next_session(&mut self) -> Option<SessionSpec> {
+        let (start, g, i) = *self.order.get(self.cursor)?;
+        self.cursor += 1;
+        let group = &self.groups[g as usize];
+        Some(SessionSpec::constant(
+            start,
+            group.src,
+            group.dst,
+            group.rate,
+            group.video_secs,
+            group.tag_base + u64::from(i),
+        ))
+    }
+
+    fn remaining(&self) -> usize {
+        self.order.len() - self.cursor
+    }
+}
+
 struct Session {
     spec: SessionSpec,
     flow: FlowId,
@@ -77,22 +221,25 @@ struct Session {
 
 /// The workload driver.
 pub struct VideoWorkload {
-    pending: Vec<SessionSpec>,
+    source: Box<dyn SessionSource>,
     active: Vec<Session>,
     tick: Dur,
     reports: QoeHandle,
 }
 
 impl VideoWorkload {
-    /// Build a driver over a session schedule; returns the driver and
-    /// the QoE handle to read after the run.
-    pub fn new(mut schedule: Vec<SessionSpec>, tick: Dur) -> (VideoWorkload, QoeHandle) {
-        // Earliest-first so launching scans a prefix.
-        schedule.sort_by_key(|s| s.start);
+    /// Build a driver over an eager session schedule; returns the
+    /// driver and the QoE handle to read after the run.
+    pub fn new(schedule: Vec<SessionSpec>, tick: Dur) -> (VideoWorkload, QoeHandle) {
+        Self::from_source(Box::new(EagerSource::new(schedule)), tick)
+    }
+
+    /// Build a driver over any (possibly lazy) session source.
+    pub fn from_source(source: Box<dyn SessionSource>, tick: Dur) -> (VideoWorkload, QoeHandle) {
         let handle: QoeHandle = Arc::new(Mutex::new(BTreeMap::new()));
         (
             VideoWorkload {
-                pending: schedule,
+                source,
                 active: Vec::new(),
                 tick,
                 reports: Arc::clone(&handle),
@@ -103,11 +250,11 @@ impl VideoWorkload {
 
     fn launch_due(&mut self, api: &mut dyn SimApi) {
         let now = api.now();
-        while let Some(spec) = self.pending.first() {
-            if spec.start > now {
+        while let Some(start) = self.source.peek_start() {
+            if start > now {
                 break;
             }
-            let spec = self.pending.remove(0);
+            let spec = self.source.next_session().expect("peeked");
             let bitrate = spec.video.ladder.rate(match &spec.abr {
                 AbrPolicy::Constant(l) => *l,
                 _ => 0,
@@ -174,13 +321,14 @@ impl VideoWorkload {
             }
             self.reports.lock().insert(s.spec.tag, s.player.qoe());
         }
-        // Finished sessions stay in `active` so their QoE reports keep
-        // being published; `active_count` filters them out.
+        // A finished session's final QoE was just published; drop its
+        // player state so memory follows concurrency, not history.
+        self.active.retain(|s| !s.finished);
     }
 
     /// Number of sessions not yet finished.
     pub fn active_count(&self) -> usize {
-        self.active.iter().filter(|s| !s.finished).count() + self.pending.len()
+        self.active.len() + self.source.remaining()
     }
 }
 
@@ -272,6 +420,78 @@ mod tests {
             stalled >= 5,
             "expected most sessions to stall, got {stalled}/10"
         );
+    }
+
+    #[test]
+    fn grouped_source_matches_eager_schedule() {
+        // Two interleaved waves; the lazy source must launch the same
+        // sessions (start, src, tag) in the same order as the eager
+        // equivalent built from materialized specs.
+        let g1 = SessionGroup {
+            src: r(1),
+            dst: Prefix::net24(1),
+            rate: 1e5,
+            video_secs: 30.0,
+            tag_base: 0,
+            starts: (0..5).map(|i| Timestamp::from_secs(2 * i)).collect(),
+        };
+        let g2 = SessionGroup {
+            src: r(2),
+            dst: Prefix::net24(1),
+            rate: 2e5,
+            video_secs: 60.0,
+            tag_base: 5,
+            starts: (0..5).map(|i| Timestamp::from_secs(2 * i + 1)).collect(),
+        };
+        let eager: Vec<SessionSpec> = g1
+            .starts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| SessionSpec::constant(*t, g1.src, g1.dst, g1.rate, 30.0, i as u64))
+            .chain(g2.starts.iter().enumerate().map(|(i, t)| {
+                SessionSpec::constant(*t, g2.src, g2.dst, g2.rate, 60.0, 5 + i as u64)
+            }))
+            .collect();
+        let mut lazy = GroupedSource::new(vec![g1, g2]);
+        let mut reference = EagerSource::new(eager);
+        assert_eq!(lazy.len(), 10);
+        assert_eq!(lazy.remaining(), reference.remaining());
+        while let Some(expect) = reference.next_session() {
+            assert_eq!(lazy.peek_start(), Some(expect.start));
+            let got = lazy.next_session().unwrap();
+            assert_eq!(got.start, expect.start);
+            assert_eq!(got.src, expect.src);
+            assert_eq!(got.tag, expect.tag);
+            assert_eq!(got.video, expect.video);
+        }
+        assert!(lazy.next_session().is_none());
+        assert_eq!(lazy.remaining(), 0);
+    }
+
+    #[test]
+    fn finished_sessions_are_dropped_from_the_active_set() {
+        let mut sim = line(1e6);
+        let specs: Vec<SessionSpec> = (0..3)
+            .map(|i| {
+                SessionSpec::constant(
+                    Timestamp::from_secs(5),
+                    r(1),
+                    Prefix::net24(1),
+                    1e5,
+                    10.0,
+                    i,
+                )
+            })
+            .collect();
+        let (driver, reports) = VideoWorkload::new(specs, Dur::from_millis(100));
+        let idx = sim.add_app(Box::new(driver));
+        let _ = idx;
+        sim.start();
+        sim.run_until(Timestamp::from_secs(60));
+        // All three finished: reports persist, players are gone.
+        let map = reports.lock();
+        assert_eq!(map.len(), 3);
+        assert!(map.values().all(|q| q.completed));
     }
 
     #[test]
