@@ -66,11 +66,23 @@ fn check_paper_milestones(run: &mut ScenarioRun) -> Result<(), String> {
     Ok(())
 }
 
+/// Extract a readable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 fn main() {
     let cli = Cli::from_env(&["suite", "scenario", "seed", "horizon"]);
     let opts = RunOptions {
         seed: cli.u64_flag("seed"),
         horizon_secs: cli.f64_flag("horizon"),
+        disable_controller: false,
     };
 
     let (names, suite_horizon): (Vec<&str>, Option<f64>) = match cli.get("scenario") {
@@ -117,33 +129,56 @@ fn main() {
         "stalls",
         "QoE score",
     ]);
-    let mut failures = 0;
+    let mut failures: Vec<(String, String)> = Vec::new();
     for name in names {
         let spec = match load_scenario(name) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("[{name}] spec error: {e}");
-                failures += 1;
+                failures.push((name.to_string(), format!("spec error: {e}")));
                 continue;
             }
         };
         println!("[{name}] {}", spec.description);
-        let mut run = match build(&spec, opts) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("[{name}] build error: {e}");
-                failures += 1;
+        // One diverging scenario (a panic deep in the simulator, a
+        // pin_seed rejection) must not abort the suite mid-table: run
+        // it to completion under a panic guard and keep going, so the
+        // exit summary names every failure in one readable line.
+        let guarded = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+            || -> Result<_, (String, String)> {
+                let mut run = build(&spec, opts)
+                    .map_err(|e| (name.to_string(), format!("build error: {e}")))?;
+                let mut milestone_failure = None;
+                // The pinned-plan gate, whenever the run covers both
+                // waves.
+                if name == "paper_demo" && run.horizon_secs() >= 45.0 {
+                    if let Err(msg) = check_paper_milestones(&mut run) {
+                        milestone_failure = Some((name.to_string(), format!("milestone: {msg}")));
+                    }
+                }
+                Ok((run.finish(), milestone_failure))
+            },
+        ));
+        let report = match guarded {
+            Ok(Ok((report, milestone_failure))) => {
+                if let Some((n, msg)) = milestone_failure {
+                    eprintln!("[paper_demo] MILESTONE FAILURE: {msg}");
+                    failures.push((n, msg));
+                }
+                report
+            }
+            Ok(Err((n, msg))) => {
+                eprintln!("[{n}] {msg}");
+                failures.push((n, msg));
+                continue;
+            }
+            Err(payload) => {
+                let msg = format!("panic: {}", panic_message(payload));
+                eprintln!("[{name}] {msg}");
+                failures.push((name.to_string(), msg));
                 continue;
             }
         };
-        // The pinned-plan gate, whenever the run covers both waves.
-        if name == "paper_demo" && run.horizon_secs() >= 45.0 {
-            if let Err(msg) = check_paper_milestones(&mut run) {
-                eprintln!("[paper_demo] MILESTONE FAILURE: {msg}");
-                failures += 1;
-            }
-        }
-        let report = run.finish();
 
         let summary_path = results_dir().join(format!("scenario_{name}.csv"));
         std::fs::write(&summary_path, report.summary_csv()).expect("write summary csv");
@@ -178,8 +213,19 @@ fn main() {
     println!("optimizer budget and keep QoE high; the baseline saturates and");
     println!("stalls. Fault scripts (failures, brown-outs) show reaction times");
     println!("and the blackout seconds the IGP+controller could not hide.");
-    if failures > 0 {
-        eprintln!("{failures} scenario(s) failed");
+    if !failures.is_empty() {
+        // One readable line for CI: every failed scenario and why,
+        // instead of a count buried above pages of per-scenario
+        // output.
+        let summary: Vec<String> = failures
+            .iter()
+            .map(|(n, msg)| format!("{n} ({msg})"))
+            .collect();
+        eprintln!(
+            "suite FAILED: {} scenario(s) failed: {}",
+            failures.len(),
+            summary.join("; ")
+        );
         std::process::exit(1);
     }
 }

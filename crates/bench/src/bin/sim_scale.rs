@@ -287,6 +287,7 @@ fn main() {
         let opts = RunOptions {
             seed: None,
             horizon_secs: horizon,
+            disable_controller: false,
         };
         eprintln!("[sim_scale] {} …", case.name);
         let o = match run_case(case, opts) {

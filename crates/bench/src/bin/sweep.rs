@@ -1,0 +1,201 @@
+//! Run a parallel multi-seed sweep grid and aggregate distributions.
+//!
+//! A sweep grid (`sweeps/*.toml`, see `docs/SWEEP_FORMAT.md`) declares
+//! scenarios × seed ranges × parameter overrides; this binary expands
+//! it into cells, shards them across a worker pool, and writes:
+//!
+//! * `results/BENCH_sweep.json` — distributions, per-cell rollups,
+//!   failures, and wall-clock timing (the only non-deterministic
+//!   keys; CI masks them);
+//! * `results/sweep_<name>_cells.csv` — one row per run;
+//! * `results/sweep_<name>_dist.csv` — per-group QoE/utilization/
+//!   reaction/unroutable distributions with controller-on vs baseline
+//!   QoE deltas.
+//!
+//! Both CSVs are byte-identical at any `--jobs` (ordered collection
+//! over deterministic cells — see the executor docs in
+//! `fib_scenario::sweep::exec`).
+//!
+//! Run: `cargo run --release -p fib-bench --bin sweep -- \
+//!         sweeps/flashcrowd_grid.toml --jobs 4`
+//!
+//! Flags: `--jobs N` (worker threads; default: available
+//! parallelism), `--horizon SECS` (override every cell's horizon —
+//! the strongest layer of the spec < grid < CLI precedence chain),
+//! `--baseline-jobs N` (first run the same grid at N workers, verify
+//! the merged artifacts are byte-identical, and record the measured
+//! speedup in the JSON).
+//!
+//! Exit status: non-zero if any cell failed a spec/`pin_seed` check or
+//! panicked, with a one-line `sweep FAILED:` summary naming the first
+//! failure — CI logs stay readable even when 200 cells ran.
+
+use fib_bench::cli::Cli;
+use fib_bench::{f, results_dir, Table};
+use fib_scenario::prelude::*;
+use fib_scenario::sweep::stats::{cells_csv, mask_timing, to_json};
+use fib_scenario::sweep::SweepRun;
+
+/// Everything deterministic one run produces, concatenated: the two
+/// CSVs plus the JSON with its wall-clock/worker-count keys masked.
+/// The `--baseline-jobs` identity check compares *this*, so
+/// cross-jobs nondeterminism anywhere in the artifacts — per-cell
+/// rollup counters included — fails the run, not just the columns the
+/// cells CSV happens to print.
+fn deterministic_artifacts(run: &SweepRun, summary: &SweepSummary) -> String {
+    format!(
+        "{}\n{}\n{}",
+        cells_csv(run),
+        summary.dist_csv(),
+        mask_timing(&to_json(run, summary, None))
+    )
+}
+
+fn main() {
+    let cli =
+        Cli::from_env_with_positionals(&["jobs", "horizon", "baseline-jobs"], &["sweep-spec.toml"]);
+    let Some(arg) = cli.positionals().first() else {
+        eprintln!("error: missing sweep spec (a sweeps/*.toml path or bare name)");
+        std::process::exit(2);
+    };
+    let spec = match load_sweep(arg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let jobs = cli
+        .u64_flag("jobs")
+        .map(|j| j as usize)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1);
+    let horizon = cli.f64_flag("horizon");
+    let cells = spec.expand().len();
+    println!(
+        "== sweep {}: {} cells over {} grid entries, {jobs} worker(s) ==",
+        spec.name,
+        cells,
+        spec.grid.len()
+    );
+
+    // Optional reference run at another worker count: measures the
+    // speedup and doubles as an in-process determinism check (the
+    // merged artifacts must match byte for byte).
+    let baseline = cli.u64_flag("baseline-jobs").map(|j| {
+        let j = (j as usize).max(1);
+        eprintln!("[sweep] reference run at --jobs {j} …");
+        let reference = run_sweep(&spec, j, horizon).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
+        let fingerprint = deterministic_artifacts(&reference, &SweepSummary::from_run(&reference));
+        (reference.jobs, reference.wall_secs, fingerprint)
+    });
+
+    let run = match run_sweep(&spec, jobs, horizon) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let summary = SweepSummary::from_run(&run);
+    let per_cell = cells_csv(&run);
+
+    let mut speedup_note = String::new();
+    if let Some((bjobs, bwall, bfingerprint)) = &baseline {
+        if *bfingerprint != deterministic_artifacts(&run, &summary) {
+            eprintln!(
+                "sweep FAILED: --jobs {jobs} and --jobs {bjobs} produced different \
+                 artifacts — the determinism guarantee is broken"
+            );
+            std::process::exit(1);
+        }
+        speedup_note = format!(
+            " · speedup vs {bjobs} job(s): {:.2}x ({:.2}s -> {:.2}s)",
+            bwall / run.wall_secs.max(1e-9),
+            bwall,
+            run.wall_secs
+        );
+    }
+
+    let json = to_json(&run, &summary, baseline.as_ref().map(|(j, w, _)| (*j, *w)));
+    let json_path = results_dir().join("BENCH_sweep.json");
+    std::fs::write(&json_path, json).expect("write BENCH json");
+    let cells_path = results_dir().join(format!("sweep_{}_cells.csv", spec.name));
+    std::fs::write(&cells_path, &per_cell).expect("write cells csv");
+    let dist_path = results_dir().join(format!("sweep_{}_dist.csv", spec.name));
+    std::fs::write(&dist_path, summary.dist_csv()).expect("write dist csv");
+
+    let mut table = Table::new(&[
+        "group",
+        "cells",
+        "sess",
+        "QoE p5",
+        "QoE p50",
+        "QoE p95",
+        "dQoE p50",
+        "util p95",
+        "unroutable p95",
+        "react p95",
+        "stalls",
+    ]);
+    let dash = || "-".to_string();
+    for g in &summary.groups {
+        table.row(&[
+            g.label.clone(),
+            format!(
+                "{}{}",
+                g.cells,
+                if g.failed > 0 {
+                    format!(" ({} failed)", g.failed)
+                } else {
+                    String::new()
+                }
+            ),
+            g.sessions.to_string(),
+            g.qoe.map(|d| f(d.p5)).unwrap_or_else(dash),
+            g.qoe.map(|d| f(d.p50)).unwrap_or_else(dash),
+            g.qoe.map(|d| f(d.p95)).unwrap_or_else(dash),
+            g.qoe_delta.map(|d| f(d.p50)).unwrap_or_else(dash),
+            g.max_util.map(|d| f(d.p95)).unwrap_or_else(dash),
+            g.unroutable.map(|d| f(d.p95)).unwrap_or_else(dash),
+            g.reaction.map(|d| f(d.p95)).unwrap_or_else(dash),
+            g.stalls.to_string(),
+        ]);
+    }
+    table.emit(&format!("sweep_{}", spec.name));
+    println!(
+        "[sweep] {} cells in {:.2}s at --jobs {} ({:.1} cells/s){speedup_note}",
+        summary.cells,
+        run.wall_secs,
+        run.jobs,
+        summary.cells as f64 / run.wall_secs.max(1e-9),
+    );
+    println!(
+        "[saved {} + {} + {}]",
+        json_path.display(),
+        cells_path.display(),
+        dist_path.display()
+    );
+    println!(
+        "Reading: each group row is one grid configuration aggregated across\n\
+         its seeds. `dQoE p50` is the median paired controller-on minus\n\
+         controller-off QoE delta — positive means Fibbing helped on the\n\
+         median seed, and the p5..p95 spread in the CSVs shows how reliably."
+    );
+
+    if summary.failed > 0 {
+        let (idx, label, error) = &summary.failures[0];
+        eprintln!(
+            "sweep FAILED: {}/{} cells failed; first: cell {idx} {label} ({error})",
+            summary.failed, summary.cells
+        );
+        std::process::exit(1);
+    }
+}

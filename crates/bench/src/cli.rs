@@ -9,6 +9,7 @@
 #[derive(Debug, Clone, Default)]
 pub struct Cli {
     pairs: Vec<(String, String)>,
+    positionals: Vec<String>,
 }
 
 impl Cli {
@@ -16,13 +17,30 @@ impl Cli {
     /// (without the `--` prefix). Exits with a usage message on
     /// malformed or unknown flags.
     pub fn from_env(known: &[&str]) -> Cli {
-        match Cli::parse(std::env::args().skip(1), known) {
+        Cli::from_env_inner(known, &[])
+    }
+
+    /// Like [`Cli::from_env`] but also accepting up to
+    /// `positional.len()` positional arguments (named only for the
+    /// usage message), in order, e.g. `sweep <spec.toml> --jobs 4`.
+    pub fn from_env_with_positionals(known: &[&str], positional: &[&str]) -> Cli {
+        Cli::from_env_inner(known, positional)
+    }
+
+    fn from_env_inner(known: &[&str], positional: &[&str]) -> Cli {
+        match Cli::parse_full(std::env::args().skip(1), known, positional.len()) {
             Ok(cli) => cli,
             Err(msg) => {
                 eprintln!("error: {msg}");
                 eprintln!(
-                    "usage: {} {}",
+                    "usage: {} {}{}{}",
                     std::env::args().next().unwrap_or_default(),
+                    positional
+                        .iter()
+                        .map(|p| format!("<{p}>"))
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                    if positional.is_empty() { "" } else { " " },
                     known
                         .iter()
                         .map(|k| format!("[--{k} <value>]"))
@@ -36,10 +54,25 @@ impl Cli {
 
     /// Parse an argument iterator (testable core of [`Cli::from_env`]).
     pub fn parse(args: impl IntoIterator<Item = String>, known: &[&str]) -> Result<Cli, String> {
+        Cli::parse_full(args, known, 0)
+    }
+
+    /// Parse allowing up to `max_positionals` non-flag arguments
+    /// (testable core of [`Cli::from_env_with_positionals`]).
+    pub fn parse_full(
+        args: impl IntoIterator<Item = String>,
+        known: &[&str],
+        max_positionals: usize,
+    ) -> Result<Cli, String> {
         let mut pairs = Vec::new();
+        let mut positionals = Vec::new();
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             let Some(flag) = arg.strip_prefix("--") else {
+                if positionals.len() < max_positionals {
+                    positionals.push(arg);
+                    continue;
+                }
                 return Err(format!("unexpected argument `{arg}`"));
             };
             let (name, value) = match flag.split_once('=') {
@@ -57,7 +90,12 @@ impl Cli {
             }
             pairs.push((name, value));
         }
-        Ok(Cli { pairs })
+        Ok(Cli { pairs, positionals })
+    }
+
+    /// The positional arguments, in the order given.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
     }
 
     /// The raw value of a flag, if present.
@@ -118,6 +156,18 @@ mod tests {
         assert!(Cli::parse(args(&["positional"]), &["seed"]).is_err());
         assert!(Cli::parse(args(&["--seed"]), &["seed"]).is_err());
         assert!(Cli::parse(args(&["--seed", "1", "--seed", "2"]), &["seed"]).is_err());
+    }
+
+    #[test]
+    fn positionals_when_allowed() {
+        let cli =
+            Cli::parse_full(args(&["sweeps/smoke.toml", "--jobs", "4"]), &["jobs"], 1).unwrap();
+        assert_eq!(cli.positionals(), ["sweeps/smoke.toml"]);
+        assert_eq!(cli.u64_flag("jobs"), Some(4));
+        // A second positional still errors.
+        assert!(Cli::parse_full(args(&["a.toml", "b.toml"]), &[], 1).is_err());
+        // And `parse` keeps rejecting them entirely.
+        assert!(Cli::parse(args(&["a.toml"]), &[]).is_err());
     }
 
     #[test]

@@ -120,6 +120,31 @@ pub struct SimStats {
     pub unroutable_flow_secs: f64,
 }
 
+impl SimStats {
+    /// The integer machinery counters as a named
+    /// [`fib_telemetry::rollup::Rollup`], so multi-run harnesses (the
+    /// sweep engine) can merge per-run snapshots into fleet totals.
+    /// `unroutable_flow_secs` is a float metric, not a counter, and is
+    /// deliberately excluded.
+    pub fn rollup(&self) -> fib_telemetry::rollup::Rollup {
+        let mut r = fib_telemetry::rollup::Rollup::new();
+        r.add("alloc_fills", self.alloc_fills);
+        r.add("alloc_skips", self.alloc_skips);
+        r.add("ctrl_bytes", self.ctrl_bytes);
+        r.add("ctrl_dropped", self.ctrl_dropped);
+        r.add("ctrl_pkts", self.ctrl_pkts);
+        r.add("events", self.events);
+        r.add("paths_resolved", self.paths_resolved);
+        r.add("paths_skipped", self.paths_skipped);
+        r.add("reallocs", self.reallocs);
+        r.add("snmp_ops", self.snmp_ops);
+        r.add("spf_full_runs", self.spf_full_runs);
+        r.add("spf_partial_runs", self.spf_partial_runs);
+        r.add("unroutable_resolutions", self.unroutable);
+        r
+    }
+}
+
 #[derive(Debug)]
 struct LinkRec {
     state: LinkState,

@@ -49,6 +49,11 @@
 //! Shipped scenarios live under `scenarios/` at the workspace root;
 //! `cargo run -p fib-bench --bin scenario_suite -- --suite all`
 //! runs them and writes per-scenario CSVs into `results/`.
+//!
+//! To fan scenarios out across seed ranges and parameter overrides —
+//! hundreds of cells in parallel, reported as distributions — declare
+//! a grid under `sweeps/` and run it through the [`sweep`] engine
+//! (`cargo run -p fib-bench --bin sweep -- sweeps/smoke.toml`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -57,8 +62,11 @@ pub mod report;
 pub mod runner;
 pub mod spec;
 pub mod suite;
+pub mod sweep;
 pub mod toml;
 pub mod topo;
+
+pub use runner::RunOptions;
 
 /// Convenient re-exports of the most used items.
 pub mod prelude {
@@ -69,6 +77,10 @@ pub mod prelude {
     };
     pub use crate::suite::{
         find_suite, load_scenario, scenarios_dir, Suite, ALL_SCENARIOS, SUITES,
+    };
+    pub use crate::sweep::{
+        load_sweep, run_sweep, sweeps_dir, CellFailure, CellOutcome, SweepCell, SweepRun,
+        SweepSpec, SweepSummary,
     };
     pub use crate::topo::build_topology;
 }

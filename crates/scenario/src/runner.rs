@@ -43,13 +43,19 @@ use rand::SeedableRng;
 /// range any generator produces).
 pub const CONTROLLER_ID: RouterId = RouterId(10_000);
 
-/// Options overriding spec defaults at run time (CLI flags).
+/// Options overriding spec defaults at run time (CLI flags, sweep
+/// cells).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RunOptions {
     /// Override the spec's seed.
     pub seed: Option<u64>,
     /// Override the spec's horizon (seconds).
     pub horizon_secs: Option<f64>,
+    /// Run without the controller even if the spec declares one (the
+    /// sweep engine's paired-baseline cells; everything else — seed,
+    /// topology, workload draws — stays identical, so a report delta
+    /// against the controller-on twin isolates the controller).
+    pub disable_controller: bool,
 }
 
 /// A composed, started scenario, ready to advance.
@@ -213,7 +219,12 @@ pub fn build(spec: &ScenarioSpec, opts: RunOptions) -> Result<ScenarioRun, SpecE
 
     // Controller (before the workload driver, mirroring the demo's
     // app order so notifications reach it in the same relative order).
-    let ctrl = match &spec.controller {
+    let controller = if opts.disable_controller {
+        None
+    } else {
+        spec.controller.as_ref()
+    };
+    let ctrl = match controller {
         None => None,
         Some(c) => {
             let attach = check_router(&topo, c.attach, "controller.attach")?;
@@ -608,6 +619,7 @@ video_secs = 60.0
             RunOptions {
                 seed: Some(99),
                 horizon_secs: Some(12.0),
+                ..RunOptions::default()
             },
         )
         .unwrap();
@@ -641,6 +653,7 @@ video_secs = 60.0
             RunOptions {
                 seed: Some(1),
                 horizon_secs: Some(5.0),
+                ..RunOptions::default()
             },
         )
         .is_ok());
@@ -663,9 +676,33 @@ video_secs = 60.0
             RunOptions {
                 seed: Some(2),
                 horizon_secs: Some(5.0),
+                ..RunOptions::default()
             },
         )
         .is_ok());
+    }
+
+    #[test]
+    fn disable_controller_builds_a_true_baseline_twin() {
+        let spec = ScenarioSpec::from_toml_str(TINY).unwrap();
+        let opts = RunOptions {
+            disable_controller: true,
+            ..RunOptions::default()
+        };
+        let base = run(&spec, opts).unwrap();
+        assert_eq!(base.peak_lies, 0, "no controller, no lies");
+        assert_eq!(base.injections, 0);
+        // Same seed, same workload draws: the twin sees the identical
+        // schedule, so the delta against the controller-on run is
+        // attributable to the controller alone.
+        let on = run(&spec, RunOptions::default()).unwrap();
+        assert_eq!(base.sessions, on.sessions);
+        assert!(
+            on.qoe.mean_score >= base.qoe.mean_score,
+            "controller must not hurt QoE here: on={} base={}",
+            on.qoe.mean_score,
+            base.qoe.mean_score
+        );
     }
 
     #[test]

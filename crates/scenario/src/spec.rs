@@ -24,7 +24,7 @@ impl fmt::Display for SpecError {
 
 impl std::error::Error for SpecError {}
 
-fn fail<T>(msg: impl Into<String>) -> Result<T, SpecError> {
+pub(crate) fn fail<T>(msg: impl Into<String>) -> Result<T, SpecError> {
     Err(SpecError(msg.into()))
 }
 
@@ -284,7 +284,7 @@ pub struct ScenarioSpec {
 }
 
 /// Check `table` only contains `allowed` keys.
-fn check_keys(table: &Table, allowed: &[&str], ctx: &str) -> Result<(), SpecError> {
+pub(crate) fn check_keys(table: &Table, allowed: &[&str], ctx: &str) -> Result<(), SpecError> {
     for k in table.keys() {
         if !allowed.contains(&k.as_str()) {
             return fail(format!(
@@ -296,14 +296,14 @@ fn check_keys(table: &Table, allowed: &[&str], ctx: &str) -> Result<(), SpecErro
     Ok(())
 }
 
-fn get<'a>(t: &'a Table, key: &str, ctx: &str) -> Result<&'a Value, SpecError> {
+pub(crate) fn get<'a>(t: &'a Table, key: &str, ctx: &str) -> Result<&'a Value, SpecError> {
     match t.get(key) {
         Some(v) => Ok(v),
         None => fail(format!("missing key `{key}` in {ctx}")),
     }
 }
 
-fn get_str(t: &Table, key: &str, ctx: &str) -> Result<String, SpecError> {
+pub(crate) fn get_str(t: &Table, key: &str, ctx: &str) -> Result<String, SpecError> {
     let v = get(t, key, ctx)?;
     match v.as_str() {
         Some(s) => Ok(s.to_string()),
@@ -314,7 +314,7 @@ fn get_str(t: &Table, key: &str, ctx: &str) -> Result<String, SpecError> {
     }
 }
 
-fn get_f64(t: &Table, key: &str, ctx: &str) -> Result<f64, SpecError> {
+pub(crate) fn get_f64(t: &Table, key: &str, ctx: &str) -> Result<f64, SpecError> {
     let v = get(t, key, ctx)?;
     match v.as_f64() {
         Some(f) => Ok(f),
@@ -325,7 +325,7 @@ fn get_f64(t: &Table, key: &str, ctx: &str) -> Result<f64, SpecError> {
     }
 }
 
-fn get_u32(t: &Table, key: &str, ctx: &str) -> Result<u32, SpecError> {
+pub(crate) fn get_u32(t: &Table, key: &str, ctx: &str) -> Result<u32, SpecError> {
     let v = get(t, key, ctx)?;
     match v.as_i64() {
         Some(i) if (0..=u32::MAX as i64).contains(&i) => Ok(i as u32),
@@ -336,7 +336,7 @@ fn get_u32(t: &Table, key: &str, ctx: &str) -> Result<u32, SpecError> {
     }
 }
 
-fn opt_f64(t: &Table, key: &str, ctx: &str, default: f64) -> Result<f64, SpecError> {
+pub(crate) fn opt_f64(t: &Table, key: &str, ctx: &str, default: f64) -> Result<f64, SpecError> {
     if t.contains_key(key) {
         get_f64(t, key, ctx)
     } else {
@@ -344,7 +344,7 @@ fn opt_f64(t: &Table, key: &str, ctx: &str, default: f64) -> Result<f64, SpecErr
     }
 }
 
-fn opt_u32(t: &Table, key: &str, ctx: &str, default: u32) -> Result<u32, SpecError> {
+pub(crate) fn opt_u32(t: &Table, key: &str, ctx: &str, default: u32) -> Result<u32, SpecError> {
     if t.contains_key(key) {
         get_u32(t, key, ctx)
     } else {
@@ -352,7 +352,7 @@ fn opt_u32(t: &Table, key: &str, ctx: &str, default: u32) -> Result<u32, SpecErr
     }
 }
 
-fn opt_bool(t: &Table, key: &str, ctx: &str, default: bool) -> Result<bool, SpecError> {
+pub(crate) fn opt_bool(t: &Table, key: &str, ctx: &str, default: bool) -> Result<bool, SpecError> {
     match t.get(key) {
         None => Ok(default),
         Some(v) => match v.as_bool() {
@@ -757,13 +757,21 @@ impl ScenarioSpec {
                 _ => return fail("`seed` must be a non-negative integer"),
             },
         };
+        let description = match root.get("description") {
+            None => String::new(),
+            Some(v) => match v.as_str() {
+                Some(s) => s.to_string(),
+                None => {
+                    return fail(format!(
+                        "`scenario.description` must be a string, got {}",
+                        v.type_name()
+                    ))
+                }
+            },
+        };
         let spec = ScenarioSpec {
             name,
-            description: root
-                .get("description")
-                .and_then(|v| v.as_str())
-                .unwrap_or("")
-                .to_string(),
+            description,
             horizon_secs: get_f64(&root, "horizon_secs", "scenario")?,
             seed,
             pin_seed: opt_bool(&root, "pin_seed", "scenario", false)?,

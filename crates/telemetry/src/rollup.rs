@@ -1,0 +1,136 @@
+//! Named-counter rollups: merge per-run counter snapshots into
+//! fleet-level totals.
+//!
+//! The sweep engine runs hundreds of independent simulations and wants
+//! one aggregate view of the machinery counters each run produced
+//! (events dispatched, SPF runs, allocator fills, …). A [`Rollup`] is
+//! a deterministic ordered multiset of named `u64` counters: insertion
+//! order never matters (keys are kept sorted), so merging per-cell
+//! rollups collected from worker threads in any order yields the same
+//! totals — a property the sweep's byte-identical-output guarantee
+//! leans on.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An ordered bag of named `u64` counters with saturating totals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Rollup {
+    counters: BTreeMap<&'static str, u64>,
+}
+
+impl Rollup {
+    /// An empty rollup.
+    pub fn new() -> Rollup {
+        Rollup::default()
+    }
+
+    /// Add `v` to the counter `name` (creating it at zero).
+    ///
+    /// Saturating: a sweep total can exceed `u64::MAX` only through a
+    /// pathological grid, but a silent wraparound in a CI artifact
+    /// would be worse than a pinned ceiling.
+    pub fn add(&mut self, name: &'static str, v: u64) {
+        let slot = self.counters.entry(name).or_insert(0);
+        *slot = slot.saturating_add(v);
+    }
+
+    /// Fold another rollup's counters into this one.
+    pub fn merge(&mut self, other: &Rollup) {
+        for (name, v) in &other.counters {
+            let slot = self.counters.entry(name).or_insert(0);
+            *slot = slot.saturating_add(*v);
+        }
+    }
+
+    /// The value of counter `name` (zero if never added).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterate counters in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether the rollup is empty.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+impl fmt::Display for Rollup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (k, v) in self.iter() {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{k}={v}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut r = Rollup::new();
+        assert!(r.is_empty());
+        r.add("events", 10);
+        r.add("events", 5);
+        r.add("spf_full", 2);
+        assert_eq!(r.get("events"), 15);
+        assert_eq!(r.get("spf_full"), 2);
+        assert_eq!(r.get("missing"), 0);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = Rollup::new();
+        a.add("events", 1);
+        a.add("allocs", 7);
+        let mut b = Rollup::new();
+        b.add("events", 2);
+        b.add("spf_full", 3);
+
+        let mut ab = Rollup::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = Rollup::new();
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.get("events"), 3);
+        assert_eq!(ab.get("allocs"), 7);
+        assert_eq!(ab.get("spf_full"), 3);
+    }
+
+    #[test]
+    fn iteration_and_display_are_key_ordered() {
+        let mut r = Rollup::new();
+        r.add("zeta", 1);
+        r.add("alpha", 2);
+        let keys: Vec<&str> = r.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["alpha", "zeta"]);
+        assert_eq!(r.to_string(), "alpha=2 zeta=1");
+    }
+
+    #[test]
+    fn totals_saturate_instead_of_wrapping() {
+        let mut r = Rollup::new();
+        r.add("x", u64::MAX - 1);
+        r.add("x", 10);
+        assert_eq!(r.get("x"), u64::MAX);
+    }
+}

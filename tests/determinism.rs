@@ -117,6 +117,7 @@ fn scenario_paper_demo_reproduces_plans_deterministically() {
             RunOptions {
                 seed: Some(7),
                 horizon_secs: Some(45.0),
+                ..RunOptions::default()
             },
         )
         .expect("paper_demo builds");
