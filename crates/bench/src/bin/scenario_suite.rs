@@ -29,7 +29,7 @@ use fibbing::prelude::RouterId;
 fn hops(run: &mut ScenarioRun, router: RouterId) -> Vec<RouterId> {
     let mut v: Vec<RouterId> = run
         .sim
-        .api()
+        .ctx()
         .fib_nexthops(router, BLUE)
         .iter()
         .map(|h| h.router)
@@ -82,7 +82,7 @@ fn main() {
     let opts = RunOptions {
         seed: cli.u64_flag("seed"),
         horizon_secs: cli.f64_flag("horizon"),
-        disable_controller: false,
+        ..RunOptions::default()
     };
 
     let (names, suite_horizon): (Vec<&str>, Option<f64>) = match cli.get("scenario") {

@@ -16,7 +16,25 @@
 //! (reseed the generated cases; `metro_core` keeps its spec seed, as
 //! its fault script names seed-2016 links), `--max-secs S` (skip
 //! remaining cases once the budget is spent; skipped cases are listed
-//! in the JSON so CI can fail on them).
+//! in the JSON so CI can fail on them), `--gate PATH` (enforce the
+//! events/s floors recorded in a previous run's JSON — see below).
+//!
+//! Cases run with `SettleMode::Lazy`: settlement only at observation
+//! points, the mode the kernel redesign earns its throughput in. Every
+//! observable (traces, QoE, counters in the table) is proven identical
+//! to `Eager` in `fib-netsim`'s pin tests; only the machinery-counter
+//! columns (`reallocs`, `alloc fills`, …) reflect the collapsed
+//! settle schedule.
+//!
+//! Gating: each run records, per case, a `min_events_per_sec` floor —
+//! the measured throughput minus a 25% tolerance band, and never below
+//! the 60 000 events/s acceptance floor for `metro_core`. `--gate
+//! PATH` replays those floors against the current run: a case running
+//! slower than its recorded floor (or a gated run that skips
+//! `metro_core`, or `metro_core` under the hard floor) exits nonzero.
+//! CI's bench-smoke records floors with one full run, copies the JSON
+//! aside, and gates a second full run against it, so throughput
+//! regressions fail the build run-over-run.
 //!
 //! Artifacts: the comparison table (counters only — byte-identical
 //! across same-build runs, diffed in CI) lands in
@@ -226,8 +244,44 @@ fn run_case(case: &Case, opts: RunOptions) -> Result<Outcome, SpecError> {
     })
 }
 
+/// Hard acceptance floor for the flagship case (events per
+/// wall-second on `metro_core`), independent of any recorded band.
+const METRO_CORE_FLOOR: f64 = 60_000.0;
+
+/// Fraction of measured throughput a later run may lose before the
+/// gate trips (machine jitter allowance).
+const GATE_TOLERANCE: f64 = 0.25;
+
+/// Extract `(name, min_events_per_sec)` floors from a previous run's
+/// `BENCH_sim_scale.json` (the flat format this binary writes; no
+/// JSON dependency needed for a file we author ourselves).
+fn parse_floors(json: &str) -> Vec<(String, f64)> {
+    let mut floors = Vec::new();
+    let Some(at) = json.find("\"floors\": [") else {
+        return floors;
+    };
+    let Some(end) = json[at..].find(']') else {
+        return floors;
+    };
+    for obj in json[at..at + end].split('{').skip(1) {
+        let name = obj
+            .split("\"name\": \"")
+            .nth(1)
+            .and_then(|r| r.split('"').next());
+        let floor = obj
+            .split("\"min_events_per_sec\": ")
+            .nth(1)
+            .and_then(|r| r.split(['}', ','] as [char; 2]).next())
+            .and_then(|v| v.trim().parse::<f64>().ok());
+        if let (Some(n), Some(fl)) = (name, floor) {
+            floors.push((n.to_string(), fl));
+        }
+    }
+    floors
+}
+
 fn main() {
-    let cli = Cli::from_env(&["cases", "horizon", "seed", "max-secs"]);
+    let cli = Cli::from_env(&["cases", "horizon", "seed", "max-secs", "gate"]);
     let seed = cli.u64_flag("seed").unwrap_or(2016);
     let horizon = cli.f64_flag("horizon");
     let max_secs = cli.f64_flag("max-secs").unwrap_or(f64::INFINITY);
@@ -277,6 +331,7 @@ fn main() {
     ]);
     let mut json_cases = String::new();
     let mut skipped: Vec<&str> = Vec::new();
+    let mut throughput: Vec<(String, f64)> = Vec::new();
     for case in cases.iter().take(limit) {
         if total.elapsed().as_secs_f64() > max_secs {
             skipped.push(&case.name);
@@ -284,10 +339,13 @@ fn main() {
         }
         // `metro_core`'s fault script is bound to its spec seed; the
         // generated cases take the sweep seed via their spec already.
+        // Lazy settlement is the whole point of this bench: it measures
+        // the kernel at the schedule perf-sensitive callers opt into.
         let opts = RunOptions {
             seed: None,
             horizon_secs: horizon,
             disable_controller: false,
+            settle: SettleMode::Lazy,
         };
         eprintln!("[sim_scale] {} …", case.name);
         let o = match run_case(case, opts) {
@@ -349,6 +407,7 @@ fn main() {
             o.wall_secs,
             o.events as f64 / o.wall_secs.max(1e-9),
         );
+        throughput.push((case.name.clone(), o.events as f64 / o.wall_secs.max(1e-9)));
     }
     table.emit("bench_sim_scale");
 
@@ -359,6 +418,27 @@ fn main() {
         let _ = writeln!(json, "  \"skipped\": [{}],", names.join(", "));
     }
     let _ = writeln!(json, "  \"cases\": [\n{json_cases}\n  ],");
+    // The run-over-run gate: measured throughput minus the tolerance
+    // band, with the hard acceptance floor applied to `metro_core`.
+    let _ = writeln!(json, "  \"gate\": {{");
+    let _ = writeln!(json, "    \"tolerance\": {GATE_TOLERANCE},");
+    let _ = writeln!(json, "    \"metro_core_hard_floor\": {METRO_CORE_FLOOR},");
+    let floors_json: Vec<String> = throughput
+        .iter()
+        .map(|(name, eps)| {
+            let mut floor = eps * (1.0 - GATE_TOLERANCE);
+            if name == "metro_core" {
+                floor = floor.max(METRO_CORE_FLOOR);
+            }
+            format!("      {{\"name\": \"{name}\", \"min_events_per_sec\": {floor:.3}}}")
+        })
+        .collect();
+    let _ = writeln!(
+        json,
+        "    \"floors\": [\n{}\n    ]",
+        floors_json.join(",\n")
+    );
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(
         json,
         "  \"total_secs\": {:.6}\n}}",
@@ -377,5 +457,57 @@ fn main() {
     );
     if !skipped.is_empty() {
         eprintln!("budget exhausted; skipped: {}", skipped.join(", "));
+    }
+
+    if let Some(gate_path) = cli.get("gate") {
+        let prev = std::fs::read_to_string(gate_path)
+            .unwrap_or_else(|e| panic!("--gate {gate_path}: {e}"));
+        let floors = parse_floors(&prev);
+        let mut failed = false;
+        if !skipped.is_empty() {
+            eprintln!(
+                "[gate] FAIL: gated run skipped cases: {}",
+                skipped.join(", ")
+            );
+            failed = true;
+        }
+        for (name, floor) in &floors {
+            match throughput.iter().find(|(n, _)| n == name) {
+                Some((_, eps)) if eps >= floor => {
+                    eprintln!("[gate] {name}: {eps:.0} events/s >= floor {floor:.0}");
+                }
+                Some((_, eps)) => {
+                    eprintln!("[gate] FAIL {name}: {eps:.0} events/s < floor {floor:.0}");
+                    failed = true;
+                }
+                // A case recorded in the reference but absent here is
+                // only a failure if this run claimed to cover it (not
+                // cut short by --cases).
+                None if limit >= cases.len() => {
+                    eprintln!("[gate] FAIL {name}: case did not run");
+                    failed = true;
+                }
+                None => {}
+            }
+        }
+        // The flagship acceptance floor holds even if the reference
+        // file predates it (or was tampered down).
+        match throughput.iter().find(|(n, _)| n == "metro_core") {
+            Some((_, eps)) if *eps >= METRO_CORE_FLOOR => {}
+            Some((_, eps)) => {
+                eprintln!(
+                    "[gate] FAIL metro_core: {eps:.0} events/s < hard floor {METRO_CORE_FLOOR:.0}"
+                );
+                failed = true;
+            }
+            None => {
+                eprintln!("[gate] FAIL: metro_core did not run under --gate");
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("[gate] all events/s floors hold");
     }
 }

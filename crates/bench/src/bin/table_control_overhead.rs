@@ -62,7 +62,7 @@ fn fibbing_cost(k: u32) -> (u64, u64, usize) {
         sim.run_until(Timestamp::from_secs(15));
         let before = sim.stats();
         if inject {
-            let api = sim.api();
+            let mut api = sim.ctx();
             for i in 1..=k {
                 api.inject_fake(
                     RouterId(99),
@@ -78,7 +78,7 @@ fn fibbing_cost(k: u32) -> (u64, u64, usize) {
         }
         sim.run_until(Timestamp::from_secs(25));
         let after = sim.stats();
-        let slots = sim.api().fib_nexthops(ingress, Prefix::net24(1)).len();
+        let slots = sim.ctx().fib_nexthops(ingress, Prefix::net24(1)).len();
         (
             after.ctrl_pkts - before.ctrl_pkts,
             after.ctrl_bytes - before.ctrl_bytes,

@@ -26,9 +26,10 @@ use crate::lie::{Lie, LieAllocator};
 use fib_igp::loadmodel::{max_utilization, spread, Demand};
 use fib_igp::time::Dur;
 use fib_igp::types::{Prefix, RouterId};
-use fib_netsim::api::{App, SimApi};
 use fib_netsim::flow::{FlowId, FlowInfo};
+use fib_netsim::handler::{AppEvent, EventHandler};
 use fib_netsim::link::LinkKey;
+use fib_netsim::sim::SimContext;
 use fib_telemetry::alarm::Threshold;
 use fib_telemetry::counters::CounterWidth;
 use fib_telemetry::mib::{oids, Value};
@@ -127,7 +128,8 @@ pub struct ControllerSnapshot {
 /// Shared handle to the latest [`ControllerSnapshot`].
 pub type ControllerHandle = Arc<Mutex<ControllerSnapshot>>;
 
-/// The demo's Fibbing controller (a netsim [`App`]).
+/// The demo's Fibbing controller (a netsim [`EventHandler`]
+/// component).
 pub struct FibbingController {
     cfg: ControllerConfig,
     monitor: LoadMonitor<LinkKey>,
@@ -173,7 +175,7 @@ impl FibbingController {
         Arc::clone(handle)
     }
 
-    fn publish(&mut self, api: &mut dyn SimApi) {
+    fn publish(&mut self, api: &mut SimContext<'_>) {
         if let Some(w) = &self.watch {
             *w.lock() = ControllerSnapshot {
                 stats: self.stats,
@@ -222,7 +224,7 @@ impl FibbingController {
             .collect()
     }
 
-    fn poll_snmp(&mut self, api: &mut dyn SimApi) {
+    fn poll_snmp(&mut self, api: &mut SimContext<'_>) {
         self.stats.snmp_sweeps += 1;
         let now = api.now();
         let routers: Vec<RouterId> = {
@@ -251,7 +253,7 @@ impl FibbingController {
         (l.attach, l.fw.router, l.cost_at_attach().0)
     }
 
-    fn reconcile(&mut self, api: &mut dyn SimApi, prefix: Prefix, new_lies: Vec<Lie>) {
+    fn reconcile(&mut self, api: &mut SimContext<'_>, prefix: Prefix, new_lies: Vec<Lie>) {
         let old = self.installed.remove(&prefix).unwrap_or_default();
         let mut old_by_sig: BTreeMap<(RouterId, RouterId, u32), Vec<Lie>> = BTreeMap::new();
         for l in old {
@@ -297,7 +299,7 @@ impl FibbingController {
         }
     }
 
-    fn retract_all(&mut self, api: &mut dyn SimApi, prefix: Prefix) {
+    fn retract_all(&mut self, api: &mut SimContext<'_>, prefix: Prefix) {
         if let Some(lies) = self.installed.remove(&prefix) {
             for l in lies {
                 if api.retract_fake(self.cfg.speaker, l.fake_id).is_ok() {
@@ -311,12 +313,12 @@ impl FibbingController {
     /// transient makes the pass bail early — the watch snapshot and
     /// the `ctrl.lies` trace must not skip exactly the disrupted
     /// ticks a scenario wants to measure.
-    fn evaluate(&mut self, api: &mut dyn SimApi) {
+    fn evaluate(&mut self, api: &mut SimContext<'_>) {
         self.evaluate_inner(api);
         self.publish(api);
     }
 
-    fn evaluate_inner(&mut self, api: &mut dyn SimApi) {
+    fn evaluate_inner(&mut self, api: &mut SimContext<'_>) {
         self.stats.evaluations += 1;
         let Some(view) = api.topology_view(self.cfg.speaker) else {
             return;
@@ -407,7 +409,7 @@ impl FibbingController {
     /// value into the management plane. A changed capacity re-seeds
     /// that link's monitor entry (the rate estimator restarts from the
     /// next sample).
-    fn refresh_capacities(&mut self, api: &mut dyn SimApi) {
+    fn refresh_capacities(&mut self, api: &mut SimContext<'_>) {
         for info in api.links() {
             let k = (info.key.from, info.key.to);
             if let Some(cap) = self.caps.get_mut(&k) {
@@ -420,16 +422,8 @@ impl FibbingController {
     }
 }
 
-impl App for FibbingController {
-    fn name(&self) -> &str {
-        "fibbing-controller"
-    }
-
-    fn tick_interval(&self) -> Option<Dur> {
-        Some(self.cfg.poll_interval)
-    }
-
-    fn on_start(&mut self, api: &mut dyn SimApi) {
+impl FibbingController {
+    fn on_start(&mut self, api: &mut SimContext<'_>) {
         // Learn the provisioning: every data link's capacity and its
         // SNMP interface index. Management links (touching the
         // speaker) are excluded from optimization and monitoring.
@@ -446,7 +440,7 @@ impl App for FibbingController {
         }
     }
 
-    fn on_tick(&mut self, api: &mut dyn SimApi) {
+    fn on_tick(&mut self, api: &mut SimContext<'_>) {
         self.refresh_capacities(api);
         if self.cfg.use_snmp {
             self.poll_snmp(api);
@@ -454,17 +448,36 @@ impl App for FibbingController {
         self.evaluate(api);
     }
 
-    fn on_flow_started(&mut self, api: &mut dyn SimApi, info: &FlowInfo) {
+    fn on_flow_started(&mut self, api: &mut SimContext<'_>, info: &FlowInfo) {
         self.book.insert(info.id, info.clone());
         if self.cfg.predictive {
             self.evaluate(api);
         }
     }
 
-    fn on_flow_stopped(&mut self, api: &mut dyn SimApi, info: &FlowInfo) {
+    fn on_flow_stopped(&mut self, api: &mut SimContext<'_>, info: &FlowInfo) {
         self.book.remove(&info.id);
         if self.cfg.predictive {
             self.evaluate(api);
+        }
+    }
+}
+
+impl EventHandler for FibbingController {
+    fn name(&self) -> &str {
+        "fibbing-controller"
+    }
+
+    fn tick_interval(&self) -> Option<Dur> {
+        Some(self.cfg.poll_interval)
+    }
+
+    fn on_event(&mut self, ctx: &mut SimContext<'_>, ev: AppEvent<'_>) {
+        match ev {
+            AppEvent::Start => self.on_start(ctx),
+            AppEvent::Tick => self.on_tick(ctx),
+            AppEvent::FlowStarted(info) => self.on_flow_started(ctx, info),
+            AppEvent::FlowStopped(info) => self.on_flow_stopped(ctx, info),
         }
     }
 }
@@ -474,9 +487,17 @@ mod tests {
     use super::*;
     use fib_igp::time::Timestamp;
     use fib_igp::types::Metric;
+    use fib_netsim::events::Event;
     use fib_netsim::flow::FlowSpec;
     use fib_netsim::link::LinkSpec;
     use fib_netsim::sim::{Sim, SimConfig};
+
+    /// Schedule a flow start through the typed event path.
+    fn sched_flow(sim: &mut Sim, at: Timestamp, spec: FlowSpec) -> fib_netsim::flow::FlowId {
+        let id = sim.new_flow_id();
+        sim.schedule(at, Event::FlowStart { id, spec });
+        id
+    }
 
     fn r(n: u32) -> RouterId {
         RouterId(n)
@@ -505,7 +526,8 @@ mod tests {
         let mut sim = sim_with_controller(cfg);
         // 12 video flows of 100 kB/s from r1: 1.2 MB/s > 1 MB/s link.
         for i in 0..12 {
-            sim.schedule_flow(
+            sched_flow(
+                &mut sim,
                 Timestamp::from_secs(10) + Dur::from_millis(i * 10),
                 FlowSpec::new(r(1), Prefix::net24(1)).with_cap(1e5),
             );
@@ -513,10 +535,7 @@ mod tests {
         sim.start();
         sim.run_until(Timestamp::from_secs(30));
         // r1 must have gained an extra ECMP slot toward r3.
-        let hops = {
-            let api = sim.api();
-            api.fib_nexthops(r(1), Prefix::net24(1))
-        };
+        let hops = sim.ctx().fib_nexthops(r(1), Prefix::net24(1));
         assert!(
             hops.len() >= 2,
             "expected extra ECMP slots at r1, got {hops:?}"
@@ -538,24 +557,25 @@ mod tests {
         let mut sim = sim_with_controller(cfg);
         let mut ids = Vec::new();
         for i in 0..12 {
-            ids.push(sim.schedule_flow(
+            ids.push(sched_flow(
+                &mut sim,
                 Timestamp::from_secs(10) + Dur::from_millis(i * 10),
                 FlowSpec::new(r(1), Prefix::net24(1)).with_cap(1e5),
             ));
         }
         // Stop all flows at t=40.
         for id in &ids {
-            sim.schedule_flow_stop(Timestamp::from_secs(40), *id);
+            sim.schedule(Timestamp::from_secs(40), Event::FlowStop { id: *id });
         }
         sim.start();
         sim.run_until(Timestamp::from_secs(35));
         assert!(
-            sim.api().fib_nexthops(r(1), Prefix::net24(1)).len() >= 2,
+            sim.ctx().fib_nexthops(r(1), Prefix::net24(1)).len() >= 2,
             "lies installed during the crowd"
         );
         sim.run_until(Timestamp::from_secs(60));
         // After retraction, r1 falls back to the single natural hop.
-        let hops = sim.api().fib_nexthops(r(1), Prefix::net24(1));
+        let hops = sim.ctx().fib_nexthops(r(1), Prefix::net24(1));
         assert_eq!(hops.len(), 1, "lies must be retracted, got {hops:?}");
         assert_eq!(hops[0].router, r(2));
     }
@@ -577,7 +597,8 @@ mod tests {
         sim.add_controller_speaker(r(100), r(2));
         sim.add_app(Box::new(ctl));
         for i in 0..12 {
-            sim.schedule_flow(
+            sched_flow(
+                &mut sim,
                 Timestamp::from_secs(10) + Dur::from_millis(i * 10),
                 FlowSpec::new(r(1), Prefix::net24(1)).with_cap(1e5),
             );
@@ -605,22 +626,30 @@ mod tests {
         let cfg = ControllerConfig::new(r(100));
         let mut sim = sim_with_controller(cfg);
         for i in 0..5 {
-            sim.schedule_flow(
+            sched_flow(
+                &mut sim,
                 Timestamp::from_secs(10) + Dur::from_millis(i * 10),
                 FlowSpec::new(r(1), Prefix::net24(1)).with_cap(1e5),
             );
         }
-        sim.schedule_link_capacity(Timestamp::from_secs(20), r(1), r(2), 6e5);
+        sim.schedule(
+            Timestamp::from_secs(20),
+            Event::LinkCapacity {
+                a: r(1),
+                b: r(2),
+                capacity: 6e5,
+            },
+        );
         sim.start();
         sim.run_until(Timestamp::from_secs(18));
         assert_eq!(
-            sim.api().fib_nexthops(r(1), Prefix::net24(1)).len(),
+            sim.ctx().fib_nexthops(r(1), Prefix::net24(1)).len(),
             1,
             "0.5 utilization: no reaction before the degradation"
         );
         sim.run_until(Timestamp::from_secs(40));
         assert!(
-            sim.api().fib_nexthops(r(1), Prefix::net24(1)).len() >= 2,
+            sim.ctx().fib_nexthops(r(1), Prefix::net24(1)).len() >= 2,
             "controller reacts to the degraded capacity"
         );
     }
@@ -629,13 +658,14 @@ mod tests {
     fn small_demand_triggers_no_reaction() {
         let cfg = ControllerConfig::new(r(100));
         let mut sim = sim_with_controller(cfg);
-        sim.schedule_flow(
+        sched_flow(
+            &mut sim,
             Timestamp::from_secs(10),
             FlowSpec::new(r(1), Prefix::net24(1)).with_cap(1e5),
         );
         sim.start();
         sim.run_until(Timestamp::from_secs(30));
-        let hops = sim.api().fib_nexthops(r(1), Prefix::net24(1));
+        let hops = sim.ctx().fib_nexthops(r(1), Prefix::net24(1));
         assert_eq!(hops.len(), 1, "no lies expected, got {hops:?}");
     }
 
@@ -646,7 +676,8 @@ mod tests {
         cfg.hold = Dur::from_secs(2);
         let mut sim = sim_with_controller(cfg);
         for i in 0..12 {
-            sim.schedule_flow(
+            sched_flow(
+                &mut sim,
                 Timestamp::from_secs(10) + Dur::from_millis(i * 10),
                 FlowSpec::new(r(1), Prefix::net24(1)).with_cap(1e5),
             );
@@ -654,10 +685,10 @@ mod tests {
         sim.start();
         sim.run_until(Timestamp::from_secs(13));
         // Too early: counters haven't shown sustained overload yet.
-        assert_eq!(sim.api().fib_nexthops(r(1), Prefix::net24(1)).len(), 1);
+        assert_eq!(sim.ctx().fib_nexthops(r(1), Prefix::net24(1)).len(), 1);
         sim.run_until(Timestamp::from_secs(40));
         assert!(
-            sim.api().fib_nexthops(r(1), Prefix::net24(1)).len() >= 2,
+            sim.ctx().fib_nexthops(r(1), Prefix::net24(1)).len() >= 2,
             "SNMP path must eventually react"
         );
     }

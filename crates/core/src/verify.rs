@@ -7,8 +7,8 @@
 //! It also proves the resulting forwarding state is loop-free.
 
 use crate::requirements::WeightedDag;
-use fib_igp::rib::ForwardingDag;
-use fib_igp::spf::compute_all_routes;
+use fib_igp::rib::{ForwardingDag, Route};
+use fib_igp::spf::prefix_routes;
 use fib_igp::topology::Topology;
 use fib_igp::types::{Prefix, RouterId};
 use std::collections::BTreeMap;
@@ -83,26 +83,38 @@ fn fractions_close(a: &BTreeMap<RouterId, f64>, b: &BTreeMap<RouterId, f64>) -> 
 
 /// Actual per-next-hop-router fractions of every router toward
 /// `prefix` on `topo`.
+///
+/// Computed from the single-prefix reverse SPF
+/// ([`fib_igp::spf::prefix_routes`]) rather than a full per-router
+/// forward SPF: the verifier — the hot path of controller planning —
+/// only ever inspects one destination at a time.
 pub fn actual_fractions(
     topo: &Topology,
     prefix: Prefix,
 ) -> BTreeMap<RouterId, BTreeMap<RouterId, f64>> {
-    let tables = compute_all_routes(topo);
-    let mut out = BTreeMap::new();
-    for (r, table) in &tables {
-        if let Some(route) = table.route(prefix) {
-            if !route.local {
-                out.insert(*r, route.split_by_router());
-            }
-        }
-    }
-    out
+    fractions_of(&prefix_routes(topo, prefix))
+}
+
+/// Non-local per-router fractions derived from single-prefix routes.
+fn fractions_of(routes: &BTreeMap<RouterId, Route>) -> BTreeMap<RouterId, BTreeMap<RouterId, f64>> {
+    routes
+        .iter()
+        .filter(|(_, route)| !route.local)
+        .map(|(r, route)| (*r, route.split_by_router()))
+        .collect()
+}
+
+/// The realized forwarding DAG for one prefix (local routes become
+/// empty next-hop sets, i.e. sinks).
+fn dag_of(prefix: Prefix, routes: &BTreeMap<RouterId, Route>) -> ForwardingDag {
+    ForwardingDag::from_prefix_routes(prefix, routes)
 }
 
 /// Verify `augmented` realizes `dag`, with every unconstrained router
 /// keeping the fractions it has on `real`.
 pub fn check_preserving(real: &Topology, augmented: &Topology, dag: &WeightedDag) -> VerifyReport {
-    let actual = actual_fractions(augmented, dag.prefix);
+    let aug_routes = prefix_routes(augmented, dag.prefix);
+    let actual = fractions_of(&aug_routes);
     let baseline = actual_fractions(real, dag.prefix);
     let mut mismatches = Vec::new();
 
@@ -134,9 +146,7 @@ pub fn check_preserving(real: &Topology, augmented: &Topology, dag: &WeightedDag
     }
 
     // Loop freedom of the realized forwarding state.
-    let tables = compute_all_routes(augmented);
-    let fdag = ForwardingDag::from_tables(dag.prefix, tables.values());
-    let forwarding_loop = fdag.find_loop();
+    let forwarding_loop = dag_of(dag.prefix, &aug_routes).find_loop();
 
     VerifyReport {
         prefix: dag.prefix,
@@ -147,7 +157,8 @@ pub fn check_preserving(real: &Topology, augmented: &Topology, dag: &WeightedDag
 
 /// Verify only that `augmented` realizes `dag` (no preservation check).
 pub fn check(augmented: &Topology, dag: &WeightedDag) -> VerifyReport {
-    let actual = actual_fractions(augmented, dag.prefix);
+    let aug_routes = prefix_routes(augmented, dag.prefix);
+    let actual = fractions_of(&aug_routes);
     let mut mismatches = Vec::new();
     for r in dag.routers() {
         let expected = dag.fractions(r);
@@ -160,12 +171,10 @@ pub fn check(augmented: &Topology, dag: &WeightedDag) -> VerifyReport {
             });
         }
     }
-    let tables = compute_all_routes(augmented);
-    let fdag = ForwardingDag::from_tables(dag.prefix, tables.values());
     VerifyReport {
         prefix: dag.prefix,
         mismatches,
-        forwarding_loop: fdag.find_loop(),
+        forwarding_loop: dag_of(dag.prefix, &aug_routes).find_loop(),
     }
 }
 

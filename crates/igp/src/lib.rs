@@ -84,7 +84,8 @@ pub mod prelude {
     pub use crate::lsdb::{Install, Lsdb};
     pub use crate::rib::{diff, ForwardingDag, Route, RouteChange, RouteTable};
     pub use crate::spf::{
-        compute_all_routes, compute_routes, enumerate_paths, shortest_paths, SpfEngine,
+        compute_all_routes, compute_routes, enumerate_paths, prefix_routes, shortest_paths,
+        SpfEngine,
     };
     pub use crate::time::{Dur, Timestamp};
     pub use crate::topology::{FakeAttrs, TopoLink, Topology};

@@ -10,7 +10,7 @@
 //! predict link loads before SNMP counters show them).
 
 use crate::rib::ForwardingDag;
-use crate::spf::compute_all_routes;
+use crate::spf::prefix_routes;
 use crate::topology::Topology;
 use crate::types::{Prefix, RouterId};
 use std::collections::BTreeMap;
@@ -55,7 +55,6 @@ pub fn spread(
     topo: &Topology,
     demands: &[Demand],
 ) -> Result<BTreeMap<(RouterId, RouterId), f64>, LoadModelError> {
-    let tables = compute_all_routes(topo);
     let mut loads: BTreeMap<(RouterId, RouterId), f64> = BTreeMap::new();
 
     // Group demands by prefix.
@@ -65,7 +64,9 @@ pub fn spread(
     }
 
     for (prefix, dems) in by_prefix {
-        let dag = ForwardingDag::from_tables(prefix, tables.values());
+        // Only the demanded prefixes' forwarding state matters: the
+        // single-prefix reverse SPF sidesteps a full per-router SPF.
+        let dag = ForwardingDag::from_prefix_routes(prefix, &prefix_routes(topo, prefix));
         for (src, _) in &dems {
             let known = dag
                 .nexthops

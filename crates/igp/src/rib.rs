@@ -150,6 +150,21 @@ impl ForwardingDag {
         ForwardingDag { prefix, nexthops }
     }
 
+    /// Build the DAG for `prefix` from single-prefix routes (the
+    /// output of [`crate::spf::prefix_routes`]). Local routes become
+    /// empty next-hop sets, i.e. sinks. Identical to
+    /// [`ForwardingDag::from_tables`] over full tables, without paying
+    /// a per-router SPF.
+    pub fn from_prefix_routes(prefix: Prefix, routes: &BTreeMap<RouterId, Route>) -> ForwardingDag {
+        ForwardingDag {
+            prefix,
+            nexthops: routes
+                .iter()
+                .map(|(r, route)| (*r, route.nexthops.clone()))
+                .collect(),
+        }
+    }
+
     /// Routers that deliver locally (sinks of the DAG).
     pub fn sinks(&self) -> Vec<RouterId> {
         self.nexthops

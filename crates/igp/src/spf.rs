@@ -238,6 +238,175 @@ pub fn compute_all_routes(topo: &Topology) -> BTreeMap<RouterId, RouteTable> {
         .collect()
 }
 
+/// Every real router's route toward a single `prefix`, computed with
+/// one *reverse* Dijkstra per announcement point instead of one
+/// forward Dijkstra per router.
+///
+/// A destination-side verifier (see `fib_core::verify`) only needs the
+/// per-router ECMP sets toward one prefix, yet [`compute_all_routes`]
+/// pays a full SPF per router — the dominant cost of controller
+/// planning at metro scale. This fast path runs Dijkstra over the
+/// *reversed* real graph from each announcement point t (a real
+/// announcer of `prefix`, or the attachment router of a fake node
+/// announcing it), giving `dist(r → t)` for every router r in one
+/// pass. Router r's equal-cost first hops toward t are then exactly
+/// its real neighbors n with `metric(r→n) + dist(n→t) == dist(r→t)`.
+///
+/// Because [`Metric`] arithmetic is integral, the resulting slot sets
+/// — and therefore every fraction derived from them — are
+/// bit-identical to extracting `prefix` from [`compute_all_routes`],
+/// as long as real link metrics are positive (a zero-metric link can
+/// make the forward merge order-dependent; the IGP never floods one).
+/// Equivalence is asserted property-style in this module's tests.
+/// Routers with no route toward `prefix` are absent from the map.
+pub fn prefix_routes(topo: &Topology, prefix: Prefix) -> BTreeMap<RouterId, Route> {
+    // Announcement points relevant to the prefix.
+    let reals: Vec<(RouterId, Metric)> = topo
+        .all_announcements()
+        .filter(|(node, p, _)| *p == prefix && node.is_real())
+        .map(|(node, _, m)| (node, m))
+        .collect();
+    let fakes: Vec<(RouterId, Metric, FwAddr)> = topo
+        .fake_nodes()
+        .filter(|(_, attrs)| attrs.prefix == prefix)
+        .map(|(_, attrs)| (attrs.attach, attrs.cost_at_attach(), attrs.fw))
+        .collect();
+
+    let mut targets: Vec<RouterId> = reals
+        .iter()
+        .map(|(t, _)| *t)
+        .chain(fakes.iter().map(|(t, _, _)| *t))
+        .collect();
+    targets.sort();
+    targets.dedup();
+
+    // Reversed real adjacency: for each node, its in-edges.
+    let mut radj: BTreeMap<RouterId, Vec<(RouterId, Metric)>> = BTreeMap::new();
+    for r in topo.routers() {
+        for link in topo.links(r) {
+            if link.to.is_real() && link.metric.is_finite() {
+                radj.entry(link.to).or_default().push((r, link.metric));
+            }
+        }
+    }
+
+    // One reverse Dijkstra per announcement point.
+    let mut dist_to: BTreeMap<RouterId, BTreeMap<RouterId, Metric>> = BTreeMap::new();
+    for &t in &targets {
+        let mut dist: BTreeMap<RouterId, Metric> = BTreeMap::new();
+        let mut heap: BinaryHeap<std::cmp::Reverse<(Metric, RouterId)>> = BinaryHeap::new();
+        if topo.contains(t) && t.is_real() {
+            dist.insert(t, Metric::ZERO);
+            heap.push(std::cmp::Reverse((Metric::ZERO, t)));
+        }
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if dist.get(&u).copied().unwrap_or(Metric::INF) != d {
+                continue; // stale heap entry
+            }
+            for &(from, m) in radj.get(&u).map(|v| v.as_slice()).unwrap_or(&[]) {
+                let nd = m.add(d);
+                if nd < dist.get(&from).copied().unwrap_or(Metric::INF) {
+                    dist.insert(from, nd);
+                    heap.push(std::cmp::Reverse((nd, from)));
+                }
+            }
+        }
+        dist_to.insert(t, dist);
+    }
+
+    // Distance-consistent first hops of `r` toward a target with the
+    // given reverse-distance table.
+    let hops_toward = |r: RouterId, dist: &BTreeMap<RouterId, Metric>| -> Vec<FwAddr> {
+        let dr = dist.get(&r).copied().unwrap_or(Metric::INF);
+        if !dr.is_finite() {
+            return Vec::new();
+        }
+        topo.links(r)
+            .iter()
+            .filter(|l| l.to.is_real() && l.metric.is_finite())
+            .filter(|l| {
+                l.metric
+                    .add(dist.get(&l.to).copied().unwrap_or(Metric::INF))
+                    == dr
+            })
+            .map(|l| FwAddr::primary(l.to))
+            .collect()
+    };
+
+    // Per-router candidate merge, mirroring `route_table_from`.
+    let mut out = BTreeMap::new();
+    for r in topo.routers() {
+        let mut best: Option<(Metric, Vec<FwAddr>, bool)> = None;
+        let mut consider = |cost: Metric, hops: Vec<FwAddr>, local: bool| {
+            if !cost.is_finite() {
+                return;
+            }
+            match &mut best {
+                None => best = Some((cost, hops, local)),
+                Some((bc, bh, bl)) => {
+                    if cost < *bc {
+                        *bc = cost;
+                        *bh = hops;
+                        *bl = local;
+                    } else if cost == *bc {
+                        for h in hops {
+                            if !bh.contains(&h) {
+                                bh.push(h);
+                            }
+                        }
+                        *bl = *bl || local;
+                    }
+                }
+            }
+        };
+
+        for &(node, m) in &reals {
+            if node == r {
+                consider(m, Vec::new(), true);
+            } else {
+                let dist = &dist_to[&node];
+                let cost = dist.get(&r).copied().unwrap_or(Metric::INF).add(m);
+                let hops = hops_toward(r, dist);
+                if !hops.is_empty() {
+                    consider(cost, hops, false);
+                }
+            }
+        }
+        for &(attach, via_cost, fw) in &fakes {
+            if attach == r {
+                consider(via_cost, vec![fw], false);
+            } else {
+                let dist = &dist_to[&attach];
+                let cost = dist.get(&r).copied().unwrap_or(Metric::INF).add(via_cost);
+                let hops = hops_toward(r, dist);
+                if !hops.is_empty() {
+                    consider(cost, hops, false);
+                }
+            }
+        }
+
+        if let Some((cost, mut hops, local)) = best {
+            let route = if local {
+                Route {
+                    dist: cost,
+                    nexthops: Vec::new(),
+                    local: true,
+                }
+            } else {
+                hops.sort();
+                hops.dedup();
+                Route {
+                    dist: cost,
+                    nexthops: hops,
+                    local: false,
+                }
+            };
+            out.insert(r, route);
+        }
+    }
+    out
+}
+
 /// Caching SPF engine exploiting partial SPF for lie-only changes.
 ///
 /// The engine fingerprints the *real* part of the topology (routers,
@@ -676,5 +845,143 @@ mod tests {
         assert!(sp.dist.is_empty());
         let sp = shortest_paths(&t, RouterId::fake(1));
         assert!(sp.dist.is_empty());
+    }
+
+    /// `prefix_routes` must agree bit-for-bit with extracting the
+    /// prefix from the per-source forward SPF.
+    fn assert_prefix_routes_match(t: &Topology, prefix: Prefix) {
+        let fast = prefix_routes(t, prefix);
+        let full = compute_all_routes(t);
+        for r_ in t.routers() {
+            let reference = full.get(&r_).and_then(|tab| tab.route(prefix));
+            assert_eq!(
+                fast.get(&r_),
+                reference,
+                "route divergence at {r_} for {prefix}"
+            );
+        }
+        assert_eq!(
+            fast.len(),
+            full.values()
+                .filter(|tab| tab.route(prefix).is_some())
+                .count(),
+            "router set divergence for {prefix}"
+        );
+    }
+
+    #[test]
+    fn prefix_routes_matches_forward_spf_on_square_with_lies() {
+        let mut t = square();
+        assert_prefix_routes_match(&t, Prefix::net24(1));
+        t.add_fake_node(
+            RouterId::fake(0),
+            FakeAttrs {
+                attach: r(1),
+                attach_metric: Metric(1),
+                prefix: Prefix::net24(1),
+                prefix_metric: Metric(1),
+                fw: FwAddr::secondary(r(3), 1),
+            },
+        )
+        .unwrap();
+        assert_prefix_routes_match(&t, Prefix::net24(1));
+        // A cheaper lie that overrides the real paths at its attach.
+        t.add_fake_node(
+            RouterId::fake(1),
+            FakeAttrs {
+                attach: r(3),
+                attach_metric: Metric(1),
+                prefix: Prefix::net24(1),
+                prefix_metric: Metric::ZERO,
+                fw: FwAddr::secondary(r(1), 1),
+            },
+        )
+        .unwrap();
+        assert_prefix_routes_match(&t, Prefix::net24(1));
+        // Absent prefix: both sides must agree it routes nowhere.
+        assert!(prefix_routes(&t, Prefix::net24(9)).is_empty());
+    }
+
+    /// Randomized equivalence over asymmetric topologies with partial
+    /// connectivity, multiple announcers, and seed-scripted lies.
+    #[test]
+    fn prefix_routes_matches_forward_spf_randomized() {
+        let mut st: u64 = 0x5EED_CAFE;
+        let mut next = move || {
+            st = st.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = st;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for case in 0..40u32 {
+            let n = 4 + (next() % 9) as u32; // 4..=12 routers
+            let mut t = Topology::new();
+            for i in 1..=n {
+                t.add_router(r(i));
+            }
+            // Ring for base connectivity, then random directed chords
+            // with independent per-direction metrics (asymmetric).
+            for i in 1..=n {
+                let j = if i == n { 1 } else { i + 1 };
+                t.add_link(r(i), r(j), Metric(1 + (next() % 4) as u32))
+                    .unwrap();
+                t.add_link(r(j), r(i), Metric(1 + (next() % 4) as u32))
+                    .unwrap();
+            }
+            for _ in 0..n {
+                let a = 1 + (next() as u32 % n);
+                let b = 1 + (next() as u32 % n);
+                if a != b && !t.has_link(r(a), r(b)) {
+                    t.add_link(r(a), r(b), Metric(1 + (next() % 6) as u32))
+                        .unwrap();
+                }
+            }
+            // Sometimes disconnect a router's out-edges entirely.
+            if case % 5 == 0 {
+                let v = 1 + (next() as u32 % n);
+                let outs: Vec<RouterId> = t.links(r(v)).iter().map(|l| l.to).collect();
+                for to in outs {
+                    t.remove_link(r(v), to);
+                }
+            }
+            let prefix = Prefix::net24(1);
+            // One or two real announcers (possibly tied costs).
+            let owners = 1 + (next() % 2);
+            for _ in 0..owners {
+                let o = 1 + (next() as u32 % n);
+                t.announce_prefix(r(o), prefix, Metric((next() % 3) as u32))
+                    .unwrap();
+            }
+            // A decoy prefix to ensure filtering is exercised.
+            t.announce_prefix(r(1 + (next() as u32 % n)), Prefix::net24(7), Metric::ZERO)
+                .unwrap();
+            // Seed-scripted lies at random attach points.
+            for k in 0..(next() % 4) as u32 {
+                let attach = 1 + (next() as u32 % n);
+                let nbrs: Vec<RouterId> = t
+                    .links(r(attach))
+                    .iter()
+                    .filter(|l| l.to.is_real())
+                    .map(|l| l.to)
+                    .collect();
+                let Some(&nbr) = nbrs.get(next() as usize % nbrs.len().max(1)) else {
+                    continue;
+                };
+                t.add_fake_node(
+                    RouterId::fake(k),
+                    FakeAttrs {
+                        attach: r(attach),
+                        attach_metric: Metric(1 + (next() % 3) as u32),
+                        prefix,
+                        prefix_metric: Metric((next() % 3) as u32),
+                        fw: FwAddr::secondary(nbr, 1 + (next() % 3) as u16),
+                    },
+                )
+                .unwrap();
+            }
+            assert_prefix_routes_match(&t, prefix);
+            assert_prefix_routes_match(&t, Prefix::net24(7));
+        }
     }
 }

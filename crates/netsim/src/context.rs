@@ -1,0 +1,247 @@
+//! The typed world handle.
+//!
+//! [`SimContext`] replaces the old `Sim::api() -> &mut dyn SimApi`
+//! object-safety indirection with a concrete handle carrying typed
+//! accessors: components receive `&mut SimContext` during dispatch,
+//! and host code obtains the same handle between runs via
+//! [`crate::sim::Sim::ctx`]. Reads that used to return snapshot
+//! `Vec`s ([`routers`](SimContext::routers),
+//! [`links`](SimContext::links), [`flows`](SimContext::flows)) are
+//! iterators over the arenas; scheduling goes through the single typed
+//! [`schedule`](SimContext::schedule) path and returns a cancellable
+//! [`EventId`].
+
+use crate::events::Event;
+use crate::flow::{Flow, FlowId, FlowSpec};
+use crate::link::{LinkInfo, LinkKey};
+use crate::sim::Core;
+use fib_igp::error::InstanceError;
+use fib_igp::time::Timestamp;
+use fib_igp::topology::Topology;
+use fib_igp::types::{FwAddr, Metric, Prefix, RouterId};
+use fib_sim_kernel::EventId;
+use fib_telemetry::mib::{Oid, Value};
+
+/// Everything a component (or host code between runs) may do to the
+/// simulated world.
+pub struct SimContext<'a> {
+    pub(crate) core: &'a mut Core,
+}
+
+impl SimContext<'_> {
+    /// Current simulation time.
+    pub fn now(&self) -> Timestamp {
+        self.core.now
+    }
+
+    /// All real routers (controller speakers included), ascending.
+    pub fn routers(&self) -> impl Iterator<Item = RouterId> + '_ {
+        self.core.router_slot.keys().copied()
+    }
+
+    /// All directed links with provisioning data (and the current
+    /// offered rate), in key order.
+    pub fn links(&self) -> impl Iterator<Item = LinkInfo> + '_ {
+        // The IGP cost is provisioning data (the operator configured
+        // it), so it is recorded on the link itself at creation time —
+        // no LSDB consultation, no per-link topology materialization.
+        self.core.link_idx.iter().map(|(k, &ix)| {
+            let r = &self.core.link_recs[ix as usize];
+            LinkInfo {
+                key: *k,
+                capacity: r.state.capacity,
+                cost: r.cost,
+                delay: r.state.delay,
+                up: r.state.up,
+                rate: r.state.rate,
+            }
+        })
+    }
+
+    /// Which router announces each prefix (static provisioning view).
+    pub fn prefix_owners(&self) -> &[(Prefix, RouterId)] {
+        &self.core.prefix_owners
+    }
+
+    /// The topology as learned by `speaker`'s LSDB (what a controller
+    /// actually knows — including every currently installed lie).
+    pub fn topology_view(&self, speaker: RouterId) -> Option<Topology> {
+        let slot = *self.core.router_slot.get(&speaker)?;
+        Some(self.core.instances[slot as usize].lsdb().to_topology())
+    }
+
+    /// SNMP GET against a router's agent (counts as management
+    /// traffic).
+    pub fn snmp_get(&mut self, router: RouterId, oid: &Oid) -> Option<Value> {
+        self.core.stats.snmp_ops += 1;
+        let slot = *self.core.router_slot.get(&router)?;
+        self.core.agents[slot as usize].get(oid)
+    }
+
+    /// SNMP WALK under an OID prefix.
+    pub fn snmp_walk(&mut self, router: RouterId, prefix: &Oid) -> Vec<(Oid, Value)> {
+        self.core.stats.snmp_ops += 1;
+        match self.core.router_slot.get(&router) {
+            Some(&slot) => self.core.agents[slot as usize].walk(prefix),
+            None => Vec::new(),
+        }
+    }
+
+    /// The SNMP ifIndex of the interface on `from` facing `to`.
+    pub fn ifindex_for(&self, from: RouterId, to: RouterId) -> Option<u32> {
+        self.core
+            .iface_to_link
+            .iter()
+            .find(|((r, _), &ix)| *r == from && self.core.link_recs[ix as usize].state.key.to == to)
+            .map(|((_, i), _)| u32::from(i.0) + 1)
+    }
+
+    /// Inject a lie through `speaker`'s protocol instance.
+    #[allow(clippy::too_many_arguments)]
+    pub fn inject_fake(
+        &mut self,
+        speaker: RouterId,
+        fake: RouterId,
+        attach: RouterId,
+        attach_metric: Metric,
+        prefix: Prefix,
+        prefix_metric: Metric,
+        fw: FwAddr,
+    ) -> Result<(), InstanceError> {
+        let slot = *self
+            .core
+            .router_slot
+            .get(&speaker)
+            .ok_or(InstanceError::UnknownIface(u16::MAX))?;
+        let r = self.core.instances[slot as usize].inject_fake(
+            fake,
+            attach,
+            attach_metric,
+            prefix,
+            prefix_metric,
+            fw,
+        );
+        self.core.touch(slot);
+        r
+    }
+
+    /// Retract a lie previously injected through `speaker`.
+    pub fn retract_fake(&mut self, speaker: RouterId, fake: RouterId) -> Result<(), InstanceError> {
+        let slot = *self
+            .core
+            .router_slot
+            .get(&speaker)
+            .ok_or(InstanceError::UnknownIface(u16::MAX))?;
+        let r = self.core.instances[slot as usize].retract_fake(fake);
+        self.core.touch(slot);
+        r
+    }
+
+    /// Start a flow now; returns its id.
+    pub fn start_flow(&mut self, spec: FlowSpec) -> FlowId {
+        let id = self.core.alloc_flow_id();
+        self.core.start_flow_with_id(id, spec);
+        id
+    }
+
+    /// Stop a flow; `false` if unknown.
+    pub fn stop_flow(&mut self, id: FlowId) -> bool {
+        self.core.stop_flow_inner(id)
+    }
+
+    /// Change a flow's application rate cap; `false` if unknown.
+    pub fn set_flow_cap(&mut self, id: FlowId, cap: Option<f64>) -> bool {
+        self.core.set_flow_cap_inner(id, cap)
+    }
+
+    /// A live flow by id.
+    pub fn flow(&self, id: FlowId) -> Option<&Flow> {
+        self.core.flow(id)
+    }
+
+    /// Iterate all live flows in id order (no snapshot allocation).
+    pub fn flows(&self) -> impl Iterator<Item = &Flow> + '_ {
+        self.core.flow_recs.iter().flatten()
+    }
+
+    /// Current allocated rate of a flow (bytes/s).
+    pub fn flow_rate(&self, id: FlowId) -> Option<f64> {
+        self.core.flow(id).map(|f| f.rate)
+    }
+
+    /// Total bytes delivered by a flow so far.
+    pub fn flow_delivered(&self, id: FlowId) -> Option<f64> {
+        self.core.flow(id).map(|f| f.delivered)
+    }
+
+    /// Current path of a flow (directed links), if routed.
+    pub fn flow_path(&self, id: FlowId) -> Option<&[LinkKey]> {
+        self.core.flow(id).and_then(|f| f.path.as_deref())
+    }
+
+    /// Current offered rate on a directed link (bytes/s).
+    pub fn link_rate(&self, key: LinkKey) -> Option<f64> {
+        self.core
+            .link_idx
+            .get(&key)
+            .map(|&ix| self.core.link_recs[ix as usize].state.rate)
+    }
+
+    /// Administratively fail a symmetric link (both directions) now.
+    ///
+    /// With carrier detection enabled the IGP instances at both ends
+    /// are notified immediately and re-converge around the failure;
+    /// data flows re-resolve their paths at the next settlement.
+    /// Returns `false` if no such link exists.
+    pub fn fail_link(&mut self, a: RouterId, b: RouterId) -> bool {
+        self.core.set_link_up(a, b, false)
+    }
+
+    /// Restore a previously failed symmetric link. Counterpart of
+    /// [`SimContext::fail_link`]; returns `false` if no such link
+    /// exists.
+    pub fn restore_link(&mut self, a: RouterId, b: RouterId) -> bool {
+        self.core.set_link_up(a, b, true)
+    }
+
+    /// Change a symmetric link's per-direction capacity (bytes/s) now.
+    ///
+    /// The fluid allocation is recomputed at the next settlement; the
+    /// IGP is *not* involved (capacity is not part of the link-state
+    /// database). Returns `false` if no such link exists or `capacity`
+    /// is not positive.
+    pub fn set_link_capacity(&mut self, a: RouterId, b: RouterId, capacity: f64) -> bool {
+        self.core.set_link_capacity_inner(a, b, capacity)
+    }
+
+    /// A router's installed ECMP next-hops toward a prefix (empty if
+    /// none — used by verification and experiments, not by the
+    /// controller's decision logic).
+    pub fn fib_nexthops(&self, router: RouterId, prefix: Prefix) -> Vec<FwAddr> {
+        match self.core.fibs.get(&router).and_then(|f| f.lookup(prefix)) {
+            Some(crate::fib::FibEntry::Via(v)) => v.clone(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Append a point to a named trace series at the current time.
+    pub fn record(&mut self, series: &str, value: f64) {
+        let now = self.core.now;
+        self.core.recorder.record(series, now, value);
+    }
+
+    /// Allocate a fresh flow id for an [`Event::FlowStart`] schedule.
+    pub fn new_flow_id(&mut self) -> FlowId {
+        self.core.alloc_flow_id()
+    }
+
+    /// Schedule a typed event; returns its cancellable id.
+    pub fn schedule(&mut self, at: Timestamp, ev: Event) -> EventId {
+        self.core.schedule_event(at, ev)
+    }
+
+    /// Cancel a scheduled event (`true` iff it was still pending).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.core.queue.cancel(id)
+    }
+}

@@ -1,0 +1,42 @@
+//! Components: the uniform handler trait applications implement.
+//!
+//! This absorbs the old four-method `App` trait into the kernel's
+//! component/event model: one [`EventHandler::on_event`] entry point
+//! receiving typed [`AppEvent`]s, with the world reachable through the
+//! [`SimContext`] handle. Components are
+//! registered into a flat arena and addressed by
+//! [`ComponentId`](fib_sim_kernel::ComponentId) — names exist for
+//! tracing only.
+
+use crate::flow::FlowInfo;
+use crate::sim::SimContext;
+use fib_igp::time::Dur;
+
+/// An event delivered to a component.
+#[derive(Debug)]
+pub enum AppEvent<'a> {
+    /// The simulation started (delivered once, during `Sim::start`).
+    Start,
+    /// Periodic tick (see [`EventHandler::tick_interval`]).
+    Tick,
+    /// A flow started somewhere in the world (the paper's "server
+    /// notifies the controller of a new client").
+    FlowStarted(&'a FlowInfo),
+    /// A flow stopped.
+    FlowStopped(&'a FlowInfo),
+}
+
+/// A pluggable component (controller, workload driver, probe).
+pub trait EventHandler {
+    /// Human-readable name (tracing, diagnostics).
+    fn name(&self) -> &str;
+
+    /// If `Some`, the simulator delivers [`AppEvent::Tick`] at this
+    /// period.
+    fn tick_interval(&self) -> Option<Dur> {
+        None
+    }
+
+    /// Handle one event.
+    fn on_event(&mut self, ctx: &mut SimContext<'_>, ev: AppEvent<'_>);
+}

@@ -1,9 +1,16 @@
 //! # fib-netsim — deterministic data-plane and co-simulation
 //!
 //! The paper's demo ran on an emulated testbed (Mininet + Quagga).
-//! This crate is its simulation substitute:
+//! This crate is its simulation substitute, built on the generic
+//! `fib-sim-kernel` primitives (cancellable event queue, deadline
+//! heap, component registry):
 //!
-//! * [`event`] — a deterministic discrete-event queue;
+//! * [`events`] — the typed event vocabulary and the one scheduling
+//!   path over it (cancellable via `EventId`);
+//! * [`handler`] — the component trait ([`handler::EventHandler`])
+//!   applications implement, and the [`handler::AppEvent`]s they
+//!   receive;
+//! * [`context`] — the typed [`context::SimContext`] world handle;
 //! * [`link`] — capacitated, delayed, directed links;
 //! * [`fib`] — downloaded forwarding tables and hop-by-hop path
 //!   resolution with per-router ECMP hashing ([`ecmp`]);
@@ -13,38 +20,42 @@
 //!   of competing TCP flows), with application rate caps;
 //! * [`flow`] — traffic flows and notifications;
 //! * [`trace`] — time-series recording and CSV export for figures;
-//! * [`api`] / [`sim`] — the co-simulation world: real IGP instances
-//!   exchanging encoded packets over the links, FIB downloads, SNMP
-//!   agents fed by both planes, and pluggable applications (the
-//!   Fibbing controller, video drivers, baselines).
+//! * [`sim`] — the co-simulation world: real IGP instances exchanging
+//!   encoded packets over the links, FIB downloads, SNMP agents fed by
+//!   both planes, and pluggable components (the Fibbing controller,
+//!   video drivers, baselines).
 //!
 //! Everything is deterministic: identical inputs produce
-//! byte-identical traces (asserted in tests).
+//! byte-identical traces (asserted in tests, including against
+//! pre-kernel reference traces in `tests/kernel_pin.rs`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod api;
+pub mod context;
 pub mod dirty;
 pub mod ecmp;
-pub mod event;
+pub mod events;
 pub mod fib;
 pub mod flow;
 pub mod fluid;
+pub mod handler;
 pub mod link;
 pub mod sim;
 pub mod trace;
 
 /// Convenient re-exports of the most used items.
 pub mod prelude {
-    pub use crate::api::{App, SimApi};
+    pub use crate::context::SimContext;
     pub use crate::ecmp::{slot_for, FlowKey};
-    pub use crate::event::EventQueue;
+    pub use crate::events::{Event, EventId};
     pub use crate::fib::{resolve_path, Fib, FibEntry, PathError};
     pub use crate::flow::{Flow, FlowId, FlowInfo, FlowSpec};
     pub use crate::fluid::{max_min_allocation, max_min_keyed, Allocation, Allocator, FluidFlow};
+    pub use crate::handler::{AppEvent, EventHandler};
     pub use crate::link::{LinkInfo, LinkKey, LinkSpec, LinkState};
-    pub use crate::sim::{Sim, SimConfig, SimStats};
+    pub use crate::sim::{SettleMode, Sim, SimConfig, SimStats};
     pub use crate::trace::Recorder;
     pub use fib_igp::time::{Dur, Timestamp};
+    pub use fib_sim_kernel::ComponentId;
 }

@@ -108,6 +108,21 @@ pub struct LinkInfo {
     pub delay: Dur,
     /// Whether the direction is up.
     pub up: bool,
+    /// Current offered data rate (bytes/s) as of the last settlement —
+    /// included so per-tick observers (utilization probes) need no
+    /// second lookup per link.
+    pub rate: f64,
+}
+
+impl LinkInfo {
+    /// Utilization as a fraction of capacity.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity <= 0.0 {
+            0.0
+        } else {
+            self.rate / self.capacity
+        }
+    }
 }
 
 #[cfg(test)]

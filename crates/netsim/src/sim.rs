@@ -1,51 +1,81 @@
 //! The co-simulation world.
 //!
-//! [`Sim`] binds everything together in one deterministic event loop:
+//! [`Sim`] binds everything together in one deterministic event loop
+//! built on the `fib-sim-kernel` primitives:
 //!
-//! * an IGP [`Instance`] per router,
-//!   exchanging real (encoded, checksummed) protocol packets over the
-//!   simulated links with propagation delay;
+//! * one time-ordered, cancellable [`EventQueue`] with stable FIFO
+//!   tie-breaking carries every event — protocol packets in flight,
+//!   flow churn, link scripts, component ticks, trace samples;
+//! * an IGP [`Instance`] per router exchanges real (encoded,
+//!   checksummed) protocol packets over the simulated links; their
+//!   internal timer deadlines are tracked in a [`DeadlineHeap`]
+//!   (`O(log n)` per change, not `O(routers)` per batch);
 //! * FIB downloads from converged instances into data-plane [`Fib`]s;
 //! * fluid traffic: flows resolve their paths through the FIBs (per
 //!   hop ECMP hashing) and share link capacity max-min fairly; link
 //!   and flow counters integrate rates between events;
 //! * SNMP agents per router whose ifTable counters are fed by the data
 //!   and control planes alike;
-//! * pluggable [`App`]s (the Fibbing controller, workload drivers)
-//!   receiving ticks and flow notifications.
+//! * pluggable components (the Fibbing controller, workload drivers,
+//!   probes) behind the [`EventHandler`] trait, registered into a flat
+//!   arena and addressed by [`ComponentId`].
 //!
-//! Any change (FIB update, flow churn, link event) marks the world
-//! dirty; at the end of each event batch the allocator settles paths
-//! and rates, so traces reflect transients like ECMP shifts
-//! mid-convergence.
+//! Routers, links, and flows live in dense arenas: hot paths index by
+//! slot (`u32`/`usize`), never by name or map probe. The key-ordered
+//! maps remain only as cold-path views (API lookups, provisioning
+//! iteration) so observable iteration orders are unchanged from the
+//! pre-kernel simulator — byte-determinism of every pinned artifact is
+//! an invariant, asserted against pre-port reference traces in
+//! `tests/kernel_pin.rs`.
 //!
-//! The settling is *incremental* (see [`crate::dirty`]): each change
-//! marks exactly the flows it can reroute — the started/stopped flow,
-//! flows crossing a failed or restored link, flows destined to a
-//! prefix whose FIB entry changed on a router their path visits — and
-//! the reallocation pass re-resolves only those, feeding the reusable
-//! [`crate::fluid::Allocator`]. [`SimStats`] counts resolved vs
-//! skipped paths and allocator fills vs skips so a regression back to
-//! global recompute is visible as data, not just as wall time.
+//! Settling is *incremental* (see [`crate::dirty`]) and its schedule
+//! is configurable ([`SettleMode`]): `Eager` reproduces the historical
+//! settle-twice-per-batch schedule (and therefore the historical
+//! machinery counters, which pinned sweep artifacts embed); `Lazy`
+//! defers settlement to the next observation point — time advancing
+//! over unsettled state, components about to run, or the end of a
+//! `run_until` — producing byte-identical traces with fewer
+//! allocator passes (asserted in tests).
 
-use crate::api::{App, SimApi};
 use crate::dirty::{DirtySet, FlowIndex};
 use crate::ecmp::FlowKey;
-use crate::event::EventQueue;
+use crate::events::Event;
 use crate::fib::{resolve_path, Fib};
 use crate::flow::{Flow, FlowId, FlowInfo, FlowSpec};
 use crate::fluid::Allocator;
-use crate::link::{LinkInfo, LinkKey, LinkSpec, LinkState};
+use crate::handler::{AppEvent, EventHandler};
+use crate::link::{LinkKey, LinkSpec, LinkState};
 use crate::trace::Recorder;
 use bytes::Bytes;
-use fib_igp::error::InstanceError;
 use fib_igp::instance::{Config as IgpConfig, Instance, Output};
 use fib_igp::time::{Dur, Timestamp};
-use fib_igp::topology::Topology;
-use fib_igp::types::{FwAddr, IfaceId, Metric, Prefix, RouterId};
+use fib_igp::types::{IfaceId, Metric, Prefix, RouterId};
+use fib_sim_kernel::{ComponentId, DeadlineHeap, EventId, EventQueue, Registry};
 use fib_telemetry::counters::{CounterWidth, IfaceCounters};
-use fib_telemetry::mib::{Agent, Oid, Value};
-use std::collections::BTreeMap;
+use fib_telemetry::mib::Agent;
+use std::collections::{BTreeMap, BTreeSet};
+
+pub use crate::context::SimContext;
+
+/// When the fluid allocation settles after changes dirty the world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SettleMode {
+    /// Settle up to twice per event batch (before and after component
+    /// dispatch), exactly like the pre-kernel simulator. This keeps
+    /// the machinery counters (`reallocs`, `paths_resolved`,
+    /// `alloc_fills`, …) byte-identical to historical runs — pinned
+    /// sweep artifacts embed them — and is the default.
+    #[default]
+    Eager,
+    /// Settle only at observation points: when time is about to
+    /// advance over unsettled state (rate integration is itself an
+    /// observer), when components are about to run in a batch, and at
+    /// the end of `run_until`. Traces, flow deliveries, counters, and
+    /// every rate any observer can read are byte-identical to `Eager`
+    /// (asserted in tests); only the machinery counters differ —
+    /// within-batch double settles collapse into one.
+    Lazy,
+}
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -64,6 +94,8 @@ pub struct SimConfig {
     pub counter_width: CounterWidth,
     /// Immediate carrier-loss detection on link-down events.
     pub carrier_detect: bool,
+    /// Settlement schedule (see [`SettleMode`]).
+    pub settle: SettleMode,
 }
 
 impl Default for SimConfig {
@@ -76,6 +108,7 @@ impl Default for SimConfig {
             sample_interval: Dur::from_millis(100),
             counter_width: CounterWidth::C64,
             carrier_detect: true,
+            settle: SettleMode::Eager,
         }
     }
 }
@@ -146,72 +179,92 @@ impl SimStats {
 }
 
 #[derive(Debug)]
-struct LinkRec {
-    state: LinkState,
+pub(crate) struct LinkRec {
+    pub(crate) state: LinkState,
     /// Interface on `state.key.from` transmitting onto this direction.
-    tx_iface: IfaceId,
+    pub(crate) tx_iface: IfaceId,
     /// Interface on `state.key.to` receiving from this direction.
-    rx_iface: IfaceId,
+    pub(crate) rx_iface: IfaceId,
     /// Provisioned IGP cost (from the link spec — the operator's view,
-    /// served by [`SimApi::links`] without consulting any LSDB).
-    cost: Metric,
+    /// served without consulting any LSDB).
+    pub(crate) cost: Metric,
     /// Fractional byte carry for counter integration.
-    carry: f64,
+    pub(crate) carry: f64,
+    /// Router/agent arena slot of `state.key.from`.
+    pub(crate) from_slot: u32,
+    /// Router/agent arena slot of `state.key.to`.
+    pub(crate) to_slot: u32,
 }
 
-enum Ev {
+/// Internal queue payload: public [`Event`]s plus the kernel's own
+/// traffic (packets in flight, component ticks, trace samples).
+pub(crate) enum Ev {
     Pkt {
-        to: RouterId,
+        to_slot: u32,
         iface: IfaceId,
         data: Bytes,
     },
-    FlowStart(FlowId, FlowSpec),
-    FlowStop(FlowId),
-    SetFlowCap(FlowId, Option<f64>),
-    AppTick(usize),
+    Tick(ComponentId),
     Sample,
-    LinkAdmin {
-        a: RouterId,
-        b: RouterId,
-        up: bool,
-    },
-    LinkCap {
-        a: RouterId,
-        b: RouterId,
-        capacity: f64,
-    },
+    User(Event),
 }
 
-/// Everything except the apps (so apps can borrow the world mutably).
-pub struct Core {
-    cfg: SimConfig,
-    now: Timestamp,
-    queue: EventQueue<Ev>,
-    instances: BTreeMap<RouterId, Instance>,
-    fibs: BTreeMap<RouterId, Fib>,
-    links: BTreeMap<LinkKey, LinkRec>,
-    iface_to_link: BTreeMap<(RouterId, IfaceId), LinkKey>,
-    agents: BTreeMap<RouterId, Agent>,
-    prefix_owners: Vec<(Prefix, RouterId)>,
-    flows: BTreeMap<FlowId, Flow>,
-    flow_index: FlowIndex,
-    alloc: Allocator<LinkKey>,
-    next_flow_id: u64,
+/// Everything except the components (so components can borrow the
+/// world mutably while being dispatched).
+pub(crate) struct Core {
+    pub(crate) cfg: SimConfig,
+    pub(crate) now: Timestamp,
+    pub(crate) queue: EventQueue<Timestamp, Ev>,
+    // Router arena: slot = registration order; id-ordered views kept
+    // for cold paths and observable iteration order.
+    pub(crate) router_ids: Vec<RouterId>,
+    pub(crate) router_slot: BTreeMap<RouterId, u32>,
+    pub(crate) instances: Vec<Instance>,
+    pub(crate) agents: Vec<Agent>,
+    pub(crate) fibs: BTreeMap<RouterId, Fib>,
+    pub(crate) deadlines: DeadlineHeap<Timestamp>,
+    due_scratch: Vec<u32>,
+    /// Instance slots touched since the last output collection.
+    touched: BTreeSet<u32>,
+    // Link arena: directed records in creation order (the two
+    // directions of one symmetric link are adjacent: sibling = ix ^ 1)
+    // plus the key-ordered index for lookups and stable iteration.
+    pub(crate) link_recs: Vec<LinkRec>,
+    pub(crate) link_idx: BTreeMap<LinkKey, u32>,
+    pub(crate) iface_to_link: BTreeMap<(RouterId, IfaceId), u32>,
+    pub(crate) prefix_owners: Vec<(Prefix, RouterId)>,
+    // Flow arena indexed by `FlowId.0` (ids are dense, counter-issued).
+    pub(crate) flow_recs: Vec<Option<Flow>>,
+    pub(crate) live_flows: usize,
+    /// Live flows currently without a usable path (incremental form of
+    /// the per-batch stranded scan; feeds `unroutable_flow_secs`).
+    stranded: usize,
+    pub(crate) flow_index: FlowIndex,
+    pub(crate) alloc: Allocator<LinkKey>,
+    pub(crate) next_flow_id: u64,
     last_accrue: Timestamp,
-    dirty: DirtySet,
-    started: bool,
-    pending_flow_events: Vec<(bool, FlowInfo)>, // (started?, info)
-    pending_ticks: Vec<usize>,
-    recorder: Recorder,
-    sampled: BTreeMap<String, LinkKey>,
+    pub(crate) dirty: DirtySet,
+    pub(crate) started: bool,
+    /// Entry dirt: the world was mutated outside any batch (host code
+    /// between `run_until` calls). Such dirt settles after the next
+    /// batch's output collection — the historical schedule — never at
+    /// accrual, so rate integration over the gap keeps the stale rates
+    /// the pre-kernel simulator used.
+    needs_batch_settle: bool,
+    in_batch: bool,
+    pub(crate) pending_flow_events: Vec<(bool, FlowInfo)>, // (started?, info)
+    pub(crate) pending_ticks: Vec<ComponentId>,
+    pub(crate) recorder: Recorder,
+    /// Sampled link series, name-sorted (the recorder emission order).
+    pub(crate) sampled: Vec<(String, LinkKey)>,
     /// Aggregate statistics.
     pub stats: SimStats,
 }
 
-/// The simulator: the world plus its applications.
+/// The simulator: the world plus its registered components.
 pub struct Sim {
-    core: Core,
-    apps: Vec<Box<dyn App>>,
+    pub(crate) core: Core,
+    apps: Registry<dyn EventHandler>,
     tick_intervals: Vec<Option<Dur>>,
 }
 
@@ -221,24 +274,54 @@ impl Core {
             cfg,
             now: Timestamp::ZERO,
             queue: EventQueue::new(),
-            instances: BTreeMap::new(),
+            router_ids: Vec::new(),
+            router_slot: BTreeMap::new(),
+            instances: Vec::new(),
+            agents: Vec::new(),
             fibs: BTreeMap::new(),
-            links: BTreeMap::new(),
+            deadlines: DeadlineHeap::new(),
+            due_scratch: Vec::new(),
+            touched: BTreeSet::new(),
+            link_recs: Vec::new(),
+            link_idx: BTreeMap::new(),
             iface_to_link: BTreeMap::new(),
-            agents: BTreeMap::new(),
             prefix_owners: Vec::new(),
-            flows: BTreeMap::new(),
+            flow_recs: Vec::new(),
+            live_flows: 0,
+            stranded: 0,
             flow_index: FlowIndex::new(),
             alloc: Allocator::new(),
             next_flow_id: 0,
             last_accrue: Timestamp::ZERO,
             dirty: DirtySet::new(),
             started: false,
+            needs_batch_settle: false,
+            in_batch: false,
             pending_flow_events: Vec::new(),
             pending_ticks: Vec::new(),
             recorder: Recorder::new(),
-            sampled: BTreeMap::new(),
+            sampled: Vec::new(),
             stats: SimStats::default(),
+        }
+    }
+
+    pub(crate) fn flow(&self, id: FlowId) -> Option<&Flow> {
+        self.flow_recs.get(id.0 as usize).and_then(|o| o.as_ref())
+    }
+
+    /// Record that `slot`'s instance may have new output and a new
+    /// earliest deadline. Every `&mut Instance` access goes through
+    /// here (or is followed by it).
+    pub(crate) fn touch(&mut self, slot: u32) {
+        self.touched.insert(slot);
+        let next = self.instances[slot as usize].next_timer();
+        self.deadlines.set(slot, next);
+    }
+
+    /// Mark that a world mutation happened outside any batch.
+    fn note_mutation(&mut self) {
+        if self.started && !self.in_batch {
+            self.needs_batch_settle = true;
         }
     }
 
@@ -251,85 +334,75 @@ impl Core {
         IfaceId(n as u16)
     }
 
-    fn add_router_inner(&mut self, id: RouterId, compute_routes: bool) {
+    pub(crate) fn add_router_inner(&mut self, id: RouterId, compute_routes: bool) {
         let mut cfg = IgpConfig::new(id);
         cfg.hello_interval = self.cfg.hello_interval;
         cfg.dead_interval = self.cfg.dead_interval;
         cfg.rxmt_interval = self.cfg.rxmt_interval;
         cfg.spf_delay = self.cfg.spf_delay;
         cfg.compute_routes = compute_routes;
-        self.instances.insert(id, Instance::new(cfg));
+        let slot = self.instances.len() as u32;
+        assert!(
+            self.router_slot.insert(id, slot).is_none(),
+            "router {id} added twice"
+        );
+        self.router_ids.push(id);
+        self.instances.push(Instance::new(cfg));
+        self.agents.push(Agent::new(format!("{id}")));
         self.fibs.insert(id, Fib::new());
-        self.agents.insert(id, Agent::new(format!("{id}")));
+        let heap_slot = self.deadlines.push_slot();
+        debug_assert_eq!(heap_slot, slot);
     }
 
-    fn add_link_inner(&mut self, spec: LinkSpec) {
+    pub(crate) fn add_link_inner(&mut self, spec: LinkSpec) {
         let ia = self.next_iface(spec.a);
         // Register a's iface before computing b's (self-loops are not
         // supported; asserted here).
         assert_ne!(spec.a, spec.b, "self-loop links are not supported");
+        let a_slot = *self.router_slot.get(&spec.a).expect("add routers first");
+        let b_slot = *self.router_slot.get(&spec.b).expect("add routers first");
         let kab = LinkKey::new(spec.a, spec.b);
-        self.iface_to_link.insert((spec.a, ia), kab);
+        let ix_ab = self.link_recs.len() as u32;
+        self.iface_to_link.insert((spec.a, ia), ix_ab);
         let ib = self.next_iface(spec.b);
         let kba = LinkKey::new(spec.b, spec.a);
-        self.iface_to_link.insert((spec.b, ib), kba);
+        self.iface_to_link.insert((spec.b, ib), ix_ab + 1);
 
-        self.instances
-            .get_mut(&spec.a)
-            .expect("add routers before links")
-            .add_iface(ia, spec.cost);
-        self.instances
-            .get_mut(&spec.b)
-            .expect("add routers before links")
-            .add_iface(ib, spec.cost);
+        self.instances[a_slot as usize].add_iface(ia, spec.cost);
+        self.instances[b_slot as usize].add_iface(ib, spec.cost);
 
-        self.links.insert(
-            kab,
-            LinkRec {
-                state: LinkState {
-                    key: kab,
-                    capacity: spec.capacity,
-                    delay: spec.delay,
-                    up: true,
-                    rate: 0.0,
-                },
-                tx_iface: ia,
-                rx_iface: ib,
-                cost: spec.cost,
-                carry: 0.0,
-            },
-        );
-        self.links.insert(
-            kba,
-            LinkRec {
-                state: LinkState {
-                    key: kba,
-                    capacity: spec.capacity,
-                    delay: spec.delay,
-                    up: true,
-                    rate: 0.0,
-                },
-                tx_iface: ib,
-                rx_iface: ia,
-                cost: spec.cost,
-                carry: 0.0,
-            },
-        );
+        let mk = |key: LinkKey| LinkState {
+            key,
+            capacity: spec.capacity,
+            delay: spec.delay,
+            up: true,
+            rate: 0.0,
+        };
+        self.link_recs.push(LinkRec {
+            state: mk(kab),
+            tx_iface: ia,
+            rx_iface: ib,
+            cost: spec.cost,
+            carry: 0.0,
+            from_slot: a_slot,
+            to_slot: b_slot,
+        });
+        self.link_recs.push(LinkRec {
+            state: mk(kba),
+            tx_iface: ib,
+            rx_iface: ia,
+            cost: spec.cost,
+            carry: 0.0,
+            from_slot: b_slot,
+            to_slot: a_slot,
+        });
+        self.link_idx.insert(kab, ix_ab);
+        self.link_idx.insert(kba, ix_ab + 1);
 
         // SNMP: one ifTable row per interface (ifIndex = iface + 1).
         let width = self.cfg.counter_width;
-        self.agents
-            .get_mut(&spec.a)
-            .expect("agent exists")
-            .add_iface(u32::from(ia.0) + 1, IfaceCounters::new(width));
-        self.agents
-            .get_mut(&spec.b)
-            .expect("agent exists")
-            .add_iface(u32::from(ib.0) + 1, IfaceCounters::new(width));
-    }
-
-    fn min_instance_timer(&self) -> Option<Timestamp> {
-        self.instances.values().filter_map(|i| i.next_timer()).min()
+        self.agents[a_slot as usize].add_iface(u32::from(ia.0) + 1, IfaceCounters::new(width));
+        self.agents[b_slot as usize].add_iface(u32::from(ib.0) + 1, IfaceCounters::new(width));
     }
 
     /// Integrate rates into counters/deliveries from `last_accrue` to `t`.
@@ -337,11 +410,25 @@ impl Core {
         if t <= self.last_accrue {
             return;
         }
+        // Lazy settling: time is about to advance over unsettled state
+        // — rate integration observes the rates, so settle first.
+        // Entry dirt is exempt: it settles on the historical schedule
+        // (after the next batch's output collection), preserving the
+        // stale-rate integration over the gap.
+        if self.cfg.settle == SettleMode::Lazy
+            && !self.needs_batch_settle
+            && self.dirty.needs_realloc()
+        {
+            self.reallocate();
+        }
         let dt = (t - self.last_accrue).as_secs_f64();
         self.last_accrue = t;
-        // Link counters.
-        let mut updates: Vec<(RouterId, u32, RouterId, u32, u64)> = Vec::new();
-        for rec in self.links.values_mut() {
+        // Link counters: dense sweep, direct agent-slot indexing, no
+        // intermediate allocation.
+        let Core {
+            link_recs, agents, ..
+        } = self;
+        for rec in link_recs.iter_mut() {
             if rec.state.rate <= 0.0 {
                 continue;
             }
@@ -349,109 +436,110 @@ impl Core {
             let whole = rec.carry.floor();
             rec.carry -= whole;
             if whole > 0.0 {
-                updates.push((
-                    rec.state.key.from,
-                    u32::from(rec.tx_iface.0) + 1,
-                    rec.state.key.to,
-                    u32::from(rec.rx_iface.0) + 1,
-                    whole as u64,
-                ));
-            }
-        }
-        for (from, tx_idx, to, rx_idx, bytes) in updates {
-            if let Some(c) = self
-                .agents
-                .get_mut(&from)
-                .and_then(|a| a.counters_mut(tx_idx))
-            {
-                c.out_octets.add(bytes);
-                c.out_pkts.add(bytes / 1500 + 1);
-            }
-            if let Some(c) = self
-                .agents
-                .get_mut(&to)
-                .and_then(|a| a.counters_mut(rx_idx))
-            {
-                c.in_octets.add(bytes);
-                c.in_pkts.add(bytes / 1500 + 1);
+                let bytes = whole as u64;
+                let tx_idx = u32::from(rec.tx_iface.0) + 1;
+                let rx_idx = u32::from(rec.rx_iface.0) + 1;
+                if let Some(c) = agents[rec.from_slot as usize].counters_mut(tx_idx) {
+                    c.out_octets.add(bytes);
+                    c.out_pkts.add(bytes / 1500 + 1);
+                }
+                if let Some(c) = agents[rec.to_slot as usize].counters_mut(rx_idx) {
+                    c.in_octets.add(bytes);
+                    c.in_pkts.add(bytes / 1500 + 1);
+                }
             }
         }
         // Flow deliveries.
-        let mut stranded = 0usize;
-        for f in self.flows.values_mut() {
+        for f in self.flow_recs.iter_mut().flatten() {
             if f.rate > 0.0 {
                 f.delivered += f.rate * dt;
             }
-            if f.path.is_none() {
-                stranded += 1;
-            }
         }
-        self.stats.unroutable_flow_secs += stranded as f64 * dt;
+        self.stats.unroutable_flow_secs += self.stranded as f64 * dt;
     }
 
     fn dispatch(&mut self, ev: Ev) {
         self.stats.events += 1;
         match ev {
-            Ev::Pkt { to, iface, data } => {
+            Ev::Pkt {
+                to_slot,
+                iface,
+                data,
+            } => {
                 let len = data.len() as u64;
-                // Account received control bytes.
-                if let Some(key) = self.iface_to_link.get(&(to, iface)).copied() {
-                    let rx_key = key.reversed();
-                    if let Some(rec) = self.links.get(&rx_key) {
-                        if !rec.state.up {
-                            self.stats.ctrl_dropped += 1;
-                            return;
-                        }
+                let to = self.router_ids[to_slot as usize];
+                // Account received control bytes; drop on a down link.
+                if let Some(&ix) = self.iface_to_link.get(&(to, iface)) {
+                    let rx = (ix ^ 1) as usize;
+                    if !self.link_recs[rx].state.up {
+                        self.stats.ctrl_dropped += 1;
+                        return;
                     }
                     let idx = u32::from(iface.0) + 1;
-                    if let Some(c) = self.agents.get_mut(&to).and_then(|a| a.counters_mut(idx)) {
+                    if let Some(c) = self.agents[to_slot as usize].counters_mut(idx) {
                         c.count_rx(len);
                     }
                 }
-                if let Some(inst) = self.instances.get_mut(&to) {
-                    let _ = inst.handle_packet(iface, data, self.now);
-                    self.stats.ctrl_pkts += 1;
-                    self.stats.ctrl_bytes += len;
-                }
+                let _ = self.instances[to_slot as usize].handle_packet(iface, data, self.now);
+                self.stats.ctrl_pkts += 1;
+                self.stats.ctrl_bytes += len;
+                self.touch(to_slot);
             }
-            Ev::FlowStart(id, spec) => {
-                self.start_flow_with_id(id, spec);
-            }
-            Ev::FlowStop(id) => {
-                self.stop_flow_inner(id);
-            }
-            Ev::SetFlowCap(id, cap) => {
-                self.set_flow_cap_inner(id, cap);
-            }
-            Ev::AppTick(i) => {
-                self.pending_ticks.push(i);
+            Ev::Tick(cid) => {
+                self.pending_ticks.push(cid);
             }
             Ev::Sample => {
                 let now = self.now;
-                let points: Vec<(String, f64)> = self
-                    .sampled
-                    .iter()
-                    .map(|(name, key)| {
-                        let rate = self.links.get(key).map(|r| r.state.rate).unwrap_or(0.0);
-                        (name.clone(), rate)
-                    })
-                    .collect();
-                for (name, rate) in points {
-                    self.recorder.record(&name, now, rate);
+                for i in 0..self.sampled.len() {
+                    let rate = {
+                        let key = self.sampled[i].1;
+                        self.link_idx
+                            .get(&key)
+                            .map(|&ix| self.link_recs[ix as usize].state.rate)
+                            .unwrap_or(0.0)
+                    };
+                    let name = &self.sampled[i].0;
+                    self.recorder.record(name, now, rate);
                 }
                 self.queue
                     .push(self.now + self.cfg.sample_interval, Ev::Sample);
             }
-            Ev::LinkAdmin { a, b, up } => {
+            Ev::User(ev) => self.apply_event(ev),
+        }
+    }
+
+    /// Apply a public [`Event`] now (shared by queue dispatch and the
+    /// immediate-action context methods).
+    fn apply_event(&mut self, ev: Event) {
+        match ev {
+            Event::FlowStart { id, spec } => self.start_flow_with_id(id, spec),
+            Event::FlowStop { id } => {
+                self.stop_flow_inner(id);
+            }
+            Event::FlowCap { id, cap } => {
+                self.set_flow_cap_inner(id, cap);
+            }
+            Event::LinkAdmin { a, b, up } => {
                 self.set_link_up(a, b, up);
             }
-            Ev::LinkCap { a, b, capacity } => {
+            Event::LinkCapacity { a, b, capacity } => {
                 self.set_link_capacity_inner(a, b, capacity);
             }
         }
     }
 
-    fn start_flow_with_id(&mut self, id: FlowId, spec: FlowSpec) {
+    /// Allocate the next flow id (the dense index into the flow arena).
+    pub(crate) fn alloc_flow_id(&mut self) -> FlowId {
+        self.next_flow_id += 1;
+        FlowId(self.next_flow_id)
+    }
+
+    /// Schedule a public event; one path for every kind.
+    pub(crate) fn schedule_event(&mut self, at: Timestamp, ev: Event) -> EventId {
+        self.queue.push(at, Ev::User(ev))
+    }
+
+    pub(crate) fn start_flow_with_id(&mut self, id: FlowId, spec: FlowSpec) {
         let key = FlowKey {
             src: spec.src,
             dst: spec.dst,
@@ -469,31 +557,54 @@ impl Core {
         };
         let info = flow.info();
         self.flow_index.insert(key.dst, id);
-        self.flows.insert(id, flow);
+        let slot = id.0 as usize;
+        if self.flow_recs.len() <= slot {
+            self.flow_recs.resize_with(slot + 1, || None);
+        }
+        match self.flow_recs[slot].replace(flow) {
+            Some(old) => {
+                // Same replace-silently semantics as the old map
+                // insert (reachable only by rescheduling a live id).
+                if old.path.is_none() {
+                    self.stranded -= 1;
+                }
+            }
+            None => self.live_flows += 1,
+        }
+        self.stranded += 1;
         self.dirty.mark_flow(id);
         self.pending_flow_events.push((true, info));
+        self.note_mutation();
     }
 
-    fn stop_flow_inner(&mut self, id: FlowId) -> bool {
-        match self.flows.remove(&id) {
-            Some(f) => {
-                self.flow_index.remove(f.key.dst, id);
-                self.dirty.forget_flow(id);
-                self.dirty.mark_realloc();
-                self.pending_flow_events.push((false, f.info()));
-                true
-            }
-            None => false,
+    pub(crate) fn stop_flow_inner(&mut self, id: FlowId) -> bool {
+        let Some(f) = self.flow_recs.get_mut(id.0 as usize).and_then(|o| o.take()) else {
+            return false;
+        };
+        self.live_flows -= 1;
+        if f.path.is_none() {
+            self.stranded -= 1;
         }
+        self.flow_index.remove(f.key.dst, id);
+        self.dirty.forget_flow(id);
+        self.dirty.mark_realloc();
+        self.pending_flow_events.push((false, f.info()));
+        self.note_mutation();
+        true
     }
 
-    fn set_flow_cap_inner(&mut self, id: FlowId, cap: Option<f64>) -> bool {
-        match self.flows.get_mut(&id) {
+    pub(crate) fn set_flow_cap_inner(&mut self, id: FlowId, cap: Option<f64>) -> bool {
+        match self
+            .flow_recs
+            .get_mut(id.0 as usize)
+            .and_then(|o| o.as_mut())
+        {
             Some(f) => {
                 if f.cap != cap {
                     f.cap = cap;
                     // A cap moves rates, never paths: no re-resolution.
                     self.dirty.mark_realloc();
+                    self.note_mutation();
                 }
                 true
             }
@@ -501,12 +612,12 @@ impl Core {
         }
     }
 
-    fn set_link_up(&mut self, a: RouterId, b: RouterId, up: bool) -> bool {
+    pub(crate) fn set_link_up(&mut self, a: RouterId, b: RouterId, up: bool) -> bool {
         let mut found = false;
         let keys = [LinkKey::new(a, b), LinkKey::new(b, a)];
         for key in keys {
-            if let Some(rec) = self.links.get_mut(&key) {
-                rec.state.up = up;
+            if let Some(&ix) = self.link_idx.get(&key) {
+                self.link_recs[ix as usize].state.up = up;
                 self.dirty.mark_realloc();
                 found = true;
             }
@@ -516,7 +627,7 @@ impl Core {
             // — on restore — every stranded flow: its FIB path may now
             // be usable again even before the IGP reacts.
             let dirty = &mut self.dirty;
-            for f in self.flows.values() {
+            for f in self.flow_recs.iter().flatten() {
                 match &f.path {
                     Some(p) if p.iter().any(|l| keys.contains(l)) => dirty.mark_flow(f.id),
                     None if up => dirty.mark_flow(f.id),
@@ -530,27 +641,41 @@ impl Core {
                 let iface = self
                     .iface_to_link
                     .iter()
-                    .find(|((rid, _), k)| *rid == r && k.to == peer)
+                    .find(|((rid, _), &ix)| {
+                        *rid == r && self.link_recs[ix as usize].state.key.to == peer
+                    })
                     .map(|((_, i), _)| *i);
-                if let (Some(iface), Some(inst)) = (iface, self.instances.get_mut(&r)) {
-                    let _ = inst.set_iface_enabled(iface, up, self.now);
+                if let (Some(iface), Some(&slot)) = (iface, self.router_slot.get(&r)) {
+                    let now = self.now;
+                    let _ = self.instances[slot as usize].set_iface_enabled(iface, up, now);
+                    self.touch(slot);
                 }
             }
+        }
+        if found {
+            self.note_mutation();
         }
         found
     }
 
-    fn set_link_capacity_inner(&mut self, a: RouterId, b: RouterId, capacity: f64) -> bool {
+    pub(crate) fn set_link_capacity_inner(
+        &mut self,
+        a: RouterId,
+        b: RouterId,
+        capacity: f64,
+    ) -> bool {
         if capacity <= 0.0 {
             return false;
         }
         let mut found = false;
         for key in [LinkKey::new(a, b), LinkKey::new(b, a)] {
-            if let Some(rec) = self.links.get_mut(&key) {
+            if let Some(&ix) = self.link_idx.get(&key) {
+                let rec = &mut self.link_recs[ix as usize];
                 if rec.state.capacity != capacity {
                     rec.state.capacity = capacity;
                     // Capacity moves rates, never paths.
                     self.dirty.mark_realloc();
+                    self.note_mutation();
                 }
                 found = true;
             }
@@ -558,22 +683,33 @@ impl Core {
         found
     }
 
-    fn poll_instances(&mut self, t: Timestamp) {
-        for inst in self.instances.values_mut() {
-            if inst.next_timer().map(|d| d <= t).unwrap_or(false) {
-                inst.poll_timers(t);
-            }
+    /// Poll exactly the instances whose earliest deadline is due.
+    fn poll_due(&mut self, t: Timestamp) {
+        let mut due = std::mem::take(&mut self.due_scratch);
+        self.deadlines.pop_due(t, &mut due);
+        for &slot in &due {
+            self.instances[slot as usize].poll_timers(t);
+            self.touch(slot);
         }
+        self.due_scratch = due;
     }
 
     fn collect_outputs(&mut self) {
-        let ids: Vec<RouterId> = self.instances.keys().copied().collect();
-        let mut sends: Vec<(RouterId, IfaceId, Bytes)> = Vec::new();
-        for id in ids {
-            let inst = self.instances.get_mut(&id).expect("known id");
-            for out in inst.drain_output() {
+        if self.touched.is_empty() {
+            return;
+        }
+        // Drain touched instances in RouterId order — the exact
+        // iteration (and hence packet push) order of the old
+        // scan-everyone collector; untouched instances have nothing.
+        let mut order: Vec<u32> = self.touched.iter().copied().collect();
+        self.touched.clear();
+        order.sort_by_key(|&s| self.router_ids[s as usize]);
+        let mut sends: Vec<(u32, IfaceId, Bytes)> = Vec::new();
+        for &slot in &order {
+            let id = self.router_ids[slot as usize];
+            for out in self.instances[slot as usize].drain_output() {
                 match out {
-                    Output::Send { iface, data } => sends.push((id, iface, data)),
+                    Output::Send { iface, data } => sends.push((slot, iface, data)),
                     Output::FibUpdate(table) => {
                         let changed = self.fibs.entry(id).or_default().install_diff(&table);
                         // The instance only emits on route-table change,
@@ -587,15 +723,13 @@ impl Core {
                 }
             }
         }
-        for (from, iface, data) in sends {
-            let Some(key) = self.iface_to_link.get(&(from, iface)).copied() else {
+        for (from_slot, iface, data) in sends {
+            let from = self.router_ids[from_slot as usize];
+            let Some(&ix) = self.iface_to_link.get(&(from, iface)) else {
                 self.stats.ctrl_dropped += 1;
                 continue;
             };
-            let Some(rec) = self.links.get(&key) else {
-                self.stats.ctrl_dropped += 1;
-                continue;
-            };
+            let rec = &self.link_recs[ix as usize];
             if !rec.state.up {
                 self.stats.ctrl_dropped += 1;
                 continue;
@@ -603,14 +737,14 @@ impl Core {
             // Account transmitted control bytes.
             let idx = u32::from(rec.tx_iface.0) + 1;
             let len = data.len() as u64;
-            let (to, rx_iface, delay) = (key.to, rec.rx_iface, rec.state.delay);
-            if let Some(c) = self.agents.get_mut(&from).and_then(|a| a.counters_mut(idx)) {
+            let (to_slot, rx_iface, delay) = (rec.to_slot, rec.rx_iface, rec.state.delay);
+            if let Some(c) = self.agents[from_slot as usize].counters_mut(idx) {
                 c.count_tx(len);
             }
             self.queue.push(
                 self.now + delay,
                 Ev::Pkt {
-                    to,
+                    to_slot,
                     iface: rx_iface,
                     data,
                 },
@@ -627,7 +761,7 @@ impl Core {
         let dirty = &mut self.dirty;
         for p in changed {
             for id in self.flow_index.affected_by(*p) {
-                let Some(f) = self.flows.get(&id) else {
+                let Some(f) = self.flow_recs.get(id.0 as usize).and_then(|o| o.as_ref()) else {
                     continue;
                 };
                 let touched = match &f.path {
@@ -641,9 +775,9 @@ impl Core {
         }
     }
 
-    /// Settle the data plane after an event batch: re-resolve exactly
-    /// the dirty flows' paths, then hand the full routed set to the
-    /// reusable allocator (which itself skips when nothing moved).
+    /// Settle the data plane: re-resolve exactly the dirty flows'
+    /// paths, then hand the full routed set to the reusable allocator
+    /// (which itself skips when nothing moved).
     fn reallocate(&mut self) {
         self.stats.reallocs += 1;
         let dirty_flows = self.dirty.take();
@@ -651,191 +785,67 @@ impl Core {
         for id in &dirty_flows {
             // A flow may have been marked and then stopped in the same
             // batch.
-            let Some(key) = self.flows.get(id).map(|f| f.key) else {
+            let Some(key) = self.flow(*id).map(|f| f.key) else {
                 continue;
             };
             resolved += 1;
-            match resolve_path(&self.fibs, &key) {
+            let new_path = match resolve_path(&self.fibs, &key) {
                 Ok(path) => {
-                    let usable = path
-                        .iter()
-                        .all(|l| self.links.get(l).map(|r| r.state.up).unwrap_or(false));
-                    let f = self.flows.get_mut(id).expect("known flow");
+                    let usable = path.iter().all(|l| {
+                        self.link_idx
+                            .get(l)
+                            .map(|&ix| self.link_recs[ix as usize].state.up)
+                            .unwrap_or(false)
+                    });
                     if usable {
-                        f.path = Some(path);
+                        Some(path)
                     } else {
-                        f.path = None;
                         self.stats.unroutable += 1;
+                        None
                     }
                 }
                 Err(_) => {
-                    self.flows.get_mut(id).expect("known flow").path = None;
                     self.stats.unroutable += 1;
+                    None
                 }
+            };
+            let f = self.flow_recs[id.0 as usize].as_mut().expect("known flow");
+            match (&f.path, &new_path) {
+                (None, Some(_)) => self.stranded -= 1,
+                (Some(_), None) => self.stranded += 1,
+                _ => {}
             }
+            f.path = new_path;
         }
         self.stats.paths_resolved += resolved;
-        self.stats.paths_skipped += self.flows.len() as u64 - resolved;
+        self.stats.paths_skipped += self.live_flows as u64 - resolved;
         // Allocation over up links only; flow inputs reference the
         // cached paths directly (no per-realloc clones).
         let capacities: BTreeMap<LinkKey, f64> = self
-            .links
+            .link_idx
             .iter()
-            .filter(|(_, r)| r.state.up)
-            .map(|(k, r)| (*k, r.state.capacity))
+            .filter(|(_, &ix)| self.link_recs[ix as usize].state.up)
+            .map(|(k, &ix)| (*k, self.link_recs[ix as usize].state.capacity))
             .collect();
         self.alloc.allocate(
             &capacities,
-            self.flows
-                .values()
+            self.flow_recs
+                .iter()
+                .flatten()
                 .filter_map(|f| f.path.as_deref().map(|p| (p, f.cap))),
         );
         let rates = self.alloc.rates();
         let mut next_rate = rates.iter().copied();
-        for f in self.flows.values_mut() {
+        for f in self.flow_recs.iter_mut().flatten() {
             f.rate = if f.path.is_some() {
                 next_rate.next().expect("one rate per routed flow")
             } else {
                 0.0
             };
         }
-        for (k, rec) in self.links.iter_mut() {
-            rec.state.rate = self.alloc.load(k);
+        for (k, &ix) in self.link_idx.iter() {
+            self.link_recs[ix as usize].state.rate = self.alloc.load(k);
         }
-    }
-}
-
-impl SimApi for Core {
-    fn now(&self) -> Timestamp {
-        self.now
-    }
-
-    fn routers(&self) -> Vec<RouterId> {
-        self.instances.keys().copied().collect()
-    }
-
-    fn links(&self) -> Vec<LinkInfo> {
-        // The IGP cost is provisioning data (the operator configured
-        // it), so it is recorded on the link itself at creation time —
-        // no LSDB consultation, no per-link topology materialization.
-        self.links
-            .iter()
-            .map(|(k, r)| LinkInfo {
-                key: *k,
-                capacity: r.state.capacity,
-                cost: r.cost,
-                delay: r.state.delay,
-                up: r.state.up,
-            })
-            .collect()
-    }
-
-    fn prefix_owners(&self) -> Vec<(Prefix, RouterId)> {
-        self.prefix_owners.clone()
-    }
-
-    fn topology_view(&self, speaker: RouterId) -> Option<Topology> {
-        self.instances.get(&speaker).map(|i| i.lsdb().to_topology())
-    }
-
-    fn snmp_get(&mut self, router: RouterId, oid: &Oid) -> Option<Value> {
-        self.stats.snmp_ops += 1;
-        self.agents.get(&router)?.get(oid)
-    }
-
-    fn snmp_walk(&mut self, router: RouterId, prefix: &Oid) -> Vec<(Oid, Value)> {
-        self.stats.snmp_ops += 1;
-        self.agents
-            .get(&router)
-            .map(|a| a.walk(prefix))
-            .unwrap_or_default()
-    }
-
-    fn ifindex_for(&self, from: RouterId, to: RouterId) -> Option<u32> {
-        self.iface_to_link
-            .iter()
-            .find(|((r, _), k)| *r == from && k.to == to)
-            .map(|((_, i), _)| u32::from(i.0) + 1)
-    }
-
-    fn inject_fake(
-        &mut self,
-        speaker: RouterId,
-        fake: RouterId,
-        attach: RouterId,
-        attach_metric: Metric,
-        prefix: Prefix,
-        prefix_metric: Metric,
-        fw: FwAddr,
-    ) -> Result<(), InstanceError> {
-        let inst = self
-            .instances
-            .get_mut(&speaker)
-            .ok_or(InstanceError::UnknownIface(u16::MAX))?;
-        inst.inject_fake(fake, attach, attach_metric, prefix, prefix_metric, fw)
-    }
-
-    fn retract_fake(&mut self, speaker: RouterId, fake: RouterId) -> Result<(), InstanceError> {
-        let inst = self
-            .instances
-            .get_mut(&speaker)
-            .ok_or(InstanceError::UnknownIface(u16::MAX))?;
-        inst.retract_fake(fake)
-    }
-
-    fn start_flow(&mut self, spec: FlowSpec) -> FlowId {
-        self.next_flow_id += 1;
-        let id = FlowId(self.next_flow_id);
-        self.start_flow_with_id(id, spec);
-        id
-    }
-
-    fn stop_flow(&mut self, id: FlowId) -> bool {
-        self.stop_flow_inner(id)
-    }
-
-    fn set_flow_cap(&mut self, id: FlowId, cap: Option<f64>) -> bool {
-        self.set_flow_cap_inner(id, cap)
-    }
-
-    fn flow_rate(&self, id: FlowId) -> Option<f64> {
-        self.flows.get(&id).map(|f| f.rate)
-    }
-
-    fn flow_delivered(&self, id: FlowId) -> Option<f64> {
-        self.flows.get(&id).map(|f| f.delivered)
-    }
-
-    fn flow_path(&self, id: FlowId) -> Option<Vec<LinkKey>> {
-        self.flows.get(&id).and_then(|f| f.path.clone())
-    }
-
-    fn link_rate(&self, key: LinkKey) -> Option<f64> {
-        self.links.get(&key).map(|r| r.state.rate)
-    }
-
-    fn fail_link(&mut self, a: RouterId, b: RouterId) -> bool {
-        self.set_link_up(a, b, false)
-    }
-
-    fn restore_link(&mut self, a: RouterId, b: RouterId) -> bool {
-        self.set_link_up(a, b, true)
-    }
-
-    fn set_link_capacity(&mut self, a: RouterId, b: RouterId, capacity: f64) -> bool {
-        self.set_link_capacity_inner(a, b, capacity)
-    }
-
-    fn fib_nexthops(&self, router: RouterId, prefix: Prefix) -> Vec<FwAddr> {
-        match self.fibs.get(&router).and_then(|f| f.lookup(prefix)) {
-            Some(crate::fib::FibEntry::Via(v)) => v.clone(),
-            _ => Vec::new(),
-        }
-    }
-
-    fn record(&mut self, series: &str, value: f64) {
-        let now = self.now;
-        self.recorder.record(series, now, value);
     }
 }
 
@@ -844,7 +854,7 @@ impl Sim {
     pub fn new(cfg: SimConfig) -> Sim {
         Sim {
             core: Core::new(cfg),
-            apps: Vec::new(),
+            apps: Registry::new(),
             tick_intervals: Vec::new(),
         }
     }
@@ -871,58 +881,82 @@ impl Sim {
 
     /// Announce a prefix at a router (metric 0).
     pub fn announce_prefix(&mut self, router: RouterId, prefix: Prefix) {
-        self.core
-            .instances
-            .get_mut(&router)
-            .expect("router exists")
-            .announce(prefix, Metric::ZERO);
+        let slot = *self.core.router_slot.get(&router).expect("router exists");
+        self.core.instances[slot as usize].announce(prefix, Metric::ZERO);
+        if self.core.started {
+            self.core.touch(slot);
+        }
         self.core.prefix_owners.push((prefix, router));
     }
 
-    /// Register an application.
-    pub fn add_app(&mut self, app: Box<dyn App>) -> usize {
+    /// Register a component; its [`ComponentId`] is the next dense
+    /// arena index (the handler's name is kept for tracing).
+    pub fn add_app(&mut self, app: Box<dyn EventHandler>) -> ComponentId {
         self.tick_intervals.push(app.tick_interval());
-        self.apps.push(app);
-        self.apps.len() - 1
+        let name = app.name().to_string();
+        self.apps.register(name, app)
     }
 
     /// Name a link direction for trace sampling.
     pub fn sample_link(&mut self, name: &str, from: RouterId, to: RouterId) {
-        self.core
+        let key = LinkKey::new(from, to);
+        match self
+            .core
             .sampled
-            .insert(name.to_string(), LinkKey::new(from, to));
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+        {
+            Ok(i) => self.core.sampled[i].1 = key,
+            Err(i) => self.core.sampled.insert(i, (name.to_string(), key)),
+        }
+    }
+
+    /// Allocate a fresh flow id for a [`Event::FlowStart`] schedule.
+    pub fn new_flow_id(&mut self) -> FlowId {
+        self.core.alloc_flow_id()
+    }
+
+    /// Schedule a typed event; returns its cancellable id.
+    pub fn schedule(&mut self, at: Timestamp, ev: Event) -> EventId {
+        self.core.schedule_event(at, ev)
+    }
+
+    /// Cancel a scheduled event (`true` iff it was still pending).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.core.queue.cancel(id)
     }
 
     /// Schedule a flow start; returns the id it will get.
+    #[deprecated(note = "use `new_flow_id` + `schedule(at, Event::FlowStart { id, spec })`")]
     pub fn schedule_flow(&mut self, at: Timestamp, spec: FlowSpec) -> FlowId {
-        self.core.next_flow_id += 1;
-        let id = FlowId(self.core.next_flow_id);
-        self.core.queue.push(at, Ev::FlowStart(id, spec));
+        let id = self.new_flow_id();
+        self.schedule(at, Event::FlowStart { id, spec });
         id
     }
 
     /// Schedule a flow stop.
+    #[deprecated(note = "use `schedule(at, Event::FlowStop { id })`")]
     pub fn schedule_flow_stop(&mut self, at: Timestamp, id: FlowId) {
-        self.core.queue.push(at, Ev::FlowStop(id));
+        self.schedule(at, Event::FlowStop { id });
     }
 
     /// Schedule a flow cap change.
+    #[deprecated(note = "use `schedule(at, Event::FlowCap { id, cap })`")]
     pub fn schedule_flow_cap(&mut self, at: Timestamp, id: FlowId, cap: Option<f64>) {
-        self.core.queue.push(at, Ev::SetFlowCap(id, cap));
+        self.schedule(at, Event::FlowCap { id, cap });
     }
 
-    /// Schedule a link admin up/down event (the scheduled counterpart
-    /// of [`SimApi::fail_link`] / [`SimApi::restore_link`]).
+    /// Schedule a link admin up/down event.
+    #[deprecated(note = "use `schedule(at, Event::LinkAdmin { a, b, up })`")]
     pub fn schedule_link_admin(&mut self, at: Timestamp, a: RouterId, b: RouterId, up: bool) {
-        self.core.queue.push(at, Ev::LinkAdmin { a, b, up });
+        self.schedule(at, Event::LinkAdmin { a, b, up });
     }
 
-    /// Schedule a symmetric link capacity change (the scheduled
-    /// counterpart of [`SimApi::set_link_capacity`]).
+    /// Schedule a symmetric link capacity change.
+    #[deprecated(note = "use `schedule(at, Event::LinkCapacity { a, b, capacity })`")]
     pub fn schedule_link_capacity(&mut self, at: Timestamp, a: RouterId, b: RouterId, cap: f64) {
-        self.core.queue.push(
+        self.schedule(
             at,
-            Ev::LinkCap {
+            Event::LinkCapacity {
                 a,
                 b,
                 capacity: cap,
@@ -930,36 +964,49 @@ impl Sim {
         );
     }
 
-    /// Start the world: instances come up, apps get `on_start`, the
-    /// sampler begins.
+    /// Start the world: instances come up, components get
+    /// [`AppEvent::Start`], the sampler begins.
     pub fn start(&mut self) {
         assert!(!self.core.started, "start() called twice");
         self.core.started = true;
-        for inst in self.core.instances.values_mut() {
-            inst.start(self.core.now);
+        self.core.in_batch = true;
+        for slot in 0..self.core.instances.len() as u32 {
+            let now = self.core.now;
+            self.core.instances[slot as usize].start(now);
+            self.core.touch(slot);
         }
         self.core.collect_outputs();
         self.core.queue.push(self.core.now, Ev::Sample);
         for (i, interval) in self.tick_intervals.iter().enumerate() {
             if let Some(d) = interval {
-                self.core.queue.push(self.core.now + *d, Ev::AppTick(i));
+                let at = self.core.now + *d;
+                self.core.queue.push(at, Ev::Tick(ComponentId(i as u32)));
             }
         }
-        for app in self.apps.iter_mut() {
-            app.on_start(&mut self.core);
+        for i in 0..self.apps.len() {
+            let cid = ComponentId(i as u32);
+            let mut ctx = SimContext {
+                core: &mut self.core,
+            };
+            if let Some(app) = self.apps.get_mut(cid) {
+                app.on_event(&mut ctx, AppEvent::Start);
+            }
         }
         self.core.collect_outputs();
         if self.core.dirty.needs_realloc() {
             self.core.reallocate();
         }
+        self.core.needs_batch_settle = false;
+        self.core.in_batch = false;
     }
 
     /// Run the world until `until` (inclusive of events at `until`).
     pub fn run_until(&mut self, until: Timestamp) {
         assert!(self.core.started, "call start() first");
+        let lazy = self.core.cfg.settle == SettleMode::Lazy;
         loop {
             let next_pkt = self.core.queue.peek_time();
-            let next_timer = self.core.min_instance_timer();
+            let next_timer = self.core.deadlines.peek_min();
             let next = match (next_pkt, next_timer) {
                 (Some(a), Some(b)) => a.min(b),
                 (Some(a), None) => a,
@@ -970,56 +1017,92 @@ impl Sim {
                 break;
             }
             let t = next.max(self.core.now);
+            self.core.in_batch = true;
             self.core.accrue_to(t);
             self.core.now = t;
             while let Some((_, ev)) = self.core.queue.pop_due(t) {
                 self.core.dispatch(ev);
             }
-            self.core.poll_instances(t);
+            self.core.poll_due(t);
             self.core.collect_outputs();
-            // Settle the fluid allocation before apps observe the
-            // world: a capacity change or FIB download in this batch
-            // must not be visible as stale rates against new
-            // provisioning. Apps may dirty the world again (new
-            // flows, lies), so settle once more afterwards.
-            if self.core.dirty.needs_realloc() {
-                self.core.reallocate();
+            if lazy {
+                // Settle only if components are about to observe the
+                // world in this batch, or entry dirt is on its
+                // historical schedule; otherwise defer to the next
+                // observation point (accrual, or the end of the run).
+                let apps_pending = !self.core.pending_ticks.is_empty()
+                    || !self.core.pending_flow_events.is_empty();
+                if self.core.dirty.needs_realloc() && (self.core.needs_batch_settle || apps_pending)
+                {
+                    self.core.reallocate();
+                    self.core.needs_batch_settle = false;
+                }
+                self.dispatch_apps();
+            } else {
+                // Settle the fluid allocation before components
+                // observe the world: a capacity change or FIB download
+                // in this batch must not be visible as stale rates
+                // against new provisioning. Components may dirty the
+                // world again (new flows, lies), so settle once more
+                // afterwards.
+                if self.core.dirty.needs_realloc() {
+                    self.core.reallocate();
+                }
+                self.core.needs_batch_settle = false;
+                self.dispatch_apps();
+                if self.core.dirty.needs_realloc() {
+                    self.core.reallocate();
+                }
             }
-            self.dispatch_apps();
-            if self.core.dirty.needs_realloc() {
-                self.core.reallocate();
-            }
+            self.core.in_batch = false;
         }
         if until > self.core.now {
+            self.core.in_batch = true;
             self.core.accrue_to(until);
             self.core.now = until;
+            self.core.in_batch = false;
+        }
+        if lazy && !self.core.needs_batch_settle && self.core.dirty.needs_realloc() {
+            // End-of-run observation point: host code reads next.
+            self.core.reallocate();
         }
     }
 
     fn dispatch_apps(&mut self) {
-        // Bounded ping-pong: apps reacting to notifications may create
-        // flows, which notify again within the same instant.
+        // Bounded ping-pong: components reacting to notifications may
+        // create flows, which notify again within the same instant.
         for _round in 0..8 {
-            let ticks: Vec<usize> = std::mem::take(&mut self.core.pending_ticks);
+            let ticks: Vec<ComponentId> = std::mem::take(&mut self.core.pending_ticks);
             let events: Vec<(bool, FlowInfo)> = std::mem::take(&mut self.core.pending_flow_events);
             if ticks.is_empty() && events.is_empty() {
                 break;
             }
-            for i in ticks {
-                if let Some(app) = self.apps.get_mut(i) {
-                    app.on_tick(&mut self.core);
+            for cid in ticks {
+                let mut ctx = SimContext {
+                    core: &mut self.core,
+                };
+                if let Some(app) = self.apps.get_mut(cid) {
+                    app.on_event(&mut ctx, AppEvent::Tick);
                 }
                 // Re-arm the periodic tick.
-                if let Some(Some(d)) = self.tick_intervals.get(i) {
-                    self.core.queue.push(self.core.now + *d, Ev::AppTick(i));
+                if let Some(Some(d)) = self.tick_intervals.get(cid.index()) {
+                    let at = self.core.now + *d;
+                    self.core.queue.push(at, Ev::Tick(cid));
                 }
             }
             for (started, info) in events {
-                for app in self.apps.iter_mut() {
-                    if started {
-                        app.on_flow_started(&mut self.core, &info);
-                    } else {
-                        app.on_flow_stopped(&mut self.core, &info);
+                for i in 0..self.apps.len() {
+                    let cid = ComponentId(i as u32);
+                    let mut ctx = SimContext {
+                        core: &mut self.core,
+                    };
+                    if let Some(app) = self.apps.get_mut(cid) {
+                        let ev = if started {
+                            AppEvent::FlowStarted(&info)
+                        } else {
+                            AppEvent::FlowStopped(&info)
+                        };
+                        app.on_event(&mut ctx, ev);
                     }
                 }
             }
@@ -1032,9 +1115,13 @@ impl Sim {
         self.core.now
     }
 
-    /// Read access to the world (SimApi view).
-    pub fn api(&mut self) -> &mut dyn SimApi {
-        &mut self.core
+    /// The typed world handle (what components receive during
+    /// dispatch; host code uses it between runs for the same reads,
+    /// mutations, and scheduling).
+    pub fn ctx(&mut self) -> SimContext<'_> {
+        SimContext {
+            core: &mut self.core,
+        }
     }
 
     /// The trace recorder.
@@ -1048,7 +1135,7 @@ impl Sim {
         let mut s = self.core.stats;
         s.alloc_fills = self.core.alloc.fills;
         s.alloc_skips = self.core.alloc.skips;
-        for inst in self.core.instances.values() {
+        for inst in &self.core.instances {
             let (full, partial) = inst.spf_run_counts();
             s.spf_full_runs += full;
             s.spf_partial_runs += partial;
@@ -1058,7 +1145,8 @@ impl Sim {
 
     /// A router's protocol instance (inspection).
     pub fn instance(&self, id: RouterId) -> Option<&Instance> {
-        self.core.instances.get(&id)
+        let slot = *self.core.router_slot.get(&id)?;
+        self.core.instances.get(slot as usize)
     }
 
     /// A router's current FIB (inspection).
@@ -1066,23 +1154,30 @@ impl Sim {
         self.core.fibs.get(&id)
     }
 
-    /// Snapshot of all flows (inspection).
-    pub fn flows(&self) -> Vec<&Flow> {
-        self.core.flows.values().collect()
+    /// Iterate all live flows in id order (no snapshot allocation).
+    pub fn flows(&self) -> impl Iterator<Item = &Flow> + '_ {
+        self.core.flow_recs.iter().flatten()
+    }
+
+    /// Number of live flows.
+    pub fn flow_count(&self) -> usize {
+        self.core.live_flows
     }
 
     /// Current rate of a directed link.
     pub fn link_rate(&self, from: RouterId, to: RouterId) -> Option<f64> {
         self.core
-            .links
+            .link_idx
             .get(&LinkKey::new(from, to))
-            .map(|r| r.state.rate)
+            .map(|&ix| self.core.link_recs[ix as usize].state.rate)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fib_igp::types::FwAddr;
+    use fib_telemetry::mib::Value;
 
     fn r(n: u32) -> RouterId {
         RouterId(n)
@@ -1100,43 +1195,50 @@ mod tests {
         sim
     }
 
+    /// Schedule a flow start through the typed event path.
+    fn sched_flow(sim: &mut Sim, at: Timestamp, spec: FlowSpec) -> FlowId {
+        let id = sim.new_flow_id();
+        sim.schedule(at, Event::FlowStart { id, spec });
+        id
+    }
+
     #[test]
     fn igp_converges_and_flow_routes() {
         let mut sim = line_sim();
-        let fid = sim.schedule_flow(
+        let fid = sched_flow(
+            &mut sim,
             Timestamp::from_secs(10),
             FlowSpec::new(r(1), Prefix::net24(1)),
         );
         sim.start();
         sim.run_until(Timestamp::from_secs(12));
         // Flow should be at full capacity over both links.
-        let api = sim.api();
-        let rate = api.flow_rate(fid).unwrap();
+        let ctx = sim.ctx();
+        let rate = ctx.flow_rate(fid).unwrap();
         assert!((rate - 1e6).abs() < 1.0, "rate {rate}");
-        let path = api.flow_path(fid).unwrap();
-        assert_eq!(
-            path,
-            vec![LinkKey::new(r(1), r(2)), LinkKey::new(r(2), r(3))]
-        );
+        let path = ctx.flow_path(fid).unwrap();
+        assert_eq!(path, &[LinkKey::new(r(1), r(2)), LinkKey::new(r(2), r(3))]);
         assert!((sim.link_rate(r(1), r(2)).unwrap() - 1e6).abs() < 1.0);
     }
 
     #[test]
     fn two_flows_share_bottleneck() {
         let mut sim = line_sim();
-        let f1 = sim.schedule_flow(
+        let f1 = sched_flow(
+            &mut sim,
             Timestamp::from_secs(10),
             FlowSpec::new(r(1), Prefix::net24(1)),
         );
-        let f2 = sim.schedule_flow(
+        let f2 = sched_flow(
+            &mut sim,
             Timestamp::from_secs(10),
             FlowSpec::new(r(2), Prefix::net24(1)),
         );
         sim.start();
         sim.run_until(Timestamp::from_secs(12));
-        let api = sim.api();
-        let r1 = api.flow_rate(f1).unwrap();
-        let r2 = api.flow_rate(f2).unwrap();
+        let ctx = sim.ctx();
+        let r1 = ctx.flow_rate(f1).unwrap();
+        let r2 = ctx.flow_rate(f2).unwrap();
         assert!((r1 - 5e5).abs() < 1.0, "r1 {r1}");
         assert!((r2 - 5e5).abs() < 1.0, "r2 {r2}");
     }
@@ -1144,16 +1246,17 @@ mod tests {
     #[test]
     fn capped_flow_stays_capped() {
         let mut sim = line_sim();
-        let f = sim.schedule_flow(
+        let f = sched_flow(
+            &mut sim,
             Timestamp::from_secs(10),
             FlowSpec::new(r(1), Prefix::net24(1)).with_cap(1e5),
         );
         sim.start();
         sim.run_until(Timestamp::from_secs(15));
-        let api = sim.api();
-        assert!((api.flow_rate(f).unwrap() - 1e5).abs() < 1.0);
+        let ctx = sim.ctx();
+        assert!((ctx.flow_rate(f).unwrap() - 1e5).abs() < 1.0);
         // Delivered ≈ cap × elapsed (5 s minus allocation instant).
-        let delivered = api.flow_delivered(f).unwrap();
+        let delivered = ctx.flow_delivered(f).unwrap();
         assert!(
             delivered > 4.0e5 && delivered < 5.5e5,
             "delivered {delivered}"
@@ -1163,16 +1266,17 @@ mod tests {
     #[test]
     fn counters_reflect_data_traffic() {
         let mut sim = line_sim();
-        sim.schedule_flow(
+        sched_flow(
+            &mut sim,
             Timestamp::from_secs(10),
             FlowSpec::new(r(1), Prefix::net24(1)).with_cap(1e5),
         );
         sim.start();
         sim.run_until(Timestamp::from_secs(20));
         // r1's interface toward r2 should show ~1e6 bytes out.
-        let api = sim.api();
-        let idx = api.ifindex_for(r(1), r(2)).unwrap();
-        let v = api.snmp_get(r(1), &fib_telemetry::mib::oids::if_out_octets().child(idx));
+        let mut ctx = sim.ctx();
+        let idx = ctx.ifindex_for(r(1), r(2)).unwrap();
+        let v = ctx.snmp_get(r(1), &fib_telemetry::mib::oids::if_out_octets().child(idx));
         match v {
             Some(Value::Counter(c)) => {
                 assert!((9e5..1.2e6).contains(&(c as f64)), "unexpected counter {c}");
@@ -1184,15 +1288,17 @@ mod tests {
     #[test]
     fn flow_stops_and_link_drains() {
         let mut sim = line_sim();
-        let f = sim.schedule_flow(
+        let f = sched_flow(
+            &mut sim,
             Timestamp::from_secs(10),
             FlowSpec::new(r(1), Prefix::net24(1)),
         );
-        sim.schedule_flow_stop(Timestamp::from_secs(20), f);
+        sim.schedule(Timestamp::from_secs(20), Event::FlowStop { id: f });
         sim.start();
         sim.run_until(Timestamp::from_secs(25));
         assert_eq!(sim.link_rate(r(1), r(2)), Some(0.0));
-        assert!(sim.flows().is_empty());
+        assert!(sim.flows().next().is_none());
+        assert_eq!(sim.flow_count(), 0);
     }
 
     #[test]
@@ -1207,50 +1313,56 @@ mod tests {
         sim.add_link(LinkSpec::new(r(1), r(3), Metric(10), 1e6));
         sim.add_link(LinkSpec::new(r(3), r(4), Metric(10), 1e6));
         sim.announce_prefix(r(4), Prefix::net24(1));
-        let f = sim.schedule_flow(
+        let f = sched_flow(
+            &mut sim,
             Timestamp::from_secs(10),
             FlowSpec::new(r(1), Prefix::net24(1)),
         );
-        sim.schedule_link_admin(Timestamp::from_secs(20), r(1), r(2), false);
+        sim.schedule(
+            Timestamp::from_secs(20),
+            Event::LinkAdmin {
+                a: r(1),
+                b: r(2),
+                up: false,
+            },
+        );
         sim.start();
         sim.run_until(Timestamp::from_secs(15));
-        {
-            let api = sim.api();
-            assert_eq!(
-                api.flow_path(f).unwrap()[0],
-                LinkKey::new(r(1), r(2)),
-                "initial path via r2"
-            );
-        }
+        assert_eq!(
+            sim.ctx().flow_path(f).unwrap()[0],
+            LinkKey::new(r(1), r(2)),
+            "initial path via r2"
+        );
         sim.run_until(Timestamp::from_secs(30));
-        let api = sim.api();
-        let path = api.flow_path(f).expect("rerouted after failure");
+        let ctx = sim.ctx();
+        let path = ctx.flow_path(f).expect("rerouted after failure");
         assert_eq!(path[0], LinkKey::new(r(1), r(3)), "rerouted via r3");
-        assert!((api.flow_rate(f).unwrap() - 1e6).abs() < 1.0);
+        assert!((ctx.flow_rate(f).unwrap() - 1e6).abs() < 1.0);
     }
 
     #[test]
-    fn api_fail_and_restore_link() {
+    fn ctx_fail_and_restore_link() {
         let mut sim = line_sim();
-        let f = sim.schedule_flow(
+        let f = sched_flow(
+            &mut sim,
             Timestamp::from_secs(10),
             FlowSpec::new(r(1), Prefix::net24(1)),
         );
         sim.start();
         sim.run_until(Timestamp::from_secs(12));
-        assert!(sim.api().flow_path(f).is_some());
+        assert!(sim.ctx().flow_path(f).is_some());
         // Fail the only link out of r1: the flow strands and the
         // blackout clock runs.
-        assert!(sim.api().fail_link(r(1), r(2)));
-        assert!(!sim.api().fail_link(r(1), r(9)), "unknown link");
+        assert!(sim.ctx().fail_link(r(1), r(2)));
+        assert!(!sim.ctx().fail_link(r(1), r(9)), "unknown link");
         sim.run_until(Timestamp::from_secs(20));
-        assert!(sim.api().flow_path(f).is_none(), "no path while down");
+        assert!(sim.ctx().flow_path(f).is_none(), "no path while down");
         let stranded = sim.stats().unroutable_flow_secs;
         assert!(stranded > 7.0, "blackout seconds accrue: {stranded}");
         // Restore: the IGP re-converges and the flow routes again.
-        assert!(sim.api().restore_link(r(1), r(2)));
+        assert!(sim.ctx().restore_link(r(1), r(2)));
         sim.run_until(Timestamp::from_secs(40));
-        assert!(sim.api().flow_path(f).is_some(), "rerouted after restore");
+        assert!(sim.ctx().flow_path(f).is_some(), "rerouted after restore");
         let after = sim.stats().unroutable_flow_secs;
         assert!(
             after - stranded < 15.0,
@@ -1261,30 +1373,39 @@ mod tests {
     #[test]
     fn capacity_change_rescales_allocation() {
         let mut sim = line_sim();
-        let f = sim.schedule_flow(
+        let f = sched_flow(
+            &mut sim,
             Timestamp::from_secs(10),
             FlowSpec::new(r(1), Prefix::net24(1)),
         );
-        sim.schedule_link_capacity(Timestamp::from_secs(20), r(1), r(2), 2.5e5);
+        sim.schedule(
+            Timestamp::from_secs(20),
+            Event::LinkCapacity {
+                a: r(1),
+                b: r(2),
+                capacity: 2.5e5,
+            },
+        );
         sim.start();
         sim.run_until(Timestamp::from_secs(15));
-        assert!((sim.api().flow_rate(f).unwrap() - 1e6).abs() < 1.0);
+        assert!((sim.ctx().flow_rate(f).unwrap() - 1e6).abs() < 1.0);
         sim.run_until(Timestamp::from_secs(25));
         // The degraded link is now the bottleneck.
-        assert!((sim.api().flow_rate(f).unwrap() - 2.5e5).abs() < 1.0);
-        // Direct API variant, and validation of bad inputs.
-        assert!(sim.api().set_link_capacity(r(1), r(2), 1e6));
-        assert!(!sim.api().set_link_capacity(r(1), r(2), 0.0));
-        assert!(!sim.api().set_link_capacity(r(1), r(9), 1e6));
+        assert!((sim.ctx().flow_rate(f).unwrap() - 2.5e5).abs() < 1.0);
+        // Direct context variant, and validation of bad inputs.
+        assert!(sim.ctx().set_link_capacity(r(1), r(2), 1e6));
+        assert!(!sim.ctx().set_link_capacity(r(1), r(2), 0.0));
+        assert!(!sim.ctx().set_link_capacity(r(1), r(9), 1e6));
         sim.run_until(Timestamp::from_secs(30));
-        assert!((sim.api().flow_rate(f).unwrap() - 1e6).abs() < 1.0);
+        assert!((sim.ctx().flow_rate(f).unwrap() - 1e6).abs() < 1.0);
     }
 
     #[test]
     fn sampling_records_series() {
         let mut sim = line_sim();
         sim.sample_link("r1-r2", r(1), r(2));
-        sim.schedule_flow(
+        sched_flow(
+            &mut sim,
             Timestamp::from_secs(10),
             FlowSpec::new(r(1), Prefix::net24(1)).with_cap(2e5),
         );
@@ -1304,7 +1425,8 @@ mod tests {
             let mut sim = line_sim();
             sim.sample_link("r1-r2", r(1), r(2));
             for i in 0..10 {
-                sim.schedule_flow(
+                sched_flow(
+                    &mut sim,
                     Timestamp::from_secs(10 + i),
                     FlowSpec::new(r(1), Prefix::net24(1)).with_cap(5e4),
                 );
@@ -1334,12 +1456,12 @@ mod tests {
         sim.start();
         sim.run_until(Timestamp::from_secs(10));
         {
-            let api = sim.api();
+            let mut ctx = sim.ctx();
             assert_eq!(
-                api.fib_nexthops(r(1), Prefix::net24(1)),
+                ctx.fib_nexthops(r(1), Prefix::net24(1)),
                 vec![FwAddr::primary(r(2))]
             );
-            api.inject_fake(
+            ctx.inject_fake(
                 r(100),
                 RouterId::fake(0),
                 r(1),
@@ -1351,12 +1473,144 @@ mod tests {
             .unwrap();
         }
         sim.run_until(Timestamp::from_secs(20));
-        let api = sim.api();
-        let hops = api.fib_nexthops(r(1), Prefix::net24(1));
+        let ctx = sim.ctx();
+        let hops = ctx.fib_nexthops(r(1), Prefix::net24(1));
         assert_eq!(
             hops,
             vec![FwAddr::primary(r(2)), FwAddr::secondary(r(3), 1)],
             "lie should add an ECMP slot at r1"
+        );
+    }
+
+    /// The deprecated `schedule_*` shims stay behaviorally identical
+    /// to the typed path they forward to.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_schedule_shims_still_work() {
+        let mut sim = line_sim();
+        let f = sim.schedule_flow(
+            Timestamp::from_secs(10),
+            FlowSpec::new(r(1), Prefix::net24(1)),
+        );
+        sim.schedule_flow_cap(Timestamp::from_secs(12), f, Some(1e5));
+        sim.schedule_link_capacity(Timestamp::from_secs(14), r(1), r(2), 5e5);
+        sim.schedule_link_admin(Timestamp::from_secs(16), r(1), r(2), false);
+        sim.schedule_flow_stop(Timestamp::from_secs(18), f);
+        sim.start();
+        sim.run_until(Timestamp::from_secs(13));
+        assert!((sim.ctx().flow_rate(f).unwrap() - 1e5).abs() < 1.0);
+        sim.run_until(Timestamp::from_secs(17));
+        assert!(sim.ctx().flow_path(f).is_none(), "failed link strands flow");
+        sim.run_until(Timestamp::from_secs(19));
+        assert_eq!(sim.flow_count(), 0);
+    }
+
+    /// Scheduled events are cancellable until they fire.
+    #[test]
+    fn cancelled_events_never_apply() {
+        let mut sim = line_sim();
+        let f = sched_flow(
+            &mut sim,
+            Timestamp::from_secs(10),
+            FlowSpec::new(r(1), Prefix::net24(1)),
+        );
+        let stop = sim.schedule(Timestamp::from_secs(20), Event::FlowStop { id: f });
+        let fail = sim.schedule(
+            Timestamp::from_secs(20),
+            Event::LinkAdmin {
+                a: r(1),
+                b: r(2),
+                up: false,
+            },
+        );
+        assert!(sim.cancel(stop));
+        assert!(sim.cancel(fail));
+        assert!(!sim.cancel(stop), "double cancel reports false");
+        sim.start();
+        sim.run_until(Timestamp::from_secs(25));
+        // Neither the stop nor the failure happened.
+        assert_eq!(sim.flow_count(), 1);
+        assert!((sim.ctx().flow_rate(f).unwrap() - 1e6).abs() < 1.0);
+        assert!(!sim.cancel(stop), "cancel after fire window reports false");
+    }
+
+    /// Lazy settling produces byte-identical traces and deliveries;
+    /// only the machinery counters (reallocs, resolution counts) may
+    /// differ.
+    #[test]
+    fn lazy_settle_trace_identical_to_eager() {
+        let run = |settle: SettleMode| {
+            let mut sim = Sim::new(SimConfig {
+                settle,
+                ..SimConfig::default()
+            });
+            for i in 1..=3 {
+                sim.add_router(r(i));
+            }
+            sim.add_link(LinkSpec::new(r(1), r(2), Metric(1), 1e6));
+            sim.add_link(LinkSpec::new(r(2), r(3), Metric(1), 1e6));
+            sim.announce_prefix(r(3), Prefix::net24(1));
+            sim.sample_link("r1-r2", r(1), r(2));
+            let mut ids = Vec::new();
+            for i in 0..6 {
+                ids.push(sched_flow(
+                    &mut sim,
+                    Timestamp::from_millis(8_000 + 1_700 * i),
+                    FlowSpec::new(r(1), Prefix::net24(1)).with_cap(1e5 + 3e4 * i as f64),
+                ));
+            }
+            sim.schedule(Timestamp::from_secs(14), Event::FlowStop { id: ids[1] });
+            sim.schedule(
+                Timestamp::from_secs(16),
+                Event::LinkCapacity {
+                    a: r(1),
+                    b: r(2),
+                    capacity: 4e5,
+                },
+            );
+            sim.schedule(
+                Timestamp::from_secs(18),
+                Event::LinkAdmin {
+                    a: r(2),
+                    b: r(3),
+                    up: false,
+                },
+            );
+            sim.schedule(
+                Timestamp::from_secs(22),
+                Event::LinkAdmin {
+                    a: r(2),
+                    b: r(3),
+                    up: true,
+                },
+            );
+            sim.start();
+            sim.run_until(Timestamp::from_secs(13));
+            // Mutate between runs: entry dirt must follow the
+            // historical settle schedule in both modes.
+            sim.ctx().set_link_capacity(r(2), r(3), 8e5);
+            sim.run_until(Timestamp::from_secs(30));
+            let delivered: Vec<(FlowId, Option<f64>)> = ids
+                .iter()
+                .map(|&id| (id, sim.ctx().flow_delivered(id)))
+                .collect();
+            let stats = sim.stats();
+            (sim.recorder().to_csv(), delivered, stats)
+        };
+        let (csv_e, del_e, st_e) = run(SettleMode::Eager);
+        let (csv_l, del_l, st_l) = run(SettleMode::Lazy);
+        assert_eq!(csv_e, csv_l, "recorded traces must match");
+        assert_eq!(del_e, del_l, "flow deliveries must match");
+        // Observable statistics match; machinery counters may not.
+        assert_eq!(st_e.events, st_l.events);
+        assert_eq!(st_e.ctrl_pkts, st_l.ctrl_pkts);
+        assert_eq!(st_e.ctrl_bytes, st_l.ctrl_bytes);
+        assert_eq!(st_e.unroutable_flow_secs, st_l.unroutable_flow_secs);
+        assert!(
+            st_l.reallocs <= st_e.reallocs,
+            "lazy settles at most as often: {} vs {}",
+            st_l.reallocs,
+            st_e.reallocs
         );
     }
 }

@@ -13,16 +13,25 @@
 
 use fib_igp::time::Timestamp;
 use fib_igp::types::{Metric, Prefix, RouterId};
+use fib_netsim::events::Event;
 use fib_netsim::fib::{resolve_path, Fib};
-use fib_netsim::flow::FlowSpec;
+use fib_netsim::flow::{FlowId, FlowSpec};
 use fib_netsim::fluid::max_min_keyed;
-use fib_netsim::link::{LinkKey, LinkSpec};
+use fib_netsim::link::{LinkInfo, LinkKey, LinkSpec};
 use fib_netsim::sim::{Sim, SimConfig};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 fn r(n: u32) -> RouterId {
     RouterId(n)
+}
+
+/// Allocate an id and schedule a typed flow start (the sequence the
+/// old `schedule_flow` convenience produced).
+fn sched_flow(sim: &mut Sim, at: Timestamp, spec: FlowSpec) -> FlowId {
+    let id = sim.new_flow_id();
+    sim.schedule(at, Event::FlowStart { id, spec });
+    id
 }
 
 /// One scripted action of a random scenario.
@@ -88,7 +97,7 @@ fn build_sim(n: u32, chords: &[(u32, u32, u32)], caps: &[f64]) -> Sim {
             continue;
         }
         let c = cap_of(&mut li);
-        if sim.api().ifindex_for(r(a), r(b)).is_none() {
+        if sim.ctx().ifindex_for(r(a), r(b)).is_none() {
             sim.add_link(LinkSpec::new(r(a), r(b), Metric(1 + m % 4), c));
         }
     }
@@ -107,42 +116,55 @@ fn run_and_verify(n: u32, chords: &[(u32, u32, u32)], caps: &[f64], ops: &[Op]) 
             Op::Start { at_ms, src, cap } => {
                 let mut spec = FlowSpec::new(r(src % n + 1), Prefix::net24(1));
                 spec.cap = cap;
-                flow_ids.push(sim.schedule_flow(Timestamp::from_millis(base + at_ms), spec));
+                flow_ids.push(sched_flow(
+                    &mut sim,
+                    Timestamp::from_millis(base + at_ms),
+                    spec,
+                ));
             }
             Op::StopNth { at_ms, nth } => {
                 if !flow_ids.is_empty() {
                     let id = flow_ids[nth % flow_ids.len()];
-                    sim.schedule_flow_stop(Timestamp::from_millis(base + at_ms), id);
+                    sim.schedule(Timestamp::from_millis(base + at_ms), Event::FlowStop { id });
                 }
             }
             Op::CapNth { at_ms, nth, cap } => {
                 if !flow_ids.is_empty() {
                     let id = flow_ids[nth % flow_ids.len()];
-                    sim.schedule_flow_cap(Timestamp::from_millis(base + at_ms), id, cap);
+                    sim.schedule(
+                        Timestamp::from_millis(base + at_ms),
+                        Event::FlowCap { id, cap },
+                    );
                 }
             }
             Op::FailLink { at_ms, a, b } => {
-                sim.schedule_link_admin(
+                sim.schedule(
                     Timestamp::from_millis(base + at_ms),
-                    r(a % n + 1),
-                    r(b % n + 1),
-                    false,
+                    Event::LinkAdmin {
+                        a: r(a % n + 1),
+                        b: r(b % n + 1),
+                        up: false,
+                    },
                 );
             }
             Op::RestoreLink { at_ms, a, b } => {
-                sim.schedule_link_admin(
+                sim.schedule(
                     Timestamp::from_millis(base + at_ms),
-                    r(a % n + 1),
-                    r(b % n + 1),
-                    true,
+                    Event::LinkAdmin {
+                        a: r(a % n + 1),
+                        b: r(b % n + 1),
+                        up: true,
+                    },
                 );
             }
             Op::SetCapacity { at_ms, a, b, cap } => {
-                sim.schedule_link_capacity(
+                sim.schedule(
                     Timestamp::from_millis(base + at_ms),
-                    r(a % n + 1),
-                    r(b % n + 1),
-                    cap,
+                    Event::LinkCapacity {
+                        a: r(a % n + 1),
+                        b: r(b % n + 1),
+                        capacity: cap,
+                    },
                 );
             }
         }
@@ -174,14 +196,14 @@ fn run_and_verify(n: u32, chords: &[(u32, u32, u32)], caps: &[f64], ops: &[Op]) 
 /// from-scratch recompute of the entire data plane.
 fn verify_against_reference(sim: &mut Sim) {
     // Reference path resolution over cloned FIBs.
-    let routers = sim.api().routers();
+    let routers: Vec<RouterId> = sim.ctx().routers().collect();
     let mut fibs: BTreeMap<RouterId, Fib> = BTreeMap::new();
     for router in routers {
         if let Some(f) = sim.fib(router) {
             fibs.insert(router, f.clone());
         }
     }
-    let links = sim.api().links();
+    let links: Vec<LinkInfo> = sim.ctx().links().collect();
     let up: BTreeMap<LinkKey, bool> = links.iter().map(|l| (l.key, l.up)).collect();
     let capacities: BTreeMap<LinkKey, f64> = links
         .iter()
@@ -189,7 +211,7 @@ fn verify_against_reference(sim: &mut Sim) {
         .map(|l| (l.key, l.capacity))
         .collect();
 
-    let flows: Vec<_> = sim.flows().into_iter().cloned().collect();
+    let flows: Vec<_> = sim.flows().cloned().collect();
     let mut routed: Vec<(Vec<LinkKey>, Option<f64>)> = Vec::new();
     let mut routed_rates: Vec<f64> = Vec::new();
     for f in &flows {
@@ -217,7 +239,7 @@ fn verify_against_reference(sim: &mut Sim) {
         );
     }
     for (key, want) in &ref_loads {
-        let got = sim.api().link_rate(*key).unwrap_or(0.0);
+        let got = sim.ctx().link_rate(*key).unwrap_or(0.0);
         assert!(
             (got - want).abs() <= 1e-9,
             "load of {key} diverges: {got} vs {want}"

@@ -83,4 +83,5 @@ pub mod prelude {
         SweepSpec, SweepSummary,
     };
     pub use crate::topo::build_topology;
+    pub use fib_netsim::sim::SettleMode;
 }

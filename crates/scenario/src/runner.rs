@@ -29,9 +29,10 @@ use fib_core::prelude::{ControllerConfig, ControllerHandle, FibbingController};
 use fib_igp::time::{Dur, Timestamp};
 use fib_igp::topology::Topology;
 use fib_igp::types::{Prefix, RouterId};
-use fib_netsim::api::{App, SimApi};
+use fib_netsim::events::Event;
+use fib_netsim::handler::{AppEvent, EventHandler};
 use fib_netsim::link::LinkSpec;
-use fib_netsim::sim::{Sim, SimConfig};
+use fib_netsim::sim::{SettleMode, Sim, SimConfig, SimContext};
 use fib_video::prelude::{
     batch_starts, diurnal_starts, poisson_starts, summarize, GroupedSource, QoeHandle,
     SessionGroup, VideoWorkload,
@@ -56,6 +57,13 @@ pub struct RunOptions {
     /// topology, workload draws — stays identical, so a report delta
     /// against the controller-on twin isolates the controller).
     pub disable_controller: bool,
+    /// Fluid settlement mode. [`SettleMode::Eager`] (the default)
+    /// reproduces the pre-kernel machinery counters byte-for-byte —
+    /// keep it for anything whose artifacts are pinned. Perf-oriented
+    /// runs (the `sim_scale` sweep) opt into [`SettleMode::Lazy`],
+    /// which collapses within-batch double settles; every observable
+    /// (traces, rates, deliveries, QoE) is unchanged.
+    pub settle: SettleMode,
 }
 
 /// A composed, started scenario, ready to advance.
@@ -90,25 +98,20 @@ fn at_secs(s: f64) -> Timestamp {
     Timestamp::ZERO + Dur::from_secs_f64(s)
 }
 
-/// The sampling probe: an [`App`] recording aggregate link utilization
-/// (`util.max`, `util.mean`) every tick, data links only.
+/// The sampling probe: an [`EventHandler`] recording aggregate link
+/// utilization (`util.max`, `util.mean`) every tick, data links only.
 struct UtilProbe {
     exclude: Option<RouterId>,
 }
 
-impl App for UtilProbe {
-    fn name(&self) -> &str {
-        "util-probe"
-    }
-
-    fn tick_interval(&self) -> Option<Dur> {
-        Some(Dur::from_millis(100))
-    }
-
-    fn on_tick(&mut self, api: &mut dyn SimApi) {
+impl UtilProbe {
+    fn sample(&mut self, api: &mut SimContext<'_>) {
         let mut max = 0.0f64;
         let mut sum = 0.0f64;
         let mut count = 0usize;
+        // `links()` carries the offered rate inline, so one arena pass
+        // yields the whole utilization picture — no per-link lookups,
+        // no snapshot Vec.
         for info in api.links() {
             if let Some(x) = self.exclude {
                 if info.key.from == x || info.key.to == x {
@@ -118,7 +121,7 @@ impl App for UtilProbe {
             if !info.up || info.capacity <= 0.0 {
                 continue;
             }
-            let util = api.link_rate(info.key).unwrap_or(0.0) / info.capacity;
+            let util = info.rate / info.capacity;
             max = max.max(util);
             sum += util;
             count += 1;
@@ -128,6 +131,22 @@ impl App for UtilProbe {
             "util.mean",
             if count > 0 { sum / count as f64 } else { 0.0 },
         );
+    }
+}
+
+impl EventHandler for UtilProbe {
+    fn name(&self) -> &str {
+        "util-probe"
+    }
+
+    fn tick_interval(&self) -> Option<Dur> {
+        Some(Dur::from_millis(100))
+    }
+
+    fn on_event(&mut self, ctx: &mut SimContext<'_>, ev: AppEvent<'_>) {
+        if let AppEvent::Tick = ev {
+            self.sample(ctx);
+        }
     }
 }
 
@@ -195,7 +214,10 @@ pub fn build(spec: &ScenarioSpec, opts: RunOptions) -> Result<ScenarioRun, SpecE
 
     // World: routers in ascending id order, links as sorted symmetric
     // pairs, uniform capacity.
-    let mut sim = Sim::new(SimConfig::default());
+    let mut sim = Sim::new(SimConfig {
+        settle: opts.settle,
+        ..SimConfig::default()
+    });
     for r in topo.routers() {
         if r == CONTROLLER_ID {
             return fail(format!("router id {} is reserved for the controller", r.0));
@@ -372,17 +394,38 @@ pub fn build(spec: &ScenarioSpec, opts: RunOptions) -> Result<ScenarioRun, SpecE
         match &e.kind {
             EventKind::FailLink { a, b } => {
                 check_link(&topo, *a, *b, "fail_link event")?;
-                sim.schedule_link_admin(at_secs(e.at), RouterId(*a), RouterId(*b), false);
+                sim.schedule(
+                    at_secs(e.at),
+                    Event::LinkAdmin {
+                        a: RouterId(*a),
+                        b: RouterId(*b),
+                        up: false,
+                    },
+                );
                 stimuli.push(e.at);
             }
             EventKind::RestoreLink { a, b } => {
                 check_link(&topo, *a, *b, "restore_link event")?;
-                sim.schedule_link_admin(at_secs(e.at), RouterId(*a), RouterId(*b), true);
+                sim.schedule(
+                    at_secs(e.at),
+                    Event::LinkAdmin {
+                        a: RouterId(*a),
+                        b: RouterId(*b),
+                        up: true,
+                    },
+                );
                 stimuli.push(e.at);
             }
             EventKind::SetCapacity { a, b, capacity } => {
                 check_link(&topo, *a, *b, "set_capacity event")?;
-                sim.schedule_link_capacity(at_secs(e.at), RouterId(*a), RouterId(*b), *capacity);
+                sim.schedule(
+                    at_secs(e.at),
+                    Event::LinkCapacity {
+                        a: RouterId(*a),
+                        b: RouterId(*b),
+                        capacity: *capacity,
+                    },
+                );
                 stimuli.push(e.at);
             }
             EventKind::Surge {

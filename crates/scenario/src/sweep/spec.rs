@@ -411,6 +411,7 @@ pub fn resolve_cell(
         seed: Some(cell.seed),
         horizon_secs: cli_horizon_secs.or(cell.horizon_secs),
         disable_controller: cell.baseline,
+        ..RunOptions::default()
     };
     (spec, opts)
 }

@@ -1,0 +1,106 @@
+//! The flat component arena.
+//!
+//! Components are addressed by dense [`ComponentId`]s (`u32` indices)
+//! — never by name or hash on a hot path. Names are kept alongside for
+//! tracing and diagnostics only.
+
+use std::fmt;
+
+/// Dense handle of a registered component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(pub u32);
+
+impl ComponentId {
+    /// The arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Flat arena of boxed components with tracing names.
+pub struct Registry<H: ?Sized> {
+    items: Vec<Box<H>>,
+    names: Vec<String>,
+}
+
+impl<H: ?Sized> Registry<H> {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry {
+            items: Vec::new(),
+            names: Vec::new(),
+        }
+    }
+
+    /// Register a component; its id is the next dense index.
+    pub fn register(&mut self, name: impl Into<String>, item: Box<H>) -> ComponentId {
+        self.items.push(item);
+        self.names.push(name.into());
+        ComponentId((self.items.len() - 1) as u32)
+    }
+
+    /// Mutable access by id.
+    pub fn get_mut(&mut self, id: ComponentId) -> Option<&mut H> {
+        self.items.get_mut(id.index()).map(|b| &mut **b)
+    }
+
+    /// The tracing name of a component.
+    pub fn name(&self, id: ComponentId) -> Option<&str> {
+        self.names.get(id.index()).map(|s| s.as_str())
+    }
+
+    /// Number of registered components.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterate ids in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ComponentId> {
+        (0..self.items.len() as u32).map(ComponentId)
+    }
+}
+
+impl<H: ?Sized> Default for Registry<H> {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    trait Named {
+        fn tag(&self) -> u32;
+    }
+    struct A(u32);
+    impl Named for A {
+        fn tag(&self) -> u32 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn registers_dense_ids_and_names() {
+        let mut reg: Registry<dyn Named> = Registry::new();
+        let a = reg.register("alpha", Box::new(A(1)));
+        let b = reg.register("beta", Box::new(A(2)));
+        assert_eq!((a, b), (ComponentId(0), ComponentId(1)));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.name(a), Some("alpha"));
+        assert_eq!(reg.get_mut(b).unwrap().tag(), 2);
+        assert!(reg.get_mut(ComponentId(9)).is_none());
+        assert_eq!(reg.ids().collect::<Vec<_>>(), vec![a, b]);
+    }
+}

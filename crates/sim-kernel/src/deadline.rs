@@ -1,0 +1,142 @@
+//! Lazy deadline tracking for components with internal timers.
+//!
+//! Protocol instances own their timer wheels; the simulator only needs
+//! *the earliest deadline across all of them* to decide how far the
+//! clock may jump. Scanning every component per batch is `O(n)` at
+//! every single event — this heap makes it `O(log n)` per deadline
+//! *change* instead, with stale entries discarded lazily: the
+//! authoritative deadline per slot lives in `current`, and heap
+//! entries are valid only while they match it.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Min-tracker of per-slot deadlines with lazy invalidation.
+pub struct DeadlineHeap<T> {
+    heap: BinaryHeap<Reverse<(T, u32)>>,
+    current: Vec<Option<T>>,
+}
+
+impl<T: Ord + Copy> DeadlineHeap<T> {
+    /// An empty heap.
+    pub fn new() -> Self {
+        DeadlineHeap {
+            heap: BinaryHeap::new(),
+            current: Vec::new(),
+        }
+    }
+
+    /// Number of slots tracked.
+    pub fn slots(&self) -> usize {
+        self.current.len()
+    }
+
+    /// Append one slot (deadline unset); returns its index.
+    pub fn push_slot(&mut self) -> u32 {
+        self.current.push(None);
+        (self.current.len() - 1) as u32
+    }
+
+    /// Set (or clear) a slot's deadline. Cheap no-op when unchanged.
+    pub fn set(&mut self, slot: u32, deadline: Option<T>) {
+        let cur = &mut self.current[slot as usize];
+        if *cur == deadline {
+            return;
+        }
+        *cur = deadline;
+        if let Some(t) = deadline {
+            self.heap.push(Reverse((t, slot)));
+        }
+    }
+
+    /// The earliest live deadline, discarding stale heap entries.
+    pub fn peek_min(&mut self) -> Option<T> {
+        while let Some(Reverse((t, slot))) = self.heap.peek().copied() {
+            if self.current[slot as usize] == Some(t) {
+                return Some(t);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Collect every slot whose deadline is `<= now` into `due`
+    /// (cleared first). Each popped slot's deadline is reset to
+    /// `None`; the caller must [`DeadlineHeap::set`] it again after
+    /// servicing the slot, or further deadlines for it are lost.
+    pub fn pop_due(&mut self, now: T, due: &mut Vec<u32>) {
+        due.clear();
+        while let Some(Reverse((t, slot))) = self.heap.peek().copied() {
+            if self.current[slot as usize] != Some(t) {
+                self.heap.pop();
+                continue;
+            }
+            if t > now {
+                break;
+            }
+            self.heap.pop();
+            self.current[slot as usize] = None;
+            due.push(slot);
+        }
+    }
+}
+
+impl<T: Ord + Copy> Default for DeadlineHeap<T> {
+    fn default() -> Self {
+        DeadlineHeap::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_minimum_across_slots() {
+        let mut h = DeadlineHeap::new();
+        let a = h.push_slot();
+        let b = h.push_slot();
+        let c = h.push_slot();
+        h.set(a, Some(30u64));
+        h.set(b, Some(10));
+        h.set(c, Some(20));
+        assert_eq!(h.peek_min(), Some(10));
+        // Moving a deadline invalidates the old entry lazily.
+        h.set(b, Some(40));
+        assert_eq!(h.peek_min(), Some(20));
+        h.set(c, None);
+        assert_eq!(h.peek_min(), Some(30));
+    }
+
+    #[test]
+    fn pop_due_collects_and_clears() {
+        let mut h = DeadlineHeap::new();
+        let a = h.push_slot();
+        let b = h.push_slot();
+        let c = h.push_slot();
+        h.set(a, Some(5u64));
+        h.set(b, Some(7));
+        h.set(c, Some(9));
+        let mut due = Vec::new();
+        h.pop_due(7, &mut due);
+        assert_eq!(due, vec![a, b]);
+        // Popped slots are unset until re-armed.
+        assert_eq!(h.peek_min(), Some(9));
+        h.set(a, Some(8));
+        h.pop_due(10, &mut due);
+        assert_eq!(due, vec![a, c]);
+        assert_eq!(h.peek_min(), None);
+    }
+
+    #[test]
+    fn re_set_same_deadline_after_pop_rearms() {
+        let mut h = DeadlineHeap::new();
+        let a = h.push_slot();
+        h.set(a, Some(5u64));
+        let mut due = Vec::new();
+        h.pop_due(5, &mut due);
+        assert_eq!(due, vec![a]);
+        h.set(a, Some(5));
+        assert_eq!(h.peek_min(), Some(5));
+    }
+}

@@ -1,0 +1,31 @@
+//! Generic discrete-event simulation kernel.
+//!
+//! The reusable core under the Fibbing co-simulator (and any future
+//! domain world): deterministic by construction, allocation-light on
+//! the hot paths.
+//!
+//! * [`EventQueue`] — one time-ordered queue with stable FIFO
+//!   tie-breaking and O(1) cancellable [`EventId`]s;
+//! * [`DeadlineHeap`] — `O(log n)`-per-change tracking of the earliest
+//!   internal timer across components that own timer wheels;
+//! * [`ComponentId`] / [`Registry`] — a flat arena of components
+//!   (dense `u32` handles on hot paths, names kept for tracing only);
+//! * [`Simulation`] / [`SimContext`] / [`EventHandler`] — a seeded,
+//!   clock-owning driver dispatching typed events to components.
+//!
+//! Domain simulators with batch semantics between events (rate
+//! accrual, settlement) compose the primitives around their own loop;
+//! see the "Event kernel" section of the repository ARCHITECTURE.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod component;
+pub mod deadline;
+pub mod queue;
+pub mod sim;
+
+pub use component::{ComponentId, Registry};
+pub use deadline::DeadlineHeap;
+pub use queue::{EventId, EventQueue};
+pub use sim::{EventHandler, SimContext, Simulation};

@@ -1,0 +1,255 @@
+//! The time-ordered, cancellable event queue.
+//!
+//! One queue per simulation: entries are ordered by `(time, sequence)`
+//! so simultaneous events pop in exactly the order they were pushed
+//! (stable FIFO tie-break), which is what makes whole-run determinism
+//! an invariant rather than an accident. Every push returns an
+//! [`EventId`]; cancellation is O(1) (tombstone) and cancelled entries
+//! are skipped lazily on pop, so neither path disturbs the heap.
+
+use std::collections::BinaryHeap;
+
+/// Handle to a scheduled event, returned by [`EventQueue::push`].
+///
+/// Ids are unique for the lifetime of the queue (they are the push
+/// sequence number) and stay valid after the event fires — cancelling
+/// a fired or already-cancelled event is a no-op that returns `false`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// The raw sequence number (diagnostics only).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+struct Entry<T, E> {
+    at: T,
+    seq: u64,
+    ev: E,
+}
+
+impl<T: Ord, E> PartialEq for Entry<T, E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T: Ord, E> Eq for Entry<T, E> {}
+impl<T: Ord, E> PartialOrd for Entry<T, E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T: Ord, E> Ord for Entry<T, E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first,
+        // and among equals the lowest sequence number (push order).
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-heap of `(time, event)` with stable FIFO tie-breaking and
+/// O(1) cancellation.
+pub struct EventQueue<T, E> {
+    heap: BinaryHeap<Entry<T, E>>,
+    /// `pending[seq]` — true while the event with that sequence number
+    /// is scheduled and not yet fired or cancelled. One byte per event
+    /// ever pushed; the backstop for O(1) cancel and exact
+    /// double-cancel / cancel-after-fire semantics.
+    pending: Vec<bool>,
+    live: usize,
+}
+
+impl<T: Ord + Copy, E> EventQueue<T, E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Schedule `ev` at time `at`; returns its cancellation handle.
+    pub fn push(&mut self, at: T, ev: E) -> EventId {
+        let seq = self.pending.len() as u64;
+        self.pending.push(true);
+        self.live += 1;
+        self.heap.push(Entry { at, seq, ev });
+        EventId(seq)
+    }
+
+    /// Cancel a scheduled event. Returns `true` iff the event was
+    /// still pending (it will not fire); `false` if it already fired,
+    /// was already cancelled, or was never scheduled here.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        match self.pending.get_mut(id.0 as usize) {
+            Some(p) if *p => {
+                *p = false;
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The time of the earliest pending event, purging cancelled
+    /// entries from the top of the heap.
+    pub fn peek_time(&mut self) -> Option<T> {
+        loop {
+            let top = self.heap.peek()?;
+            if self.pending[top.seq as usize] {
+                return Some(top.at);
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// Pop the earliest pending event.
+    pub fn pop(&mut self) -> Option<(T, E)> {
+        while let Some(e) = self.heap.pop() {
+            let p = &mut self.pending[e.seq as usize];
+            if *p {
+                *p = false;
+                self.live -= 1;
+                return Some((e.at, e.ev));
+            }
+        }
+        None
+    }
+
+    /// Pop the earliest pending event if its time is `<= now`.
+    pub fn pop_due(&mut self, now: T) -> Option<(T, E)> {
+        if self.peek_time()? <= now {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending (live) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
+impl<T: Ord + Copy, E> Default for EventQueue<T, E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30u64, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        assert_eq!(q.peek_time(), Some(10));
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(5u64, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn tie_break_is_stable_across_interleaved_times() {
+        // Pushes at mixed times: equal-time events must still pop in
+        // push order even when later pushes land earlier in time.
+        let mut q = EventQueue::new();
+        q.push(7u64, "x0");
+        q.push(3, "a0");
+        q.push(7, "x1");
+        q.push(3, "a1");
+        q.push(7, "x2");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![(3, "a0"), (3, "a1"), (7, "x0"), (7, "x1"), (7, "x2")]
+        );
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.push(10u64, "a");
+        q.push(20, "b");
+        assert_eq!(q.pop_due(5), None);
+        assert_eq!(q.pop_due(10), Some((10, "a")));
+        assert_eq!(q.pop_due(10), None);
+        assert_eq!(q.pop_due(99), Some((20, "b")));
+    }
+
+    #[test]
+    fn cancel_before_fire_suppresses_event() {
+        let mut q = EventQueue::new();
+        let a = q.push(10u64, "a");
+        q.push(20, "b");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(20));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn double_cancel_is_false() {
+        let mut q = EventQueue::new();
+        let a = q.push(10u64, ());
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_false() {
+        let mut q = EventQueue::new();
+        let a = q.push(10u64, ());
+        assert_eq!(q.pop(), Some((10, ())));
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn cancel_of_foreign_id_is_false() {
+        let mut q: EventQueue<u64, ()> = EventQueue::new();
+        let mut other = EventQueue::new();
+        let id = other.push(1u64, ());
+        assert!(!q.cancel(id));
+    }
+
+    #[test]
+    fn cancelled_events_do_not_block_peek() {
+        let mut q = EventQueue::new();
+        let a = q.push(1u64, "a");
+        let b = q.push(2, "b");
+        q.push(3, "c");
+        q.cancel(a);
+        q.cancel(b);
+        assert_eq!(q.peek_time(), Some(3));
+        assert_eq!(q.pop_due(3), Some((3, "c")));
+    }
+}

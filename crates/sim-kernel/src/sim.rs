@@ -1,0 +1,291 @@
+//! The generic simulation driver.
+//!
+//! [`Simulation`] owns the clock, the seeded RNG, and one
+//! [`EventQueue`]; components live in a flat [`Registry`] behind the
+//! [`EventHandler`] trait and interact with the world through a
+//! [`SimContext`] handle — emit to other components, self-schedule,
+//! cancel. Determinism is structural: one queue with stable
+//! tie-breaking, one RNG consumed in dispatch order, dense component
+//! ids (no hash iteration anywhere).
+//!
+//! Domain simulators with richer batch semantics (the fluid-flow
+//! network world in `fib-netsim`) compose the same primitives —
+//! [`EventQueue`], [`crate::DeadlineHeap`], [`Registry`] — around
+//! their own loop instead of using this driver directly.
+
+use crate::component::{ComponentId, Registry};
+use crate::queue::{EventId, EventQueue};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A component: receives the typed events addressed to it.
+pub trait EventHandler<T, E> {
+    /// Handle one event delivered at time `at`.
+    fn on_event(&mut self, ctx: &mut SimContext<'_, T, E>, at: T, ev: E);
+}
+
+/// The handle through which a component acts on the world during
+/// dispatch: schedule (to anyone, itself included), cancel, read the
+/// clock, draw randomness.
+pub struct SimContext<'a, T, E> {
+    now: T,
+    self_id: ComponentId,
+    queue: &'a mut EventQueue<T, (ComponentId, E)>,
+    rng: &'a mut StdRng,
+}
+
+impl<T: Ord + Copy, E> SimContext<'_, T, E> {
+    /// Current simulation time.
+    pub fn now(&self) -> T {
+        self.now
+    }
+
+    /// The id of the component being dispatched.
+    pub fn self_id(&self) -> ComponentId {
+        self.self_id
+    }
+
+    /// Schedule an event for component `to` at time `at`.
+    pub fn schedule(&mut self, at: T, to: ComponentId, ev: E) -> EventId {
+        self.queue.push(at, (to, ev))
+    }
+
+    /// Schedule an event for this component itself.
+    pub fn schedule_self(&mut self, at: T, ev: E) -> EventId {
+        let id = self.self_id;
+        self.queue.push(at, (id, ev))
+    }
+
+    /// Cancel a scheduled event (see [`EventQueue::cancel`]).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// The simulation's seeded RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+/// A deterministic discrete-event simulation over event type `E` and
+/// time type `T`.
+pub struct Simulation<T, E> {
+    now: T,
+    queue: EventQueue<T, (ComponentId, E)>,
+    components: Registry<dyn EventHandler<T, E>>,
+    rng: StdRng,
+    events_dispatched: u64,
+}
+
+impl<T: Ord + Copy, E> Simulation<T, E> {
+    /// A simulation starting at `start` with a seeded RNG.
+    pub fn new(start: T, seed: u64) -> Self {
+        Simulation {
+            now: start,
+            queue: EventQueue::new(),
+            components: Registry::new(),
+            rng: StdRng::seed_from_u64(seed),
+            events_dispatched: 0,
+        }
+    }
+
+    /// Register a component under a tracing name.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        handler: Box<dyn EventHandler<T, E>>,
+    ) -> ComponentId {
+        self.components.register(name, handler)
+    }
+
+    /// A component's tracing name.
+    pub fn name(&self, id: ComponentId) -> Option<&str> {
+        self.components.name(id)
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> T {
+        self.now
+    }
+
+    /// Events dispatched so far.
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
+    }
+
+    /// Pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule an event for `to` at `at` (from outside any handler).
+    pub fn schedule(&mut self, at: T, to: ComponentId, ev: E) -> EventId {
+        self.queue.push(at, (to, ev))
+    }
+
+    /// Cancel a scheduled event.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Dispatch the next pending event, if any, advancing the clock to
+    /// its time. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((at, (to, ev))) = self.queue.pop() else {
+            return false;
+        };
+        self.now = at;
+        self.events_dispatched += 1;
+        let mut ctx = SimContext {
+            now: at,
+            self_id: to,
+            queue: &mut self.queue,
+            rng: &mut self.rng,
+        };
+        if let Some(h) = self.components.get_mut(to) {
+            h.on_event(&mut ctx, at, ev);
+        }
+        true
+    }
+
+    /// Run until no pending event is at or before `until` (events at
+    /// exactly `until` are dispatched). The clock ends at the last
+    /// dispatched time, never beyond `until`.
+    pub fn run_until(&mut self, until: T) {
+        while self.queue.peek_time().map(|t| t <= until).unwrap_or(false) {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    type Log = Rc<RefCell<Vec<(u64, ComponentId, u32)>>>;
+
+    /// Records deliveries; optionally ping-pongs with a peer.
+    struct Echo {
+        log: Log,
+        peer: Option<ComponentId>,
+        hops: u32,
+    }
+
+    impl EventHandler<u64, u32> for Echo {
+        fn on_event(&mut self, ctx: &mut SimContext<'_, u64, u32>, at: u64, ev: u32) {
+            self.log.borrow_mut().push((at, ctx.self_id(), ev));
+            if let Some(peer) = self.peer {
+                if ev < self.hops {
+                    ctx.schedule(at + 1, peer, ev + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn components_ping_pong_deterministically() {
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim: Simulation<u64, u32> = Simulation::new(0, 1);
+        // a's peer is b, which gets the next dense id.
+        let a = sim.register(
+            "a",
+            Box::new(Echo {
+                log: log.clone(),
+                peer: Some(ComponentId(1)),
+                hops: 3,
+            }),
+        );
+        let b = sim.register(
+            "b",
+            Box::new(Echo {
+                log: log.clone(),
+                peer: Some(a),
+                hops: 3,
+            }),
+        );
+        assert_eq!((sim.name(a), sim.name(b)), (Some("a"), Some("b")));
+        sim.schedule(5, a, 0);
+        sim.run_until(100);
+        assert_eq!(
+            *log.borrow(),
+            vec![
+                (5, ComponentId(0), 0),
+                (6, ComponentId(1), 1),
+                (7, ComponentId(0), 2),
+                (8, ComponentId(1), 3),
+            ]
+        );
+        assert_eq!(sim.now(), 8);
+        assert_eq!(sim.events_dispatched(), 4);
+    }
+
+    #[test]
+    fn run_until_is_inclusive_and_clock_stops_at_last_event() {
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim: Simulation<u64, u32> = Simulation::new(0, 0);
+        let a = sim.register(
+            "a",
+            Box::new(Echo {
+                log: log.clone(),
+                peer: None,
+                hops: 0,
+            }),
+        );
+        sim.schedule(10, a, 1);
+        sim.schedule(20, a, 2);
+        sim.schedule(30, a, 3);
+        sim.run_until(20);
+        assert_eq!(log.borrow().len(), 2);
+        assert_eq!(sim.now(), 20);
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn cancelled_events_never_fire() {
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim: Simulation<u64, u32> = Simulation::new(0, 0);
+        let a = sim.register(
+            "a",
+            Box::new(Echo {
+                log: log.clone(),
+                peer: None,
+                hops: 0,
+            }),
+        );
+        let keep = sim.schedule(10, a, 1);
+        let drop_ = sim.schedule(10, a, 2);
+        assert!(sim.cancel(drop_));
+        assert!(!sim.cancel(drop_), "double cancel");
+        sim.run_until(50);
+        assert!(!sim.cancel(keep), "cancel after fire");
+        assert_eq!(*log.borrow(), vec![(10, a, 1)]);
+    }
+
+    #[test]
+    fn same_seed_same_rng_stream() {
+        struct Draw {
+            log: Rc<RefCell<Vec<u64>>>,
+        }
+        impl EventHandler<u64, u32> for Draw {
+            fn on_event(&mut self, ctx: &mut SimContext<'_, u64, u32>, _at: u64, _ev: u32) {
+                let v = ctx.rng().gen_range(0..1_000_000u64);
+                self.log.borrow_mut().push(v);
+            }
+        }
+        let run = || {
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let mut sim: Simulation<u64, u32> = Simulation::new(0, 42);
+            let a = sim.register("draw", Box::new(Draw { log: log.clone() }));
+            for t in 0..16 {
+                sim.schedule(t, a, 0);
+            }
+            sim.run_until(100);
+            let draws = log.borrow().clone();
+            draws
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,5 +1,5 @@
-//! The video workload driver: a netsim [`App`] binding players to
-//! flows.
+//! The video workload driver: a netsim [`EventHandler`] component
+//! binding players to flows.
 //!
 //! Each session is a video server → client pair: a rate-capped flow in
 //! the simulator (the server paces at the encoding bitrate, as the
@@ -24,8 +24,9 @@ use crate::client::{Player, PlayerConfig, PlayerState};
 use crate::qoe::QoeReport;
 use fib_igp::time::{Dur, Timestamp};
 use fib_igp::types::{Prefix, RouterId};
-use fib_netsim::api::{App, SimApi};
 use fib_netsim::flow::{FlowId, FlowSpec};
+use fib_netsim::handler::{AppEvent, EventHandler};
+use fib_netsim::sim::SimContext;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -248,7 +249,7 @@ impl VideoWorkload {
         )
     }
 
-    fn launch_due(&mut self, api: &mut dyn SimApi) {
+    fn launch_due(&mut self, api: &mut SimContext<'_>) {
         let now = api.now();
         while let Some(start) = self.source.peek_start() {
             if start > now {
@@ -277,7 +278,7 @@ impl VideoWorkload {
         }
     }
 
-    fn advance_sessions(&mut self, api: &mut dyn SimApi) {
+    fn advance_sessions(&mut self, api: &mut SimContext<'_>) {
         let now = api.now();
         let now_secs = now.as_secs_f64();
         for s in self.active.iter_mut() {
@@ -332,7 +333,7 @@ impl VideoWorkload {
     }
 }
 
-impl App for VideoWorkload {
+impl EventHandler for VideoWorkload {
     fn name(&self) -> &str {
         "video-workload"
     }
@@ -341,13 +342,15 @@ impl App for VideoWorkload {
         Some(self.tick)
     }
 
-    fn on_start(&mut self, api: &mut dyn SimApi) {
-        self.launch_due(api);
-    }
-
-    fn on_tick(&mut self, api: &mut dyn SimApi) {
-        self.launch_due(api);
-        self.advance_sessions(api);
+    fn on_event(&mut self, ctx: &mut SimContext<'_>, ev: AppEvent<'_>) {
+        match ev {
+            AppEvent::Start => self.launch_due(ctx),
+            AppEvent::Tick => {
+                self.launch_due(ctx);
+                self.advance_sessions(ctx);
+            }
+            AppEvent::FlowStarted(_) | AppEvent::FlowStopped(_) => {}
+        }
     }
 }
 

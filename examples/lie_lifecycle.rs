@@ -14,7 +14,7 @@ use fibbing::prelude::*;
 fn fib_line(sim: &mut Sim) -> String {
     let mut parts = Vec::new();
     for r in [A, B] {
-        let hops = sim.api().fib_nexthops(r, BLUE);
+        let hops = sim.ctx().fib_nexthops(r, BLUE);
         let hs: Vec<String> = hops.iter().map(|h| format!("{h}")).collect();
         parts.push(format!("{}: [{}]", name(r), hs.join(", ")));
     }
@@ -44,7 +44,7 @@ fn main() {
 
     // Inject fB: one fake node at B, cost 2, resolving to R3.
     {
-        let api = sim.api();
+        let mut api = sim.ctx();
         api.inject_fake(
             RouterId(100),
             RouterId::fake(0),
@@ -68,7 +68,7 @@ fn main() {
 
     // Inject the two fA lies.
     {
-        let api = sim.api();
+        let mut api = sim.ctx();
         for k in 1..=2u16 {
             api.inject_fake(
                 RouterId(100),
@@ -102,7 +102,7 @@ fn main() {
 
     // Retract everything (MaxAge purge floods).
     {
-        let api = sim.api();
+        let mut api = sim.ctx();
         for k in 0..=2u32 {
             api.retract_fake(RouterId(100), RouterId::fake(k)).unwrap();
         }

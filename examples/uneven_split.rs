@@ -34,7 +34,7 @@ fn realized_fraction(weights: &[u32]) -> Vec<f64> {
     // natural ECMP set, which includes every mid router at equal cost
     // — so add weight-1 extra lies per mid).
     {
-        let api = sim.api();
+        let mut api = sim.ctx();
         let mut fake = 0;
         for (i, w) in weights.iter().enumerate() {
             let mid = RouterId(2 + i as u32);
@@ -58,15 +58,14 @@ fn realized_fraction(weights: &[u32]) -> Vec<f64> {
     let mut ids = Vec::new();
     for i in 0..flows {
         ids.push(
-            sim.api()
+            sim.ctx()
                 .start_flow(FlowSpec::new(ingress, p).with_cap(1.0).with_hash_id(i)),
         );
     }
     sim.run_until(Timestamp::from_secs(21));
     let mut counts = vec![0u64; weights.len()];
     for id in ids {
-        let path = sim.api().flow_path(id).expect("routable");
-        let first = path[0].to;
+        let first = sim.ctx().flow_path(id).expect("routable")[0].to;
         counts[(first.0 - 2) as usize] += 1;
     }
     counts.iter().map(|c| *c as f64 / flows as f64).collect()

@@ -31,7 +31,7 @@ fn hashed_flows_realize_uneven_split() {
     sim.start();
     sim.run_until(Timestamp::from_secs(10));
     {
-        let api = sim.api();
+        let mut api = sim.ctx();
         for lie in &lies {
             api.inject_fake(
                 RouterId(100),
@@ -52,14 +52,13 @@ fn hashed_flows_realize_uneven_split() {
     let mut ids = Vec::new();
     for i in 0..n {
         let spec = FlowSpec::new(A, BLUE).with_cap(1.0).with_hash_id(i);
-        ids.push(sim.api().start_flow(spec));
+        ids.push(sim.ctx().start_flow(spec));
     }
     sim.run_until(Timestamp::from_secs(21));
     let mut via_b = 0;
     let mut via_r1 = 0;
     for id in &ids {
-        let path = sim.api().flow_path(*id).expect("routable");
-        match path[0].to {
+        match sim.ctx().flow_path(*id).expect("routable")[0].to {
             x if x == B => via_b += 1,
             x if x == R1 => via_r1 += 1,
             other => panic!("unexpected first hop {other}"),
@@ -87,7 +86,7 @@ fn retraction_restores_natural_forwarding() {
     sim.run_until(Timestamp::from_secs(10));
     let fake = RouterId::fake(7);
     {
-        let api = sim.api();
+        let mut api = sim.ctx();
         api.inject_fake(
             RouterId(100),
             fake,
@@ -100,12 +99,12 @@ fn retraction_restores_natural_forwarding() {
         .unwrap();
     }
     sim.run_until(Timestamp::from_secs(15));
-    assert_eq!(sim.api().fib_nexthops(B, BLUE).len(), 2, "lie installed");
+    assert_eq!(sim.ctx().fib_nexthops(B, BLUE).len(), 2, "lie installed");
     {
-        let api = sim.api();
+        let mut api = sim.ctx();
         api.retract_fake(RouterId(100), fake).unwrap();
     }
     sim.run_until(Timestamp::from_secs(25));
-    let hops = sim.api().fib_nexthops(B, BLUE);
+    let hops = sim.ctx().fib_nexthops(B, BLUE);
     assert_eq!(hops, vec![FwAddr::primary(R2)], "natural state restored");
 }

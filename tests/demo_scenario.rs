@@ -60,11 +60,11 @@ fn fig2_with_controller_prevents_congestion() {
 
     // The controller installed the paper's slot structure: 3 at A
     // (1×B + 2×R1), 2 at B (R2 + R3).
-    let a_hops = run.sim.api().fib_nexthops(A, BLUE);
+    let a_hops = run.sim.ctx().fib_nexthops(A, BLUE);
     let a_routers: Vec<RouterId> = a_hops.iter().map(|h| h.router).collect();
     assert_eq!(a_hops.len(), 3, "A has 3 ECMP slots: {a_hops:?}");
     assert_eq!(a_routers.iter().filter(|r| **r == R1).count(), 2);
-    let b_hops = run.sim.api().fib_nexthops(B, BLUE);
+    let b_hops = run.sim.ctx().fib_nexthops(B, BLUE);
     assert_eq!(b_hops.len(), 2, "B has 2 ECMP slots: {b_hops:?}");
     assert!(b_hops.iter().any(|h| h.router == R2));
     assert!(b_hops.iter().any(|h| h.router == R3));

@@ -17,7 +17,7 @@ use fibbing::scenario::suite::load_scenario;
 fn hops(run: &mut demo::Demo, router: RouterId) -> Vec<RouterId> {
     let mut v: Vec<RouterId> = run
         .sim
-        .api()
+        .ctx()
         .fib_nexthops(router, BLUE)
         .iter()
         .map(|h| h.router)
@@ -94,7 +94,7 @@ fn demo_reproduces_paper_plans_deterministically() {
 fn scenario_hops(run: &mut ScenarioRun, router: RouterId) -> Vec<RouterId> {
     let mut v: Vec<RouterId> = run
         .sim
-        .api()
+        .ctx()
         .fib_nexthops(router, BLUE)
         .iter()
         .map(|h| h.router)

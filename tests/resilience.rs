@@ -5,6 +5,14 @@
 use fibbing::demo::{self, DemoConfig, A, B, BLUE, C, R1, R2, R3, R4};
 use fibbing::prelude::*;
 
+/// Allocate an id and schedule a typed flow start (the sequence the
+/// old `schedule_flow` convenience produced).
+fn sched_flow(sim: &mut Sim, at: Timestamp, spec: FlowSpec) -> FlowId {
+    let id = sim.new_flow_id();
+    sim.schedule(at, Event::FlowStart { id, spec });
+    id
+}
+
 /// During the controlled flash crowd, the B–R2 link dies. The IGP
 /// reconverges, flows reroute, and — crucially — the injected lies do
 /// not trap traffic: everything keeps being delivered loop-free.
@@ -12,8 +20,14 @@ use fibbing::prelude::*;
 fn link_failure_during_crowd_reroutes() {
     let cfg = DemoConfig::default();
     let mut run = demo::build(&cfg);
-    run.sim
-        .schedule_link_admin(Timestamp::from_secs(45), B, R2, false);
+    run.sim.schedule(
+        Timestamp::from_secs(45),
+        Event::LinkAdmin {
+            a: B,
+            b: R2,
+            up: false,
+        },
+    );
     run.sim.start();
     run.sim.run_until(Timestamp::from_secs(55));
 
@@ -29,7 +43,7 @@ fn link_failure_during_crowd_reroutes() {
         "surviving paths must carry the crowd: B-R3={b_r3} A-R1={a_r1}"
     );
     // Every flow still has a loop-free path.
-    let unrouted = run.sim.flows().iter().filter(|f| f.path.is_none()).count();
+    let unrouted = run.sim.flows().filter(|f| f.path.is_none()).count();
     assert_eq!(unrouted, 0, "{unrouted} flows lost their path");
 }
 
@@ -55,14 +69,16 @@ fn two_prefixes_are_steered_independently() {
 
     // Crowd 1: 31 videos B → blue (needs the fB lie).
     for i in 0..31u64 {
-        sim.schedule_flow(
+        sched_flow(
+            &mut sim,
             Timestamp::from_secs(10) + Dur::from_millis(i * 20),
             FlowSpec::new(B, BLUE).with_cap(125_000.0),
         );
     }
     // Light traffic A → green (no congestion there).
     for i in 0..4u64 {
-        sim.schedule_flow(
+        sched_flow(
+            &mut sim,
             Timestamp::from_secs(12) + Dur::from_millis(i * 20),
             FlowSpec::new(A, green).with_cap(125_000.0),
         );
@@ -71,9 +87,9 @@ fn two_prefixes_are_steered_independently() {
     sim.run_until(Timestamp::from_secs(40));
 
     // Blue got its extra slot at B; green kept its natural single path.
-    let b_blue = sim.api().fib_nexthops(B, BLUE);
+    let b_blue = sim.ctx().fib_nexthops(B, BLUE);
     assert!(b_blue.len() >= 2, "blue crowd must be spread: {b_blue:?}");
-    let a_green = sim.api().fib_nexthops(A, green);
+    let a_green = sim.ctx().fib_nexthops(A, green);
     assert_eq!(
         a_green.len(),
         1,
@@ -112,14 +128,15 @@ fn crowd_cycles_install_and_retract_repeatedly() {
     let wave = |start: u64, stop: u64, sim: &mut Sim| {
         let mut ids = Vec::new();
         for i in 0..31u64 {
-            let id = sim.schedule_flow(
+            let id = sched_flow(
+                sim,
                 Timestamp::from_secs(start) + Dur::from_millis(i * 10),
                 FlowSpec::new(B, BLUE).with_cap(125_000.0),
             );
             ids.push(id);
         }
         for id in ids {
-            sim.schedule_flow_stop(Timestamp::from_secs(stop), id);
+            sim.schedule(Timestamp::from_secs(stop), Event::FlowStop { id });
         }
     };
     wave(10, 30, &mut sim);
@@ -127,18 +144,18 @@ fn crowd_cycles_install_and_retract_repeatedly() {
     sim.start();
 
     sim.run_until(Timestamp::from_secs(25));
-    assert!(sim.api().fib_nexthops(B, BLUE).len() >= 2, "wave 1 spread");
+    assert!(sim.ctx().fib_nexthops(B, BLUE).len() >= 2, "wave 1 spread");
     sim.run_until(Timestamp::from_secs(50));
     assert_eq!(
-        sim.api().fib_nexthops(B, BLUE).len(),
+        sim.ctx().fib_nexthops(B, BLUE).len(),
         1,
         "quiet gap: lies retracted"
     );
     sim.run_until(Timestamp::from_secs(75));
-    assert!(sim.api().fib_nexthops(B, BLUE).len() >= 2, "wave 2 spread");
+    assert!(sim.ctx().fib_nexthops(B, BLUE).len() >= 2, "wave 2 spread");
     sim.run_until(Timestamp::from_secs(100));
     assert_eq!(
-        sim.api().fib_nexthops(B, BLUE).len(),
+        sim.ctx().fib_nexthops(B, BLUE).len(),
         1,
         "after wave 2: retracted again"
     );
