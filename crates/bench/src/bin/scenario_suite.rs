@@ -11,7 +11,12 @@
 //!
 //! Flags: `--suite <all|smoke>` (default `all`), `--scenario <name>`
 //! (run a single spec instead), `--seed N` (override every spec's
-//! seed), `--horizon SECS` (override every spec's horizon).
+//! seed), `--horizon SECS` (override every spec's horizon),
+//! `--trace-out PATH` (Chrome trace-event export of the whole run —
+//! kernel dispatch, SPF, fluid settlement, controller optimization,
+//! and the lie-lifecycle audit instants — one shared timeline across
+//! the suite's scenarios, each wrapped in a `scenario.run` span; open
+//! in Perfetto or `chrome://tracing`, see `docs/OBSERVABILITY.md`).
 //!
 //! When `paper_demo` runs at a horizon covering both waves, the binary
 //! additionally asserts the paper's pinned control-plane milestones —
@@ -77,8 +82,18 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Per-suite Chrome event budget (the cap cuts the deterministic
+/// event sequence, so the kept prefix is identical across runs; the
+/// overflow is reported in the file's `dropped` count).
+const TRACE_EVENT_CAP: usize = 400_000;
+
 fn main() {
-    let cli = Cli::from_env(&["suite", "scenario", "seed", "horizon"]);
+    let cli = Cli::from_env(&["suite", "scenario", "seed", "horizon", "trace-out"]);
+    let trace_out = cli.get("trace-out").map(String::from);
+    let trace_epoch = std::time::Instant::now();
+    let mut master_sink = trace_out
+        .as_ref()
+        .map(|_| fib_trace::ChromeSink::with_epoch(TRACE_EVENT_CAP, trace_epoch));
     let opts = RunOptions {
         seed: cli.u64_flag("seed"),
         horizon_secs: cli.f64_flag("horizon"),
@@ -144,8 +159,15 @@ fn main() {
         // pin_seed rejection) must not abort the suite mid-table: run
         // it to completion under a panic guard and keep going, so the
         // exit summary names every failure in one readable line.
+        if master_sink.is_some() {
+            fib_trace::install(Box::new(fib_trace::ChromeSink::with_epoch(
+                TRACE_EVENT_CAP,
+                trace_epoch,
+            )));
+        }
         let guarded = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
             || -> Result<_, (String, String)> {
+                let _span = fib_trace::span(fib_trace::Phase::ScenarioRun);
                 let mut run = build(&spec, opts)
                     .map_err(|e| (name.to_string(), format!("build error: {e}")))?;
                 let mut milestone_failure = None;
@@ -159,6 +181,16 @@ fn main() {
                 Ok((run.finish(), milestone_failure))
             },
         ));
+        // The sink comes off the thread even when the scenario
+        // panicked: whatever was traced up to the failure still lands
+        // in the merged timeline.
+        if let Some(master) = master_sink.as_mut() {
+            if let Some(chrome) = fib_trace::take()
+                .and_then(|s| s.into_any().downcast::<fib_trace::ChromeSink>().ok())
+            {
+                master.absorb(*chrome);
+            }
+        }
         let report = match guarded {
             Ok(Ok((report, milestone_failure))) => {
                 if let Some((n, msg)) = milestone_failure {
@@ -209,6 +241,15 @@ fn main() {
         ]);
     }
     table.emit("scenario_suite");
+    if let (Some(out), Some(master)) = (&trace_out, &master_sink) {
+        std::fs::write(out, master.to_json()).unwrap_or_else(|e| panic!("--trace-out {out}: {e}"));
+        println!(
+            "[saved {out}: {} trace events ({} audit records), {} dropped]",
+            master.event_count(),
+            master.audits().len(),
+            master.dropped()
+        );
+    }
     println!("Reading: the controller-on scenarios hold max utilization near the");
     println!("optimizer budget and keep QoE high; the baseline saturates and");
     println!("stalls. Fault scripts (failures, brown-outs) show reaction times");

@@ -17,7 +17,19 @@
 //! its fault script names seed-2016 links), `--max-secs S` (skip
 //! remaining cases once the budget is spent; skipped cases are listed
 //! in the JSON so CI can fail on them), `--gate PATH` (enforce the
-//! events/s floors recorded in a previous run's JSON — see below).
+//! events/s floors recorded in a previous run's JSON — see below),
+//! `--gate-tol F` (tolerance band used when *recording* floors;
+//! default 0.25 — CI's tracing-overhead gate records Noop-sink floors
+//! at 0.10), `--repeat N` (run every case N times and keep the best
+//! throughput — single-shot sub-second cases jitter by 5-10% on a
+//! busy machine, best-of-N is what a tight tolerance band needs;
+//! counters are deterministic so repeats change no artifact bytes
+//! except the wall fields), `--trace off|agg` (per-case tracing sink; `agg` — the
+//! default — attributes each case's wall clock by phase into the
+//! JSON's `phase_attribution` arrays, `off` runs with no sink at all,
+//! the configuration the events/s floors are recorded under), and
+//! `--trace-out PATH` (Chrome trace-event export: every case records
+//! into one shared-epoch timeline, viewable in Perfetto).
 //!
 //! Cases run with `SettleMode::Lazy`: settlement only at observation
 //! points, the mode the kernel redesign earns its throughput in. Every
@@ -280,11 +292,65 @@ fn parse_floors(json: &str) -> Vec<(String, f64)> {
     floors
 }
 
+/// Per-case Chrome event budget: enough to hold the interesting
+/// control-plane activity; kernel-dispatch spans beyond it are counted
+/// in `dropped` (the cap cuts the deterministic event sequence, so the
+/// kept prefix is still identical across runs).
+const TRACE_EVENT_CAP: usize = 200_000;
+
+/// Remove this thread's sink and return its per-phase attribution.
+/// Chrome sinks are folded into `master` (the shared-epoch trace file)
+/// on the way out.
+fn take_phases(master: &mut Option<fib_trace::ChromeSink>) -> Vec<fib_trace::PhaseAttribution> {
+    let Some(sink) = fib_trace::take() else {
+        return Vec::new();
+    };
+    match sink.into_any().downcast::<fib_trace::AggSink>() {
+        Ok(agg) => agg.attribution(),
+        Err(other) => match other.downcast::<fib_trace::ChromeSink>() {
+            Ok(chrome) => {
+                let phases = chrome.attribution();
+                if let Some(m) = master.as_mut() {
+                    m.absorb(*chrome);
+                }
+                phases
+            }
+            Err(_) => Vec::new(),
+        },
+    }
+}
+
 fn main() {
-    let cli = Cli::from_env(&["cases", "horizon", "seed", "max-secs", "gate"]);
+    let cli = Cli::from_env(&[
+        "cases",
+        "horizon",
+        "seed",
+        "max-secs",
+        "gate",
+        "gate-tol",
+        "repeat",
+        "trace",
+        "trace-out",
+    ]);
+    let repeat = cli.u64_flag("repeat").unwrap_or(1).max(1);
     let seed = cli.u64_flag("seed").unwrap_or(2016);
     let horizon = cli.f64_flag("horizon");
     let max_secs = cli.f64_flag("max-secs").unwrap_or(f64::INFINITY);
+    let gate_tol = cli.f64_flag("gate-tol").unwrap_or(GATE_TOLERANCE);
+    let trace_mode = cli.get("trace").unwrap_or("agg");
+    if !matches!(trace_mode, "agg" | "off") {
+        eprintln!("--trace expects `agg` or `off`, got `{trace_mode}`");
+        std::process::exit(2);
+    }
+    let trace_out = cli.get("trace-out").map(String::from);
+    if trace_mode == "off" && trace_out.is_some() {
+        eprintln!("--trace off and --trace-out are mutually exclusive");
+        std::process::exit(2);
+    }
+    let trace_epoch = Instant::now();
+    let mut master_sink = trace_out
+        .as_ref()
+        .map(|_| fib_trace::ChromeSink::with_epoch(TRACE_EVENT_CAP, trace_epoch));
     let total = Instant::now();
 
     let mut cases: Vec<Case> = Vec::new();
@@ -348,13 +414,34 @@ fn main() {
             settle: SettleMode::Lazy,
         };
         eprintln!("[sim_scale] {} …", case.name);
-        let o = match run_case(case, opts) {
-            Ok(o) => o,
-            Err(e) => {
-                eprintln!("[sim_scale] {} failed: {e}", case.name);
-                std::process::exit(1);
+        // Best-of-`repeat`: every run is deterministic, so repeats
+        // agree on every counter (and span count) and differ only in
+        // wall clock — keeping the fastest is pure noise reduction.
+        let mut best: Option<Outcome> = None;
+        let mut phases = Vec::new();
+        for _ in 0..repeat {
+            if trace_out.is_some() {
+                fib_trace::install(Box::new(fib_trace::ChromeSink::with_epoch(
+                    TRACE_EVENT_CAP,
+                    trace_epoch,
+                )));
+            } else if trace_mode == "agg" {
+                fib_trace::install(Box::new(fib_trace::AggSink::new()));
             }
-        };
+            let o = match run_case(case, opts) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("[sim_scale] {} failed: {e}", case.name);
+                    std::process::exit(1);
+                }
+            };
+            phases = take_phases(&mut master_sink);
+            best = Some(match best.take() {
+                Some(b) if b.wall_secs <= o.wall_secs => b,
+                _ => o,
+            });
+        }
+        let o = best.expect("repeat >= 1");
         eprintln!(
             "[sim_scale] {}: {:.1}s wall, {:.0} events/s, resolve ratio {:.0}x",
             case.name,
@@ -379,6 +466,18 @@ fn main() {
             o.spf_partial.to_string(),
             f(o.max_util),
         ]);
+        // `spans` counts are deterministic for a fixed seed; `pct` is
+        // wall-derived and masked by CI's byte diffs (like wall_secs).
+        let pa_json = phases
+            .iter()
+            .map(|a| {
+                format!(
+                    "{{\"phase\": \"{}\", \"spans\": {}, \"pct\": {:.3}}}",
+                    a.phase, a.spans, a.pct
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
         let _ = write!(
             json_cases,
             "{}    {{\"name\": \"{}\", \"routers\": {}, \"links\": {}, \"sessions\": {}, \
@@ -386,7 +485,7 @@ fn main() {
              \"naive_resolutions\": {}, \"resolve_ratio\": {:.3}, \"alloc_fills\": {}, \
              \"alloc_skips\": {}, \"spf_full_runs\": {}, \"spf_partial_runs\": {}, \
              \"max_util\": {:.6}, \"unroutable_flow_secs\": {:.6}, \"wall_secs\": {:.6}, \
-             \"events_per_wall_secs\": {:.3}}}",
+             \"events_per_wall_secs\": {:.3}, \"phase_attribution\": [{pa_json}]}}",
             if json_cases.is_empty() { "" } else { ",\n" },
             case.name,
             o.routers,
@@ -421,12 +520,12 @@ fn main() {
     // The run-over-run gate: measured throughput minus the tolerance
     // band, with the hard acceptance floor applied to `metro_core`.
     let _ = writeln!(json, "  \"gate\": {{");
-    let _ = writeln!(json, "    \"tolerance\": {GATE_TOLERANCE},");
+    let _ = writeln!(json, "    \"tolerance\": {gate_tol},");
     let _ = writeln!(json, "    \"metro_core_hard_floor\": {METRO_CORE_FLOOR},");
     let floors_json: Vec<String> = throughput
         .iter()
         .map(|(name, eps)| {
-            let mut floor = eps * (1.0 - GATE_TOLERANCE);
+            let mut floor = eps * (1.0 - gate_tol);
             if name == "metro_core" {
                 floor = floor.max(METRO_CORE_FLOOR);
             }
@@ -459,17 +558,24 @@ fn main() {
         eprintln!("budget exhausted; skipped: {}", skipped.join(", "));
     }
 
+    if let (Some(out), Some(master)) = (&trace_out, &master_sink) {
+        std::fs::write(out, master.to_json()).unwrap_or_else(|e| panic!("--trace-out {out}: {e}"));
+        println!(
+            "[saved {out}: {} trace events, {} dropped]",
+            master.event_count(),
+            master.dropped()
+        );
+    }
+
     if let Some(gate_path) = cli.get("gate") {
         let prev = std::fs::read_to_string(gate_path)
             .unwrap_or_else(|e| panic!("--gate {gate_path}: {e}"));
         let floors = parse_floors(&prev);
-        let mut failed = false;
+        // Every violated floor is collected (never exit on the first),
+        // so one gated run reports the complete damage.
+        let mut violations: Vec<String> = Vec::new();
         if !skipped.is_empty() {
-            eprintln!(
-                "[gate] FAIL: gated run skipped cases: {}",
-                skipped.join(", ")
-            );
-            failed = true;
+            violations.push(format!("skipped cases: {}", skipped.join(", ")));
         }
         for (name, floor) in &floors {
             match throughput.iter().find(|(n, _)| n == name) {
@@ -477,15 +583,13 @@ fn main() {
                     eprintln!("[gate] {name}: {eps:.0} events/s >= floor {floor:.0}");
                 }
                 Some((_, eps)) => {
-                    eprintln!("[gate] FAIL {name}: {eps:.0} events/s < floor {floor:.0}");
-                    failed = true;
+                    violations.push(format!("{name}: {eps:.0} events/s < floor {floor:.0}"));
                 }
                 // A case recorded in the reference but absent here is
                 // only a failure if this run claimed to cover it (not
                 // cut short by --cases).
                 None if limit >= cases.len() => {
-                    eprintln!("[gate] FAIL {name}: case did not run");
-                    failed = true;
+                    violations.push(format!("{name}: case did not run"));
                 }
                 None => {}
             }
@@ -495,17 +599,19 @@ fn main() {
         match throughput.iter().find(|(n, _)| n == "metro_core") {
             Some((_, eps)) if *eps >= METRO_CORE_FLOOR => {}
             Some((_, eps)) => {
-                eprintln!(
-                    "[gate] FAIL metro_core: {eps:.0} events/s < hard floor {METRO_CORE_FLOOR:.0}"
-                );
-                failed = true;
+                violations.push(format!(
+                    "metro_core: {eps:.0} events/s < hard floor {METRO_CORE_FLOOR:.0}"
+                ));
             }
             None => {
-                eprintln!("[gate] FAIL: metro_core did not run under --gate");
-                failed = true;
+                violations.push("metro_core: did not run under --gate".into());
             }
         }
-        if failed {
+        if !violations.is_empty() {
+            eprintln!("[gate] {} floor violation(s):", violations.len());
+            for v in &violations {
+                eprintln!("[gate]   FAIL {v}");
+            }
             std::process::exit(1);
         }
         eprintln!("[gate] all events/s floors hold");

@@ -24,7 +24,11 @@
 //! the strongest layer of the spec < grid < CLI precedence chain),
 //! `--baseline-jobs N` (first run the same grid at N workers, verify
 //! the merged artifacts are byte-identical, and record the measured
-//! speedup in the JSON).
+//! speedup in the JSON), `--trace-out PATH` (Chrome trace-event
+//! timeline of the sweep's own scheduling: one `"X"` span per cell,
+//! laid out in worker-style lanes from each cell's measured start
+//! offset and duration — unlike the simulator traces this is a
+//! wall-clock *scheduling* visualization and is not deterministic).
 //!
 //! Exit status: non-zero if any cell failed a spec/`pin_seed` check or
 //! panicked, with a one-line `sweep FAILED:` summary naming the first
@@ -51,9 +55,52 @@ fn deterministic_artifacts(run: &SweepRun, summary: &SweepSummary) -> String {
     )
 }
 
+/// Render the sweep's cell-scheduling timeline as Chrome trace-event
+/// JSON: one complete (`"X"`) span per cell, named by its label, with
+/// cells packed greedily into non-overlapping lanes (`tid`). Start
+/// offsets and durations are wall-clock measurements, so this artifact
+/// is a visualization aid, not a pinned byte-comparable one.
+fn cell_timeline_json(run: &SweepRun) -> String {
+    use std::fmt::Write as _;
+    let mut lane_end: Vec<f64> = Vec::new();
+    let mut out =
+        String::from("{\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":0},\"traceEvents\":[");
+    for (i, o) in run.outcomes.iter().enumerate() {
+        let lane = match lane_end.iter().position(|end| *end <= o.start_secs + 1e-12) {
+            Some(l) => l,
+            None => {
+                lane_end.push(0.0);
+                lane_end.len() - 1
+            }
+        };
+        lane_end[lane] = o.start_secs + o.wall_secs;
+        let status = match &o.result {
+            Ok(_) => "ok",
+            Err(_) => "failed",
+        };
+        let _ = write!(
+            out,
+            "{}\n{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+             \"ts\":{},\"dur\":{},\"args\":{{\"seed\":{},\"variant\":\"{}\",\
+             \"status\":\"{status}\"}}}}",
+            if i > 0 { "," } else { "" },
+            o.cell.label(),
+            lane + 1,
+            (o.start_secs * 1e6) as u64,
+            (o.wall_secs * 1e6) as u64,
+            o.cell.seed,
+            if o.cell.baseline { "base" } else { "on" },
+        );
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
 fn main() {
-    let cli =
-        Cli::from_env_with_positionals(&["jobs", "horizon", "baseline-jobs"], &["sweep-spec.toml"]);
+    let cli = Cli::from_env_with_positionals(
+        &["jobs", "horizon", "baseline-jobs", "trace-out"],
+        &["sweep-spec.toml"],
+    );
     let Some(arg) = cli.positionals().first() else {
         eprintln!("error: missing sweep spec (a sweeps/*.toml path or bare name)");
         std::process::exit(2);
@@ -131,6 +178,11 @@ fn main() {
     std::fs::write(&cells_path, &per_cell).expect("write cells csv");
     let dist_path = results_dir().join(format!("sweep_{}_dist.csv", spec.name));
     std::fs::write(&dist_path, summary.dist_csv()).expect("write dist csv");
+    if let Some(out) = cli.get("trace-out") {
+        std::fs::write(out, cell_timeline_json(&run))
+            .unwrap_or_else(|e| panic!("--trace-out {out}: {e}"));
+        println!("[saved {out}: {} cell spans]", run.outcomes.len());
+    }
 
     let mut table = Table::new(&[
         "group",

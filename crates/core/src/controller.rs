@@ -30,10 +30,11 @@ use fib_netsim::flow::{FlowId, FlowInfo};
 use fib_netsim::handler::{AppEvent, EventHandler};
 use fib_netsim::link::LinkKey;
 use fib_netsim::sim::SimContext;
-use fib_telemetry::alarm::Threshold;
+use fib_telemetry::alarm::{Edge, Threshold};
 use fib_telemetry::counters::CounterWidth;
 use fib_telemetry::mib::{oids, Value};
 use fib_telemetry::monitor::LoadMonitor;
+use fib_trace::{AuditAction, AuditRecord};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -139,8 +140,20 @@ pub struct FibbingController {
     installed: BTreeMap<Prefix, Vec<Lie>>,
     alloc: LieAllocator,
     watch: Option<ControllerHandle>,
+    /// Most recent alarm edge seen this run, rendered for the audit
+    /// log (cross-reference into the `alarm.*` trace series).
+    last_alarm: Option<String>,
     /// Observable counters.
     pub stats: ControllerStats,
+}
+
+/// Decision context threaded into reconcile/retract so every audited
+/// injection/retraction carries its trigger provenance.
+struct AuditCtx {
+    trigger: String,
+    candidates: usize,
+    predicted_max_util: f64,
+    measured_max_util: f64,
 }
 
 impl FibbingController {
@@ -160,6 +173,7 @@ impl FibbingController {
             installed: BTreeMap::new(),
             alloc: LieAllocator::new(),
             watch: None,
+            last_alarm: None,
             stats: ControllerStats::default(),
         }
     }
@@ -226,6 +240,7 @@ impl FibbingController {
 
     fn poll_snmp(&mut self, api: &mut SimContext<'_>) {
         self.stats.snmp_sweeps += 1;
+        let _span = fib_trace::span(fib_trace::Phase::CtrlPoll);
         let now = api.now();
         let routers: Vec<RouterId> = {
             let mut v: Vec<RouterId> = self.caps.keys().map(|(f, _)| *f).collect();
@@ -241,8 +256,22 @@ impl FibbingController {
                     continue;
                 };
                 if let Value::Counter(c) = value {
-                    // Alarm edges are consumed via is_alarmed() below.
-                    let _ = self.monitor.on_sample(&key, now, c);
+                    // Besides feeding is_alarmed()/alarmed_keys(),
+                    // every edge lands in the run's trace (the
+                    // `alarm.<from>-<to>` series steps to the edge
+                    // utilization on raise, back to 0 on clear) and is
+                    // remembered for audit-log cross-referencing.
+                    if let Some(ev) = self.monitor.on_sample(&key, now, c) {
+                        let (verb, level) = match ev.edge {
+                            Edge::Raised => ("raised", ev.utilization),
+                            Edge::Cleared => ("cleared", 0.0),
+                        };
+                        api.record(&format!("alarm.{}-{}", key.from, key.to), level);
+                        self.last_alarm = Some(format!(
+                            "{}->{} {verb} @{:.3}",
+                            key.from, key.to, ev.utilization
+                        ));
+                    }
                 }
             }
         }
@@ -253,7 +282,31 @@ impl FibbingController {
         (l.attach, l.fw.router, l.cost_at_attach().0)
     }
 
-    fn reconcile(&mut self, api: &mut SimContext<'_>, prefix: Prefix, new_lies: Vec<Lie>) {
+    /// Emit one lie-lifecycle audit record (free when tracing is off;
+    /// the formatting only happens with a sink installed).
+    fn audit(api: &SimContext<'_>, action: AuditAction, prefix: Prefix, lie: &Lie, ctx: &AuditCtx) {
+        if !fib_trace::enabled() {
+            return;
+        }
+        fib_trace::audit(AuditRecord {
+            sim_ns: api.now().0,
+            action,
+            prefix: prefix.to_string(),
+            lie: lie.to_string(),
+            trigger: ctx.trigger.clone(),
+            candidates: ctx.candidates,
+            predicted_max_util: ctx.predicted_max_util,
+            measured_max_util: ctx.measured_max_util,
+        });
+    }
+
+    fn reconcile(
+        &mut self,
+        api: &mut SimContext<'_>,
+        prefix: Prefix,
+        new_lies: Vec<Lie>,
+        actx: &AuditCtx,
+    ) {
         let old = self.installed.remove(&prefix).unwrap_or_default();
         let mut old_by_sig: BTreeMap<(RouterId, RouterId, u32), Vec<Lie>> = BTreeMap::new();
         for l in old {
@@ -275,6 +328,7 @@ impl FibbingController {
             for l in leftovers {
                 if api.retract_fake(self.cfg.speaker, l.fake_id).is_ok() {
                     self.stats.retractions += 1;
+                    Self::audit(api, AuditAction::Retract, prefix, &l, actx);
                 }
             }
         }
@@ -292,6 +346,7 @@ impl FibbingController {
                 .is_ok()
             {
                 self.stats.injections += 1;
+                Self::audit(api, AuditAction::Inject, prefix, l, actx);
             }
         }
         if !final_set.is_empty() {
@@ -299,11 +354,12 @@ impl FibbingController {
         }
     }
 
-    fn retract_all(&mut self, api: &mut SimContext<'_>, prefix: Prefix) {
+    fn retract_all(&mut self, api: &mut SimContext<'_>, prefix: Prefix, actx: &AuditCtx) {
         if let Some(lies) = self.installed.remove(&prefix) {
             for l in lies {
                 if api.retract_fake(self.cfg.speaker, l.fake_id).is_ok() {
                     self.stats.retractions += 1;
+                    Self::audit(api, AuditAction::Retract, prefix, &l, actx);
                 }
             }
         }
@@ -314,6 +370,7 @@ impl FibbingController {
     /// the `ctrl.lies` trace must not skip exactly the disrupted
     /// ticks a scenario wants to measure.
     fn evaluate(&mut self, api: &mut SimContext<'_>) {
+        let _span = fib_trace::span(fib_trace::Phase::CtrlOptimize);
         self.evaluate_inner(api);
         self.publish(api);
     }
@@ -342,6 +399,23 @@ impl FibbingController {
         let congested = (self.cfg.predictive && predicted >= self.cfg.util_hi)
             || alarmed
             || measured >= self.cfg.util_hi;
+        // Trigger provenance for the audit log: which condition made
+        // this pass act, in precedence order. Only rendered when a
+        // trace sink is installed.
+        let trigger = if congested && fib_trace::enabled() {
+            if self.cfg.predictive && predicted >= self.cfg.util_hi {
+                format!("predicted {predicted:.3} >= hi {:.3}", self.cfg.util_hi)
+            } else if alarmed {
+                format!(
+                    "alarm {}",
+                    self.last_alarm.as_deref().unwrap_or("(edge before start)")
+                )
+            } else {
+                format!("measured {measured:.3} >= hi {:.3}", self.cfg.util_hi)
+            }
+        } else {
+            String::new()
+        };
 
         let prefixes: Vec<Prefix> = {
             let mut v: Vec<Prefix> = by_prefix.keys().copied().collect();
@@ -365,7 +439,17 @@ impl FibbingController {
             let dem = by_prefix.get(&prefix).cloned().unwrap_or_default();
             let Some(natural) = natural else { continue };
             if self.installed.contains_key(&prefix) && natural <= self.cfg.util_lo {
-                self.retract_all(api, prefix);
+                let actx = AuditCtx {
+                    trigger: if fib_trace::enabled() {
+                        format!("natural {natural:.3} <= lo {:.3}", self.cfg.util_lo)
+                    } else {
+                        String::new()
+                    },
+                    candidates: 0,
+                    predicted_max_util: natural,
+                    measured_max_util: measured,
+                };
+                self.retract_all(api, prefix, &actx);
                 continue;
             }
             if !congested || dem.is_empty() {
@@ -393,12 +477,23 @@ impl FibbingController {
                     continue;
                 }
             };
+            // The augmentation's full lie set is the candidate set the
+            // reducer chooses from; the plan's own load map gives the
+            // predicted post-action max-utilization.
+            let candidates = aug.lies.len();
+            let plan_predicted = max_utilization(&plan.loads, &self.caps);
             let lies = if self.cfg.reduce_lies {
                 reduce(&real, &plan.dag, &aug.lies)
             } else {
                 aug.lies
             };
-            self.reconcile(api, prefix, lies);
+            let actx = AuditCtx {
+                trigger: trigger.clone(),
+                candidates,
+                predicted_max_util: plan_predicted,
+                measured_max_util: measured,
+            };
+            self.reconcile(api, prefix, lies, &actx);
         }
     }
 

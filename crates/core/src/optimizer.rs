@@ -461,6 +461,7 @@ impl MinMaxSolver {
     /// utilization? Warm-starts from whatever flow previous probes
     /// left behind.
     pub fn is_feasible(&mut self, theta: f64) -> bool {
+        let _span = fib_trace::span(fib_trace::Phase::SolverProbe);
         if self.p.total <= EPS {
             return true;
         }

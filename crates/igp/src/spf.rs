@@ -260,6 +260,7 @@ pub fn compute_all_routes(topo: &Topology) -> BTreeMap<RouterId, RouteTable> {
 /// Equivalence is asserted property-style in this module's tests.
 /// Routers with no route toward `prefix` are absent from the map.
 pub fn prefix_routes(topo: &Topology, prefix: Prefix) -> BTreeMap<RouterId, Route> {
+    let _span = fib_trace::span(fib_trace::Phase::PrefixRoutes);
     // Announcement points relevant to the prefix.
     let reals: Vec<(RouterId, Metric)> = topo
         .all_announcements()
@@ -472,6 +473,7 @@ impl SpfEngine {
         if self.seen_real.get(&source) == Some(&real_version) {
             if let Some((_, sp)) = self.cache.get(&source) {
                 self.partial_runs += 1;
+                let _span = fib_trace::span(fib_trace::Phase::SpfPartial);
                 return route_table_from(topo, sp);
             }
         }
@@ -489,6 +491,11 @@ impl SpfEngine {
             Some((cached_fp, _)) => *cached_fp != fp,
             None => true,
         };
+        let _span = fib_trace::span(if need_full {
+            fib_trace::Phase::SpfFull
+        } else {
+            fib_trace::Phase::SpfPartial
+        });
         if need_full {
             let sp = shortest_paths(topo, source);
             self.cache.insert(source, (fp, sp));

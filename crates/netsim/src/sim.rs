@@ -460,6 +460,8 @@ impl Core {
 
     fn dispatch(&mut self, ev: Ev) {
         self.stats.events += 1;
+        fib_trace::set_sim_now(self.now.0);
+        let _span = fib_trace::span(fib_trace::Phase::KernelDispatch);
         match ev {
             Ev::Pkt {
                 to_slot,
@@ -711,6 +713,7 @@ impl Core {
                 match out {
                     Output::Send { iface, data } => sends.push((slot, iface, data)),
                     Output::FibUpdate(table) => {
+                        let _span = fib_trace::span(fib_trace::Phase::FibInstall);
                         let changed = self.fibs.entry(id).or_default().install_diff(&table);
                         // The instance only emits on route-table change,
                         // so settle the allocation either way (pinned
@@ -780,7 +783,9 @@ impl Core {
     /// (which itself skips when nothing moved).
     fn reallocate(&mut self) {
         self.stats.reallocs += 1;
+        let _span = fib_trace::span(fib_trace::Phase::Settle);
         let dirty_flows = self.dirty.take();
+        fib_trace::observe("settle.dirty_flows", dirty_flows.len() as u64);
         let mut resolved = 0u64;
         for id in &dirty_flows {
             // A flow may have been marked and then stopped in the same
@@ -925,45 +930,6 @@ impl Sim {
         self.core.queue.cancel(id)
     }
 
-    /// Schedule a flow start; returns the id it will get.
-    #[deprecated(note = "use `new_flow_id` + `schedule(at, Event::FlowStart { id, spec })`")]
-    pub fn schedule_flow(&mut self, at: Timestamp, spec: FlowSpec) -> FlowId {
-        let id = self.new_flow_id();
-        self.schedule(at, Event::FlowStart { id, spec });
-        id
-    }
-
-    /// Schedule a flow stop.
-    #[deprecated(note = "use `schedule(at, Event::FlowStop { id })`")]
-    pub fn schedule_flow_stop(&mut self, at: Timestamp, id: FlowId) {
-        self.schedule(at, Event::FlowStop { id });
-    }
-
-    /// Schedule a flow cap change.
-    #[deprecated(note = "use `schedule(at, Event::FlowCap { id, cap })`")]
-    pub fn schedule_flow_cap(&mut self, at: Timestamp, id: FlowId, cap: Option<f64>) {
-        self.schedule(at, Event::FlowCap { id, cap });
-    }
-
-    /// Schedule a link admin up/down event.
-    #[deprecated(note = "use `schedule(at, Event::LinkAdmin { a, b, up })`")]
-    pub fn schedule_link_admin(&mut self, at: Timestamp, a: RouterId, b: RouterId, up: bool) {
-        self.schedule(at, Event::LinkAdmin { a, b, up });
-    }
-
-    /// Schedule a symmetric link capacity change.
-    #[deprecated(note = "use `schedule(at, Event::LinkCapacity { a, b, capacity })`")]
-    pub fn schedule_link_capacity(&mut self, at: Timestamp, a: RouterId, b: RouterId, cap: f64) {
-        self.schedule(
-            at,
-            Event::LinkCapacity {
-                a,
-                b,
-                capacity: cap,
-            },
-        );
-    }
-
     /// Start the world: instances come up, components get
     /// [`AppEvent::Start`], the sampler begins.
     pub fn start(&mut self) {
@@ -1020,6 +986,10 @@ impl Sim {
             self.core.in_batch = true;
             self.core.accrue_to(t);
             self.core.now = t;
+            if fib_trace::enabled() {
+                fib_trace::set_sim_now(t.0);
+                fib_trace::counter("queue.depth", self.core.queue.len() as f64);
+            }
             while let Some((_, ev)) = self.core.queue.pop_due(t) {
                 self.core.dispatch(ev);
             }
@@ -1480,29 +1450,6 @@ mod tests {
             vec![FwAddr::primary(r(2)), FwAddr::secondary(r(3), 1)],
             "lie should add an ECMP slot at r1"
         );
-    }
-
-    /// The deprecated `schedule_*` shims stay behaviorally identical
-    /// to the typed path they forward to.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_schedule_shims_still_work() {
-        let mut sim = line_sim();
-        let f = sim.schedule_flow(
-            Timestamp::from_secs(10),
-            FlowSpec::new(r(1), Prefix::net24(1)),
-        );
-        sim.schedule_flow_cap(Timestamp::from_secs(12), f, Some(1e5));
-        sim.schedule_link_capacity(Timestamp::from_secs(14), r(1), r(2), 5e5);
-        sim.schedule_link_admin(Timestamp::from_secs(16), r(1), r(2), false);
-        sim.schedule_flow_stop(Timestamp::from_secs(18), f);
-        sim.start();
-        sim.run_until(Timestamp::from_secs(13));
-        assert!((sim.ctx().flow_rate(f).unwrap() - 1e5).abs() < 1.0);
-        sim.run_until(Timestamp::from_secs(17));
-        assert!(sim.ctx().flow_path(f).is_none(), "failed link strands flow");
-        sim.run_until(Timestamp::from_secs(19));
-        assert_eq!(sim.flow_count(), 0);
     }
 
     /// Scheduled events are cancellable until they fire.

@@ -73,6 +73,12 @@ pub struct CellMetrics {
     /// rollup, merged into per-group and sweep totals by the stats
     /// layer.
     pub rollup: Rollup,
+    /// Per-phase attribution of the cell's wall clock (each worker
+    /// thread runs its cells under a thread-local
+    /// [`fib_trace::AggSink`]); span counts are deterministic, wall
+    /// percentages are masked in CI byte diffs. The stats layer merges
+    /// these into the sweep-level `phase_attribution` section.
+    pub phases: Vec<fib_trace::PhaseAttribution>,
 }
 
 /// One cell's outcome, failure or not.
@@ -85,6 +91,10 @@ pub struct CellOutcome {
     /// Wall-clock seconds the cell took (not deterministic; masked in
     /// CI diffs).
     pub wall_secs: f64,
+    /// Wall-clock seconds from sweep start to this cell starting (not
+    /// deterministic; only consumed by `--trace-out` timeline export,
+    /// never printed into pinned artifacts).
+    pub start_secs: f64,
 }
 
 /// A completed sweep: every cell's outcome, in cell order.
@@ -116,19 +126,35 @@ impl SweepRun {
     }
 }
 
-/// Run one resolved cell (the worker body).
+/// Run one resolved cell (the worker body). Each cell runs under its
+/// own thread-local [`fib_trace::AggSink`], so the sweep rolls up a
+/// per-phase attribution of where its wall clock went; the sink is
+/// always removed again, even when the cell panics.
 fn run_one(spec: &ScenarioSpec, opts: RunOptions) -> Result<CellMetrics, CellFailure> {
+    fib_trace::install(Box::new(fib_trace::AggSink::new()));
     let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<CellMetrics, SpecError> {
+        let _span = fib_trace::span(fib_trace::Phase::ScenarioRun);
         let mut run = build(spec, opts)?;
         let horizon = run.horizon_secs();
         run.run_until_secs(horizon);
         let rollup = run.sim.stats().rollup();
         let mut report = run.finish();
         report.trace_csv = String::new();
-        Ok(CellMetrics { report, rollup })
+        Ok(CellMetrics {
+            report,
+            rollup,
+            phases: Vec::new(),
+        })
     }));
+    let phases = fib_trace::take()
+        .and_then(|s| s.into_any().downcast::<fib_trace::AggSink>().ok())
+        .map(|agg| agg.attribution())
+        .unwrap_or_default();
     match outcome {
-        Ok(Ok(m)) => Ok(m),
+        Ok(Ok(mut m)) => {
+            m.phases = phases;
+            Ok(m)
+        }
         Ok(Err(e)) => Err(CellFailure::Spec(e.to_string())),
         Err(payload) => Err(CellFailure::Panic(panic_message(payload))),
     }
@@ -144,19 +170,27 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// One job's report: its result plus the wall-clock duration and the
+/// start offset from the executor's epoch (both seconds, both
+/// non-deterministic; timeline export only).
+pub(crate) type Timed<T> = (Result<T, String>, f64, f64);
+
 /// The generic ordered executor: run `n` jobs across `jobs` workers,
 /// collect results **in index order**. Panics in `work` are caught
-/// and surface as `Err(message)` for that index only.
-pub(crate) fn execute_ordered<T, F>(n: usize, jobs: usize, work: F) -> Vec<(Result<T, String>, f64)>
+/// and surface as `Err(message)` for that index only. Each result
+/// carries its wall duration and its start offset from the executor's
+/// own start (both non-deterministic; timeline export only).
+pub(crate) fn execute_ordered<T, F>(n: usize, jobs: usize, work: F) -> Vec<Timed<T>>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     assert!(jobs >= 1, "at least one worker");
+    let epoch = Instant::now();
     let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, Result<T, String>, f64)>();
+    let (tx, rx) = mpsc::channel::<(usize, Timed<T>)>();
     let workers = jobs.min(n.max(1));
-    let mut slots: Vec<Option<(Result<T, String>, f64)>> = Vec::new();
+    let mut slots: Vec<Option<Timed<T>>> = Vec::new();
     slots.resize_with(n, || None);
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -169,16 +203,17 @@ where
                     break;
                 }
                 let started = Instant::now();
+                let start_off = started.duration_since(epoch).as_secs_f64();
                 let result = catch_unwind(AssertUnwindSafe(|| work(i))).map_err(panic_message);
                 let wall = started.elapsed().as_secs_f64();
-                if tx.send((i, result, wall)).is_err() {
+                if tx.send((i, (result, wall, start_off))).is_err() {
                     break;
                 }
             });
         }
         drop(tx);
-        for (i, result, wall) in rx {
-            slots[i] = Some((result, wall));
+        for (i, timed) in rx {
+            slots[i] = Some(timed);
         }
     });
     slots
@@ -225,7 +260,7 @@ pub fn run_sweep_with(
     let outcomes = cells
         .into_iter()
         .zip(raw)
-        .map(|(cell, (result, wall_secs))| CellOutcome {
+        .map(|(cell, (result, wall_secs, start_secs))| CellOutcome {
             cell,
             // `run_one` already catches panics; a panic reaching
             // `execute_ordered`'s own guard (the outer Err) is folded
@@ -235,6 +270,7 @@ pub fn run_sweep_with(
                 Err(msg) => Err(CellFailure::Panic(msg)),
             },
             wall_secs,
+            start_secs,
         })
         .collect();
     Ok(SweepRun {
@@ -271,12 +307,12 @@ mod tests {
         };
         let single: Vec<usize> = execute_ordered(n, 1, work)
             .into_iter()
-            .map(|(r, _)| r.unwrap())
+            .map(|(r, _, _)| r.unwrap())
             .collect();
         for jobs in [2, 4, 8, 32] {
             let multi: Vec<usize> = execute_ordered(n, jobs, work)
                 .into_iter()
-                .map(|(r, _)| r.unwrap())
+                .map(|(r, _, _)| r.unwrap())
                 .collect();
             assert_eq!(single, multi, "jobs={jobs} must not reorder results");
         }
@@ -298,7 +334,7 @@ mod tests {
             i
         });
         assert_eq!(out.len(), 5);
-        for (i, (r, _)) in out.iter().enumerate() {
+        for (i, (r, _, _)) in out.iter().enumerate() {
             if i == 2 {
                 let msg = r.as_ref().unwrap_err();
                 assert!(msg.contains("cell 2 diverged"), "{msg}");

@@ -121,6 +121,9 @@ pub struct SweepSummary {
     pub failures: Vec<(usize, String, String)>,
     /// Machinery counters summed over the whole sweep.
     pub rollup: Rollup,
+    /// Per-phase wall-clock attribution merged over every successful
+    /// cell (span counts deterministic, percentages masked in diffs).
+    pub phases: Vec<fib_trace::PhaseAttribution>,
 }
 
 /// Fixed-precision float rendering shared by every CSV/JSON cell.
@@ -153,6 +156,12 @@ impl SweepSummary {
         }
         let mut groups = Vec::with_capacity(order.len());
         let mut total_rollup = Rollup::new();
+        let mut total_phases = fib_trace::AggSink::new();
+        for o in &run.outcomes {
+            if let Ok(m) = &o.result {
+                total_phases.merge(&fib_trace::AggSink::from_attribution(&m.phases));
+            }
+        }
         for key in order {
             let cells = &buckets[&key];
             let first = cells[0];
@@ -227,6 +236,7 @@ impl SweepSummary {
             groups,
             failures: run.failures(),
             rollup: total_rollup,
+            phases: total_phases.attribution(),
         }
     }
 
@@ -442,6 +452,29 @@ pub fn to_json(run: &SweepRun, summary: &SweepSummary, baseline: Option<(usize, 
         );
     }
     json.push_str("  ],\n");
+    json.push_str("  \"phase_attribution\": [\n");
+    for (i, a) in summary.phases.iter().enumerate() {
+        // `pct` is wall-derived, so it sits alone on its line where
+        // both `mask_timing` and CI's sed mask can blank it; `spans`
+        // is deterministic and stays in the byte comparison.
+        let _ = writeln!(
+            json,
+            "    {{\"phase\": {}, \"spans\": {},",
+            jstr(a.phase),
+            a.spans
+        );
+        let _ = writeln!(json, "      \"pct\": {}", num(a.pct));
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < summary.phases.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    json.push_str("  ],\n");
     let _ = writeln!(json, "  \"rollup\": {}", rollup_json(&summary.rollup));
     json.push_str("}\n");
     json
@@ -461,6 +494,7 @@ pub fn mask_timing(json: &str) -> String {
         "baseline_wall_secs",
         "cells_per_sec",
         "speedup_vs_baseline",
+        "pct",
     ];
     let mut out = String::with_capacity(json.len());
     for line in json.lines() {
@@ -494,9 +528,10 @@ mod tests {
     #[test]
     fn mask_timing_hits_exactly_the_wall_clock_keys() {
         let json = "{\n  \"cells\": 3,\n  \"jobs\": 4,\n  \"wall_secs\": 1.234567,\n  \
-                    \"cells_per_sec\": 2.431000,\n  \"speedup_vs_baseline\": 3.100000,\n  \
-                    \"unroutable_flow_secs\": {\"n\": 1}\n}\n";
+                    \"cells_per_sec\": 2.431000,\n  \"speedup_vs_baseline\": 3.100000,\n      \
+                    \"pct\": 41.200000\n  \"unroutable_flow_secs\": {\"n\": 1}\n}\n";
         let masked = mask_timing(json);
+        assert!(masked.contains("\"pct\": X\n"), "{masked}");
         assert!(masked.contains("\"cells\": 3"), "{masked}");
         assert!(masked.contains("\"jobs\": X"), "{masked}");
         assert!(masked.contains("\"wall_secs\": X,"), "{masked}");

@@ -136,6 +136,8 @@ impl<T: Ord + Copy, E> Simulation<T, E> {
         };
         self.now = at;
         self.events_dispatched += 1;
+        let _span = fib_trace::span(fib_trace::Phase::KernelDispatch);
+        fib_trace::counter("queue.depth", self.queue.len() as f64);
         let mut ctx = SimContext {
             now: at,
             self_id: to,

@@ -1,0 +1,382 @@
+//! Chrome trace-event JSON export (Perfetto / `chrome://tracing`).
+//!
+//! Spans become `"X"` complete events, gauges and observations become
+//! `"C"` counter tracks, audit records become `"i"` instants. The
+//! only non-deterministic bytes in the output are the wall-derived
+//! `"ts"` and `"dur"` fields; [`mask_wall_fields`] blanks exactly
+//! those, so two runs of the same seed compare byte-identical after
+//! masking (asserted in the workspace tests and diffed in CI).
+
+use crate::audit::AuditRecord;
+use crate::sink::{AggSink, PhaseAttribution, SpanWall, TraceSink};
+use crate::Phase;
+use std::any::Any;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+enum Event {
+    Span {
+        phase: Phase,
+        sim_ns: u64,
+        ts_us: u64,
+        dur_us: u64,
+    },
+    Counter {
+        name: &'static str,
+        sim_ns: u64,
+        ts_us: u64,
+        value: f64,
+    },
+    Observe {
+        name: &'static str,
+        sim_ns: u64,
+        ts_us: u64,
+        value: u64,
+    },
+    Audit {
+        record: AuditRecord,
+        ts_us: u64,
+    },
+}
+
+/// A bounded Chrome trace-event recorder.
+///
+/// Events beyond the cap are counted in `dropped` (the cap is on the
+/// deterministic event sequence, so the kept prefix is identical
+/// across runs). The sink embeds an [`AggSink`], so per-phase
+/// attribution stays available alongside the exported trace.
+pub struct ChromeSink {
+    epoch: Instant,
+    cap: usize,
+    dropped: u64,
+    events: Vec<Event>,
+    agg: AggSink,
+}
+
+impl ChromeSink {
+    /// A sink keeping at most `cap` events, with its epoch (the
+    /// trace's t=0) at construction time.
+    pub fn new(cap: usize) -> ChromeSink {
+        ChromeSink::with_epoch(cap, Instant::now())
+    }
+
+    /// Like [`ChromeSink::new`] with an explicit epoch, so several
+    /// sinks (one per bench case) share one timeline.
+    pub fn with_epoch(cap: usize, epoch: Instant) -> ChromeSink {
+        ChromeSink {
+            epoch,
+            cap,
+            dropped: 0,
+            events: Vec::new(),
+            agg: AggSink::new(),
+        }
+    }
+
+    /// The sink's epoch.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Events currently held.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Events discarded by the cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Per-phase attribution (from the embedded [`AggSink`]).
+    pub fn attribution(&self) -> Vec<PhaseAttribution> {
+        self.agg.attribution()
+    }
+
+    /// The audit log.
+    pub fn audits(&self) -> &[AuditRecord] {
+        self.agg.audits()
+    }
+
+    /// Append another sink's events to this one (same epoch assumed;
+    /// used to merge per-case sinks into one trace file).
+    pub fn absorb(&mut self, other: ChromeSink) {
+        self.dropped += other.dropped;
+        for ev in other.events {
+            self.push(ev);
+        }
+        self.agg.merge(&other.agg);
+    }
+
+    fn push(&mut self, ev: Event) {
+        if self.events.len() >= self.cap {
+            self.dropped += 1;
+        } else {
+            self.events.push(ev);
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Render the full Chrome trace-event JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"otherData\":{");
+        let _ = write!(out, "\"dropped\":{}", self.dropped);
+        out.push_str("},\"traceEvents\":[");
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            match ev {
+                Event::Span {
+                    phase,
+                    sim_ns,
+                    ts_us,
+                    dur_us,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\
+                         \"ts\":{ts_us},\"dur\":{dur_us},\"args\":{{\"sim_ns\":{sim_ns}}}}}",
+                        phase.name()
+                    );
+                }
+                Event::Counter {
+                    name,
+                    sim_ns,
+                    ts_us,
+                    value,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"{name}\",\"ph\":\"C\",\"pid\":1,\"tid\":1,\
+                         \"ts\":{ts_us},\"args\":{{\"value\":{value:.6},\"sim_ns\":{sim_ns}}}}}",
+                    );
+                }
+                Event::Observe {
+                    name,
+                    sim_ns,
+                    ts_us,
+                    value,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"{name}\",\"ph\":\"C\",\"pid\":1,\"tid\":1,\
+                         \"ts\":{ts_us},\"args\":{{\"value\":{value},\"sim_ns\":{sim_ns}}}}}",
+                    );
+                }
+                Event::Audit { record, ts_us } => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"lie.{}\",\"ph\":\"i\",\"pid\":1,\"tid\":1,\
+                         \"ts\":{ts_us},\"s\":\"t\",\"args\":{{\"sim_ns\":{},\
+                         \"prefix\":{},\"lie\":{},\"trigger\":{},\"candidates\":{},\
+                         \"predicted_max_util\":{:.6},\"measured_max_util\":{:.6}}}}}",
+                        record.action.name(),
+                        record.sim_ns,
+                        jstr(&record.prefix),
+                        jstr(&record.lie),
+                        jstr(&record.trigger),
+                        record.candidates,
+                        record.predicted_max_util,
+                        record.measured_max_util,
+                    );
+                }
+            }
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+impl TraceSink for ChromeSink {
+    fn span(&mut self, phase: Phase, sim_ns: u64, wall: SpanWall) {
+        self.agg.span(phase, sim_ns, wall);
+        let ts_us = wall.start.saturating_duration_since(self.epoch).as_micros() as u64;
+        let dur_us = wall.total_ns / 1_000;
+        self.push(Event::Span {
+            phase,
+            sim_ns,
+            ts_us,
+            dur_us,
+        });
+    }
+
+    fn counter(&mut self, name: &'static str, sim_ns: u64, value: f64) {
+        let ts_us = self.now_us();
+        self.push(Event::Counter {
+            name,
+            sim_ns,
+            ts_us,
+            value,
+        });
+    }
+
+    fn observe(&mut self, name: &'static str, sim_ns: u64, value: u64) {
+        self.agg.observe(name, sim_ns, value);
+        let ts_us = self.now_us();
+        self.push(Event::Observe {
+            name,
+            sim_ns,
+            ts_us,
+            value,
+        });
+    }
+
+    fn audit(&mut self, record: &AuditRecord) {
+        self.agg.audit(record);
+        let ts_us = self.now_us();
+        self.push(Event::Audit {
+            record: record.clone(),
+            ts_us,
+        });
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// JSON string literal with minimal escaping.
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Blank the wall-derived `"ts"` and `"dur"` values of a Chrome trace
+/// JSON document: after masking, two exports of the same seeded run
+/// are byte-identical. (CI applies the equivalent `sed` expression.)
+pub fn mask_wall_fields(json: &str) -> String {
+    let mut out = String::with_capacity(json.len());
+    let bytes = json.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let rest = &json[i..];
+        let key = if rest.starts_with("\"ts\":") {
+            Some(5)
+        } else if rest.starts_with("\"dur\":") {
+            Some(6)
+        } else {
+            None
+        };
+        match key {
+            Some(len) => {
+                out.push_str(&rest[..len]);
+                i += len;
+                out.push('X');
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            None => {
+                let c = rest.chars().next().expect("in bounds");
+                out.push(c);
+                i += c.len_utf8();
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AuditAction;
+
+    fn wall(ns: u64) -> SpanWall {
+        SpanWall {
+            start: Instant::now(),
+            total_ns: ns,
+            self_ns: ns,
+        }
+    }
+
+    #[test]
+    fn json_has_all_event_kinds() {
+        let mut sink = ChromeSink::new(16);
+        sink.span(Phase::SpfFull, 100, wall(2_000));
+        sink.counter("queue.depth", 100, 3.0);
+        sink.observe("settle.dirty_flows", 100, 9);
+        sink.audit(&AuditRecord {
+            sim_ns: 100,
+            action: AuditAction::Inject,
+            prefix: "p1".into(),
+            lie: "fake@r2 via r3".into(),
+            trigger: "alarm r1->r2 raised @0.91".into(),
+            candidates: 3,
+            predicted_max_util: 0.66,
+            measured_max_util: 0.91,
+        });
+        let json = sink.to_json();
+        assert!(json.contains("\"name\":\"spf.full\",\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"queue.depth\",\"ph\":\"C\""));
+        assert!(json.contains("\"name\":\"settle.dirty_flows\",\"ph\":\"C\""));
+        assert!(json.contains("\"name\":\"lie.inject\",\"ph\":\"i\""));
+        assert!(json.contains("\"candidates\":3"));
+        assert!(json.contains("\"dropped\":0"));
+    }
+
+    #[test]
+    fn cap_drops_deterministically() {
+        let mut sink = ChromeSink::new(2);
+        for i in 0..5 {
+            sink.span(Phase::Settle, i, wall(10));
+        }
+        assert_eq!(sink.event_count(), 2);
+        assert_eq!(sink.dropped(), 3);
+        assert!(sink.to_json().contains("\"dropped\":3"));
+        // Aggregation is not capped.
+        assert_eq!(sink.attribution()[0].spans, 5);
+    }
+
+    #[test]
+    fn masking_blanks_exactly_ts_and_dur() {
+        let mut sink = ChromeSink::new(16);
+        sink.span(Phase::FibInstall, 42, wall(1_234_000));
+        let masked = mask_wall_fields(&sink.to_json());
+        assert!(masked.contains("\"ts\":X"));
+        assert!(masked.contains("\"dur\":X"));
+        assert!(masked.contains("\"sim_ns\":42"), "sim time survives");
+        let again = mask_wall_fields(&ChromeSink::new(16).to_json());
+        assert_eq!(again, mask_wall_fields(&ChromeSink::new(16).to_json()));
+    }
+
+    #[test]
+    fn escaping_handles_quotes() {
+        assert_eq!(jstr("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn absorb_merges_events_and_attribution() {
+        let epoch = Instant::now();
+        let mut a = ChromeSink::with_epoch(16, epoch);
+        let mut b = ChromeSink::with_epoch(16, epoch);
+        a.span(Phase::SpfFull, 0, wall(10));
+        b.span(Phase::Settle, 0, wall(30));
+        a.absorb(b);
+        assert_eq!(a.event_count(), 2);
+        assert_eq!(a.attribution().len(), 2);
+    }
+}

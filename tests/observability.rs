@@ -1,0 +1,116 @@
+//! Workspace tests for the tracing spine (`fib-trace`).
+//!
+//! Two guarantees are pinned here:
+//!
+//! * **Determinism modulo wall time** — exporting a Chrome trace of
+//!   the same seeded scenario twice yields byte-identical documents
+//!   once the wall-derived `"ts"`/`"dur"` fields are masked, and the
+//!   lie-lifecycle audit logs (which carry no wall fields at all)
+//!   match record for record.
+//! * **Noop is absent** — with no sink installed, running a pinned
+//!   scenario arms zero spans: the default configuration cannot
+//!   disturb (or even observe) the simulation. Together with the
+//!   byte-pinned artifacts in `tests/determinism.rs` this is the "the
+//!   spine is write-only" tripwire.
+
+use fib_trace::{ChromeSink, Phase};
+use fibbing::scenario::runner::{build, RunOptions};
+use fibbing::scenario::suite::load_scenario;
+
+/// Run `metro_edge` to `horizon` seconds with a Chrome sink installed
+/// and hand the sink back. The scenario reacts (injects lies) within
+/// the first 10 simulated seconds, so the trace exercises every layer.
+fn traced_metro_edge(horizon: f64) -> ChromeSink {
+    let spec = load_scenario("metro_edge").expect("shipped scenario");
+    fib_trace::install(Box::new(ChromeSink::new(500_000)));
+    let mut run = build(
+        &spec,
+        RunOptions {
+            horizon_secs: Some(horizon),
+            ..RunOptions::default()
+        },
+    )
+    .expect("build metro_edge");
+    run.run_until_secs(horizon);
+    let _ = run.finish();
+    *fib_trace::take()
+        .expect("sink still installed")
+        .into_any()
+        .downcast::<ChromeSink>()
+        .expect("chrome sink")
+}
+
+#[test]
+fn chrome_export_is_deterministic_modulo_wall_time() {
+    let a = traced_metro_edge(15.0);
+    let b = traced_metro_edge(15.0);
+    assert_eq!(
+        fib_trace::mask_wall_fields(&a.to_json()),
+        fib_trace::mask_wall_fields(&b.to_json()),
+        "same seed must export the same trace once ts/dur are masked"
+    );
+    // Audit records carry no wall-clock fields, so they must be equal
+    // outright — trigger strings, candidate counts, utilizations, all.
+    assert_eq!(a.audits(), b.audits());
+    assert!(
+        !a.audits().is_empty(),
+        "metro_edge must inject at least one lie by t=15"
+    );
+}
+
+#[test]
+fn trace_covers_every_layer_of_the_stack() {
+    let sink = traced_metro_edge(15.0);
+    let json = sink.to_json();
+    for phase in [
+        Phase::KernelDispatch,
+        Phase::SpfFull,
+        Phase::SpfPartial,
+        Phase::PrefixRoutes,
+        Phase::SolverProbe,
+        Phase::Settle,
+        Phase::FibInstall,
+        Phase::CtrlPoll,
+        Phase::CtrlOptimize,
+    ] {
+        assert!(
+            sink.attribution().iter().any(|a| a.phase == phase.name()),
+            "no spans recorded for {}",
+            phase.name()
+        );
+    }
+    assert!(json.contains("\"name\":\"lie.inject\""), "audit instants");
+    assert!(json.contains("\"name\":\"queue.depth\""), "kernel gauge");
+    assert!(
+        json.contains("\"name\":\"settle.dirty_flows\""),
+        "dirty-set histogram"
+    );
+    let pct_sum: f64 = sink.attribution().iter().map(|a| a.pct).sum();
+    assert!(
+        (pct_sum - 100.0).abs() < 1e-6,
+        "self-time attribution must partition the traced clock, got {pct_sum}"
+    );
+}
+
+#[test]
+fn noop_default_arms_zero_spans() {
+    assert!(!fib_trace::enabled(), "no sink installed by default");
+    let before = fib_trace::spans_started();
+    let spec = load_scenario("metro_edge").expect("shipped scenario");
+    let mut run = build(
+        &spec,
+        RunOptions {
+            horizon_secs: Some(15.0),
+            ..RunOptions::default()
+        },
+    )
+    .expect("build metro_edge");
+    run.run_until_secs(15.0);
+    let _ = run.finish();
+    assert!(!fib_trace::enabled());
+    assert_eq!(
+        fib_trace::spans_started(),
+        before,
+        "a sink-less run must not arm a single span"
+    );
+}
