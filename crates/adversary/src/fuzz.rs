@@ -1,0 +1,346 @@
+//! The seeded scenario fuzzer: mutate, run, score, minimize, archive.
+//!
+//! Each iteration derives a mutation sequence from the seed, applies
+//! it to the base scenario, runs the result (loop probe armed), and
+//! scores the report against the unmutated baseline for three signal
+//! classes:
+//!
+//! * `fwd-loop` — the loop probe fired where the baseline run was
+//!   loop-free (fault scripts that micro-loop during reconvergence
+//!   under the stock schedule don't count their loops as finds);
+//! * `unroutable-spike` — blackout flow-seconds beyond the invariant
+//!   bound (`factor × baseline + slack`);
+//! * `qoe-cliff` — mean QoE fell more than the cliff threshold below
+//!   the baseline (a mutation that *gradually* degrades QoE is
+//!   uninteresting; a cliff hints at a routing or retraction race).
+//!
+//! A scoring find is [`minimize`]d by greedy mutation-reversal (each
+//! probe is a full deterministic sim run) and can then be
+//! [`archive_find`]-ed: serialized under `scenarios/found/` with
+//! `pin_seed = true` and an `[expect]` stanza recording the bad
+//! behaviour, so `scenario_suite --suite found` fails loudly the day
+//! a code change makes the find unreproducible — or the day the bug
+//! it witnesses comes back, depending on which side of the bound the
+//! stanza pins.
+
+use crate::invariants::{Baseline, InvariantConfig};
+use crate::minimize::minimize;
+use crate::mutate::{apply_all, gen_mutations, Mutation};
+use fib_scenario::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::{Path, PathBuf};
+
+/// Fuzzer configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzConfig {
+    /// Master seed: derives every iteration's mutation draw.
+    pub seed: u64,
+    /// Mutated scenarios to try.
+    pub iters: usize,
+    /// Mutations composed per iteration.
+    pub max_mutations: usize,
+    /// QoE drop (mean score, 0..1 scale) that counts as a cliff.
+    pub qoe_cliff: f64,
+    /// Horizon override (seconds) for faster campaigns.
+    pub horizon_secs: Option<f64>,
+    /// Bounds for the unroutable-spike signal.
+    pub invariants: InvariantConfig,
+    /// Minimize finds (every probe is one more sim run).
+    pub minimize: bool,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 0xFACE,
+            iters: 32,
+            max_mutations: 4,
+            qoe_cliff: 0.3,
+            horizon_secs: None,
+            invariants: InvariantConfig::default(),
+            minimize: true,
+        }
+    }
+}
+
+/// A scoring mutated scenario, minimized if the campaign asked for it.
+#[derive(Debug, Clone)]
+pub struct Find {
+    /// Iteration that produced it.
+    pub iter: usize,
+    /// Signal class: `fwd-loop`, `unroutable-spike`, or `qoe-cliff`.
+    pub signal: String,
+    /// The (minimized) mutation sequence from the base spec.
+    pub mutations: Vec<Mutation>,
+    /// The mutated spec the signal reproduces on.
+    pub spec: ScenarioSpec,
+    /// Mean QoE score of the find's run.
+    pub mean_qoe: f64,
+    /// Unroutable flow-seconds of the find's run.
+    pub unroutable_flow_secs: f64,
+    /// Settle points with a forwarding loop in the find's run.
+    pub fwd_loop_settles: u64,
+    /// Lies still installed at the find's horizon.
+    pub final_lies: u64,
+}
+
+/// What a fuzzing campaign produced.
+#[derive(Debug, Clone)]
+pub struct FuzzOutcome {
+    /// Base scenario fuzzed.
+    pub scenario: String,
+    /// Master seed of the campaign.
+    pub seed: u64,
+    /// Iterations executed.
+    pub iters: usize,
+    /// Total sim runs (baseline + iterations + minimization probes).
+    pub runs: usize,
+    /// The finds, in iteration order.
+    pub finds: Vec<Find>,
+    /// Baseline mean QoE the cliff signal compared against.
+    pub baseline_qoe: f64,
+    /// Baseline for the unroutable-spike signal.
+    pub baseline: Baseline,
+}
+
+fn run_once(spec: &ScenarioSpec, horizon: Option<f64>) -> Result<ScenarioReport, SpecError> {
+    run(
+        spec,
+        RunOptions {
+            horizon_secs: horizon,
+            check_loops: true,
+            ..RunOptions::default()
+        },
+    )
+}
+
+/// Which signal (if any) `report` raises against the baseline.
+fn signal_of(
+    report: &ScenarioReport,
+    baseline: &Baseline,
+    baseline_qoe: f64,
+    cfg: &FuzzConfig,
+) -> Option<&'static str> {
+    if baseline.fwd_loop_settles == 0 && report.fwd_loop_settles > 0 {
+        return Some("fwd-loop");
+    }
+    let bound = cfg.invariants.unroutable_factor * baseline.unroutable_flow_secs
+        + cfg.invariants.unroutable_slack_secs;
+    if report.unroutable_flow_secs > bound {
+        return Some("unroutable-spike");
+    }
+    if report.qoe.sessions > 0 && baseline_qoe - report.qoe.mean_score > cfg.qoe_cliff {
+        return Some("qoe-cliff");
+    }
+    None
+}
+
+/// Fuzz `base` per `cfg`. Deterministic: the same base spec and
+/// config reproduce the same finds (and the same minimizations).
+pub fn fuzz(base: &ScenarioSpec, cfg: &FuzzConfig) -> Result<FuzzOutcome, SpecError> {
+    let base_report = run_once(base, cfg.horizon_secs)?;
+    let baseline = Baseline::from_report(&base_report);
+    let baseline_qoe = base_report.qoe.mean_score;
+    let mut runs = 1usize;
+    let mut finds = Vec::new();
+
+    for iter in 0..cfg.iters {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ (iter as u64).wrapping_mul(0x9E37_79B9));
+        let mutations = gen_mutations(base, &mut rng, cfg.max_mutations);
+        let mutated = apply_all(base, &mutations);
+        let Ok(report) = run_once(&mutated, cfg.horizon_secs) else {
+            // A mutation produced an unrunnable spec (e.g. a retarget
+            // raced a structural edit); skip, the draw was still spent.
+            continue;
+        };
+        runs += 1;
+        let Some(signal) = signal_of(&report, &baseline, baseline_qoe, cfg) else {
+            continue;
+        };
+
+        let (mutations, report) = if cfg.minimize {
+            let mut probes = 0usize;
+            let minimal = minimize(base, &mutations, |candidate| {
+                probes += 1;
+                match run_once(candidate, cfg.horizon_secs) {
+                    Ok(r) => signal_of(&r, &baseline, baseline_qoe, cfg) == Some(signal),
+                    Err(_) => false,
+                }
+            });
+            runs += probes;
+            let minimal_spec = apply_all(base, &minimal);
+            let report = run_once(&minimal_spec, cfg.horizon_secs)?;
+            runs += 1;
+            (minimal, report)
+        } else {
+            (mutations, report)
+        };
+
+        finds.push(Find {
+            iter,
+            signal: signal.to_string(),
+            mutations: mutations.clone(),
+            spec: apply_all(base, &mutations),
+            mean_qoe: report.qoe.mean_score,
+            unroutable_flow_secs: report.unroutable_flow_secs,
+            fwd_loop_settles: report.fwd_loop_settles,
+            final_lies: report.final_lies,
+        });
+    }
+
+    Ok(FuzzOutcome {
+        scenario: base.name.clone(),
+        seed: cfg.seed,
+        iters: cfg.iters,
+        runs,
+        finds,
+        baseline_qoe,
+        baseline,
+    })
+}
+
+/// Derive the `[expect]` stanza pinning a find's bad behaviour, with
+/// margins wide enough to survive benign jitter from unrelated
+/// changes but tight enough to notice the signal vanishing.
+fn expect_for(find: &Find) -> ExpectSpec {
+    let mut x = ExpectSpec::default();
+    match find.signal.as_str() {
+        "fwd-loop" => {
+            x.min_fwd_loops = Some(1);
+        }
+        "unroutable-spike" => {
+            x.min_unroutable_flow_secs = Some(find.unroutable_flow_secs * 0.5);
+        }
+        _ => {
+            // qoe-cliff: the find's mean QoE plus margin stays below
+            // where the baseline was.
+            x.max_mean_qoe = Some(find.mean_qoe + 0.1);
+        }
+    }
+    x
+}
+
+/// Archive `find` as a replayable regression scenario under `dir`
+/// (normally `scenarios/found/`): `pin_seed = true`, a provenance
+/// description, and an `[expect]` stanza the suite runner enforces.
+/// Returns the path written. The file name is the scenario name, so
+/// `scenario_suite --suite found` picks it up by construction.
+pub fn archive_find(find: &Find, base_name: &str, dir: &Path) -> std::io::Result<PathBuf> {
+    let mut spec = find.spec.clone();
+    spec.name = format!(
+        "{base_name}_f{:03}_{}",
+        find.iter,
+        find.signal.replace('-', "_")
+    );
+    spec.pin_seed = true;
+    spec.description = format!(
+        "fuzzer find ({}): {} mutation(s) on `{}`; archived by fib-adversary",
+        find.signal,
+        find.mutations.len(),
+        base_name
+    );
+    spec.expect = Some(expect_for(find));
+    let path = dir.join(format!("{}.toml", spec.name));
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(&path, spec.to_toml_string())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately fragile base: a line topology (every link a
+    /// bridge) near capacity, so mutations readily open blackouts
+    /// and QoE cliffs.
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec::from_toml_str(
+            r#"
+name = "fuzz_tiny"
+horizon_secs = 20.0
+seed = 5
+capacity = 1e6
+
+[topology]
+kind = "line"
+n = 4
+
+[[workload]]
+kind = "constant"
+at = 2.0
+src = 1
+n = 6
+rate = 1.5e5
+video_secs = 60.0
+
+[[event]]
+at = 8.0
+action = "fail_link"
+a = 2
+b = 3
+
+[[event]]
+at = 9.0
+action = "restore_link"
+a = 2
+b = 3
+"#,
+        )
+        .unwrap()
+    }
+
+    fn cfg() -> FuzzConfig {
+        FuzzConfig {
+            seed: 77,
+            iters: 10,
+            max_mutations: 3,
+            qoe_cliff: 0.2,
+            ..FuzzConfig::default()
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic_and_scores_finds() {
+        let a = fuzz(&spec(), &cfg()).unwrap();
+        let b = fuzz(&spec(), &cfg()).unwrap();
+        assert_eq!(a.runs, b.runs);
+        assert_eq!(a.finds.len(), b.finds.len());
+        for (x, y) in a.finds.iter().zip(&b.finds) {
+            assert_eq!(x.signal, y.signal);
+            assert_eq!(x.mutations, y.mutations);
+            assert_eq!(x.spec, y.spec);
+        }
+        assert!(
+            !a.finds.is_empty(),
+            "a near-capacity line under link faults must yield finds"
+        );
+        // Minimized finds still reproduce their signal and are minimal
+        // by construction (minimize() re-checks every single-drop).
+        for f in &a.finds {
+            assert!(!f.mutations.is_empty());
+        }
+    }
+
+    #[test]
+    fn archived_finds_replay_with_their_expectations() {
+        let out = fuzz(&spec(), &cfg()).unwrap();
+        let find = &out.finds[0];
+        let dir = std::env::temp_dir().join("fib_adversary_fuzz_test");
+        let path = archive_find(find, "fuzz_tiny", &dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let spec = ScenarioSpec::from_toml_str(&text).unwrap();
+        assert!(spec.pin_seed, "archived finds pin their seed");
+        let expect = spec.expect.clone().expect("archived finds carry [expect]");
+        assert!(!expect.is_empty());
+        // Replaying the archived file (as the suite runner would)
+        // satisfies its own expectation stanza.
+        let report = run(&spec, RunOptions::default()).unwrap();
+        let violations = expect.check(&report);
+        assert!(
+            violations.is_empty(),
+            "archived expectation must hold on replay: {violations:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

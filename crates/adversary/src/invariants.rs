@@ -1,0 +1,188 @@
+//! The safety invariants every explored interleaving must satisfy.
+//!
+//! A permuted schedule is allowed to change *performance* (different
+//! orderings legitimately shift when flows see the new routes), but
+//! not *safety*. Three invariants capture that line:
+//!
+//! 1. **Forwarding loop-freedom** — at no settle point may any
+//!    prefix's forwarding graph contain a cycle (the loop probe in
+//!    `fib_netsim` checks every settle when armed). Relative to the
+//!    identity run: transient micro-loops during IGP reconvergence
+//!    are a textbook property of link-state networks and some fault
+//!    scripts exhibit them under the stock schedule too — but if the
+//!    stock schedule is loop-free, no reordering may introduce one.
+//! 2. **Bounded unroutable flow-seconds** — reordering deliveries
+//!    inside a small window may lengthen a convergence gap slightly,
+//!    but not open a blackout. The bound is relative to the identity
+//!    run: `factor × baseline + slack`.
+//! 3. **Eventual lie retraction** — if the identity schedule ends
+//!    with every lie retracted, so must every explored interleaving:
+//!    a lie that survives only under some orderings is a retraction
+//!    race.
+
+use fib_scenario::prelude::ScenarioReport;
+
+/// Bounds configuration for the relative invariants.
+#[derive(Debug, Clone, Copy)]
+pub struct InvariantConfig {
+    /// Multiplier on the identity run's unroutable flow-seconds.
+    pub unroutable_factor: f64,
+    /// Additive slack (flow-seconds) on top of the scaled baseline,
+    /// so a zero-blackout baseline still tolerates sub-slack jitter.
+    pub unroutable_slack_secs: f64,
+}
+
+impl Default for InvariantConfig {
+    fn default() -> Self {
+        InvariantConfig {
+            unroutable_factor: 10.0,
+            unroutable_slack_secs: 5.0,
+        }
+    }
+}
+
+/// What the identity (stock-FIFO) run of the scenario looked like;
+/// the relative invariants compare against this.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Baseline {
+    /// Identity run's integrated unroutable flow-seconds.
+    pub unroutable_flow_secs: f64,
+    /// Identity run's lies still installed at the horizon.
+    pub final_lies: u64,
+    /// Identity run's settle points with a forwarding loop (some
+    /// fault scripts micro-loop during reconvergence even under the
+    /// stock schedule).
+    pub fwd_loop_settles: u64,
+}
+
+impl Baseline {
+    /// Extract the baseline from the identity run's report.
+    pub fn from_report(report: &ScenarioReport) -> Baseline {
+        Baseline {
+            unroutable_flow_secs: report.unroutable_flow_secs,
+            final_lies: report.final_lies,
+            fwd_loop_settles: report.fwd_loop_settles,
+        }
+    }
+}
+
+/// Check one explored run against the invariants. `label` names the
+/// schedule (a plan or walk id); `loop_details` carries the rendered
+/// cycles the loop probe logged (may be truncated by its cap).
+/// Returns one violation string per broken invariant, empty if safe.
+pub fn check(
+    label: &str,
+    report: &ScenarioReport,
+    loop_details: &[String],
+    baseline: &Baseline,
+    cfg: &InvariantConfig,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    if baseline.fwd_loop_settles == 0 && report.fwd_loop_settles > 0 {
+        let detail = if loop_details.is_empty() {
+            String::new()
+        } else {
+            format!(" ({})", loop_details.join("; "))
+        };
+        out.push(format!(
+            "{label}: forwarding loop at {} settle point(s){detail}",
+            report.fwd_loop_settles
+        ));
+    }
+    let bound = cfg.unroutable_factor * baseline.unroutable_flow_secs + cfg.unroutable_slack_secs;
+    if report.unroutable_flow_secs > bound {
+        out.push(format!(
+            "{label}: unroutable flow-seconds {:.6} exceed bound {:.6} \
+             (= {} x baseline {:.6} + {} slack)",
+            report.unroutable_flow_secs,
+            bound,
+            cfg.unroutable_factor,
+            baseline.unroutable_flow_secs,
+            cfg.unroutable_slack_secs
+        ));
+    }
+    if baseline.final_lies == 0 && report.final_lies > 0 {
+        out.push(format!(
+            "{label}: {} lie(s) never retracted (identity schedule retracts all) \
+             — retraction race",
+            report.final_lies
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fib_video::prelude::QoeSummary;
+
+    fn report() -> ScenarioReport {
+        ScenarioReport {
+            name: "t".into(),
+            seed: 1,
+            horizon_secs: 10.0,
+            routers: 3,
+            links: 3,
+            sessions: 1,
+            max_util: 0.5,
+            mean_util: 0.2,
+            peak_lies: 1,
+            final_lies: 0,
+            injections: 1,
+            retractions: 1,
+            reactions: 1,
+            reaction_secs: None,
+            unroutable_flow_secs: 0.0,
+            fwd_loop_settles: 0,
+            ctrl_pkts: 0,
+            ctrl_bytes: 0,
+            qoe: QoeSummary::default(),
+            trace_csv: String::new(),
+        }
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        let b = Baseline::default();
+        assert!(check("id", &report(), &[], &b, &InvariantConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn each_invariant_trips_independently() {
+        let cfg = InvariantConfig::default();
+        let base = Baseline {
+            unroutable_flow_secs: 1.0,
+            final_lies: 0,
+            fwd_loop_settles: 0,
+        };
+        let mut loops = report();
+        loops.fwd_loop_settles = 2;
+        let v = check("p", &loops, &["cycle 1->2->1".into()], &base, &cfg);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("forwarding loop") && v[0].contains("cycle 1->2->1"));
+        // Not a violation when the identity schedule micro-loops too.
+        let loopy_base = Baseline {
+            fwd_loop_settles: 1,
+            ..base
+        };
+        assert!(check("p", &loops, &[], &loopy_base, &cfg).is_empty());
+
+        let mut blackout = report();
+        blackout.unroutable_flow_secs = 100.0;
+        let v = check("p", &blackout, &[], &base, &cfg);
+        assert_eq!(v.len(), 1, "bound is 10*1+5=15: {v:?}");
+        assert!(v[0].contains("exceed bound"));
+
+        let mut stuck = report();
+        stuck.final_lies = 3;
+        let v = check("p", &stuck, &[], &base, &cfg);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("retraction race"));
+        // Not a violation when the baseline itself keeps lies.
+        let dirty_base = Baseline {
+            final_lies: 1,
+            ..base
+        };
+        assert!(check("p", &stuck, &[], &dirty_base, &cfg).is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! # fib-adversary — hunt the races and QoE cliffs nobody scripted
+//!
+//! Every pinned artifact in this workspace proves the simulator is
+//! deterministic; none of them proves the *system under test* is
+//! robust to orderings the stable FIFO tie-break happens not to
+//! produce. Real networks have no such tie-break: an LSA and an SNMP
+//! poll landing "at the same time" arrive in whichever order the wires
+//! decide. This crate attacks that gap from two sides:
+//!
+//! * the **schedule explorer** ([`explore`]) replays a pinned scenario
+//!   while driving the event kernel's [`fib_sim_kernel::TieBreak`]
+//!   hook: within a time window around a fault instant it permutes
+//!   every batch of same-timestamp events — exhaustively up to a
+//!   bounded depth (Lehmer-unranked permutation plans), then with
+//!   seeded random walks — and asserts safety invariants on every
+//!   interleaving (forwarding loop-freedom at settle points, bounded
+//!   unroutable flow-seconds, eventual lie retraction);
+//! * the **scenario fuzzer** ([`fuzz`]) mutates [`ScenarioSpec`]s
+//!   (shift/duplicate/reorder fault-script entries, scale crowds and
+//!   capacities, retarget link faults onto bridges), scores runs for
+//!   invariant violations and QoE cliffs, **minimizes** finds by
+//!   greedy mutation-reversal, and archives them as replayable
+//!   regression files under `scenarios/found/` with an `[expect]`
+//!   stanza the suite runner enforces.
+//!
+//! Everything is deterministic: the same seed reproduces the same
+//! plans, the same walks, the same finds, and the same schedule
+//! fingerprints — CI double-runs the whole thing and byte-diffs the
+//! artifact. Exploration decisions are additionally audited through
+//! [`fib_trace::order`], so an exported Chrome trace of an adversary
+//! run shows exactly which batches were reordered and how.
+//!
+//! See `docs/ADVERSARY.md` for the exploration model, the invariant
+//! definitions, and the found-corpus lifecycle.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod explore;
+pub mod fuzz;
+pub mod hook;
+pub mod invariants;
+pub mod minimize;
+pub mod mutate;
+
+pub use fib_scenario::prelude::ScenarioSpec;
+
+/// Convenient re-exports of the most used items.
+pub mod prelude {
+    pub use crate::explore::{explore, ExploreConfig, ExploreOutcome};
+    pub use crate::fuzz::{archive_find, fuzz, Find, FuzzConfig, FuzzOutcome};
+    pub use crate::hook::{
+        factorial, fingerprint, new_log, unrank, PlanHook, RandomHook, ScheduleLog,
+    };
+    pub use crate::invariants::{Baseline, InvariantConfig};
+    pub use crate::minimize::minimize;
+    pub use crate::mutate::{apply, apply_all, bridges, gen_mutations, Mutation};
+}

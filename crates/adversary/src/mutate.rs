@@ -1,0 +1,413 @@
+//! Mutation operators over [`ScenarioSpec`]s.
+//!
+//! Each [`Mutation`] is a small, named, *reversible-by-omission* edit:
+//! the fuzzer composes a handful per iteration, and the minimizer
+//! shrinks a find by dropping mutations one at a time and re-checking.
+//! Operators keep the spec well-formed — times are clamped into
+//! `[0, horizon]`, crowd sizes stay ≥ 1, link retargets only choose
+//! endpoints that exist in the seeded topology — and [`apply`] always
+//! finishes with a stable re-sort of the event script by time, which
+//! is exactly the normalization the TOML parser performs, so every
+//! mutated spec round-trips byte-stably through emit → parse.
+
+use fib_igp::types::RouterId;
+use fib_scenario::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// One spec edit. `idx` fields index into the spec's event or
+/// workload lists *at application time*; out-of-range indices are
+/// no-ops so a mutation sequence stays applicable while the minimizer
+/// drops earlier entries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mutation {
+    /// Shift event `idx` by `delta_secs` (clamped to `[0, horizon]`).
+    ShiftEvent {
+        /// Event index.
+        idx: usize,
+        /// Signed shift in seconds.
+        delta_secs: f64,
+    },
+    /// Clone event `idx` and schedule the copy at `at_secs`.
+    DuplicateEvent {
+        /// Event index to clone.
+        idx: usize,
+        /// Time of the duplicate (clamped to `[0, horizon]`).
+        at_secs: f64,
+    },
+    /// Swap the times of events `i` and `j` (reorders the script).
+    SwapEventTimes {
+        /// First event index.
+        i: usize,
+        /// Second event index.
+        j: usize,
+    },
+    /// Scale workload `idx`'s crowd size by `factor` (min 1 session;
+    /// only `constant`/`poisson` workloads carry a crowd).
+    ScaleCrowd {
+        /// Workload index.
+        idx: usize,
+        /// Multiplier on `n`.
+        factor: f64,
+    },
+    /// Scale the uniform link capacity by `factor`.
+    ScaleCapacity {
+        /// Multiplier on `capacity`.
+        factor: f64,
+    },
+    /// Point link-fault event `idx` at the link `a`-`b` instead —
+    /// the generator aims these at topology bridges, where a failure
+    /// actually partitions traffic.
+    RetargetLink {
+        /// Event index (must be `fail_link`/`restore_link`/`set_capacity`).
+        idx: usize,
+        /// New endpoint.
+        a: u32,
+        /// New endpoint.
+        b: u32,
+    },
+}
+
+fn clamp_at(at: f64, horizon: f64) -> f64 {
+    at.clamp(0.0, horizon)
+}
+
+/// Apply one mutation, returning the edited spec. The event script is
+/// stably re-sorted by time afterwards (mirroring the parser), so the
+/// result round-trips through `emit`/`parse` unchanged.
+pub fn apply(spec: &ScenarioSpec, m: &Mutation) -> ScenarioSpec {
+    let mut s = spec.clone();
+    match m {
+        Mutation::ShiftEvent { idx, delta_secs } => {
+            if let Some(e) = s.events.get_mut(*idx) {
+                e.at = clamp_at(e.at + delta_secs, s.horizon_secs);
+            }
+        }
+        Mutation::DuplicateEvent { idx, at_secs } => {
+            if let Some(e) = s.events.get(*idx) {
+                let mut dup = e.clone();
+                dup.at = clamp_at(*at_secs, s.horizon_secs);
+                s.events.push(dup);
+            }
+        }
+        Mutation::SwapEventTimes { i, j } => {
+            if *i < s.events.len() && *j < s.events.len() && i != j {
+                let ti = s.events[*i].at;
+                s.events[*i].at = s.events[*j].at;
+                s.events[*j].at = ti;
+            }
+        }
+        Mutation::ScaleCrowd { idx, factor } => {
+            if let Some(w) = s.workloads.get_mut(*idx) {
+                match w {
+                    WorkloadSpec::Constant { n, .. } | WorkloadSpec::Poisson { n, .. } => {
+                        *n = ((f64::from(*n) * factor).round() as u32).max(1);
+                    }
+                    WorkloadSpec::Paper { .. } | WorkloadSpec::Diurnal { .. } => {}
+                }
+            }
+        }
+        Mutation::ScaleCapacity { factor } => {
+            s.capacity *= factor;
+        }
+        Mutation::RetargetLink { idx, a, b } => {
+            if let Some(e) = s.events.get_mut(*idx) {
+                match &mut e.kind {
+                    EventKind::FailLink { a: ea, b: eb }
+                    | EventKind::RestoreLink { a: ea, b: eb }
+                    | EventKind::SetCapacity { a: ea, b: eb, .. } => {
+                        *ea = *a;
+                        *eb = *b;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    // The parser stably sorts the script by time; match it so the
+    // mutated spec equals its own emit→parse round-trip.
+    s.events.sort_by(|x, y| x.at.total_cmp(&y.at));
+    s
+}
+
+/// Apply a mutation sequence left to right.
+pub fn apply_all(spec: &ScenarioSpec, ms: &[Mutation]) -> ScenarioSpec {
+    ms.iter().fold(spec.clone(), |s, m| apply(&s, m))
+}
+
+/// The bridge links of the spec's seeded topology (undirected, as
+/// sorted `(a, b)` pairs): removing any of these disconnects real
+/// routers, so they are where link faults bite hardest. Computed by
+/// one DFS low-link pass over the same graph `build` would construct.
+pub fn bridges(spec: &ScenarioSpec) -> Vec<(u32, u32)> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let topo = build_topology(&spec.topology, &mut rng);
+
+    // Dense-index the routers; collect the undirected adjacency.
+    let routers: Vec<RouterId> = topo.routers().collect();
+    let index: BTreeMap<RouterId, usize> =
+        routers.iter().enumerate().map(|(i, r)| (*r, i)).collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); routers.len()];
+    for (i, r) in routers.iter().enumerate() {
+        for l in topo.links(*r) {
+            if let Some(&j) = index.get(&l.to) {
+                adj[i].push(j);
+            }
+        }
+    }
+
+    // Iterative Tarjan bridge-finding (lowpoint DFS). The explicit
+    // stack carries (node, parent, next-neighbor cursor); an edge
+    // (u, v) is a bridge when low[v] > disc[u]. Parallel edges don't
+    // occur (the builder adds each symmetric link once per direction).
+    let n = routers.len();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![usize::MAX; n];
+    let mut time = 0usize;
+    let mut out = Vec::new();
+    for start in 0..n {
+        if disc[start] != usize::MAX {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize, usize)> = vec![(start, usize::MAX, 0)];
+        disc[start] = time;
+        low[start] = time;
+        time += 1;
+        while let Some(&mut (u, parent, ref mut cursor)) = stack.last_mut() {
+            if *cursor < adj[u].len() {
+                let v = adj[u][*cursor];
+                *cursor += 1;
+                if disc[v] == usize::MAX {
+                    disc[v] = time;
+                    low[v] = time;
+                    time += 1;
+                    stack.push((v, u, 0));
+                } else if v != parent {
+                    low[u] = low[u].min(disc[v]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&mut (p, _, _)) = stack.last_mut() {
+                    low[p] = low[p].min(low[u]);
+                    if low[u] > disc[p] {
+                        let (a, b) = (routers[p].0, routers[u].0);
+                        out.push((a.min(b), a.max(b)));
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Draw `k` random mutations for `spec` from `rng`. Link retargets
+/// prefer bridges when the topology has any; every operator's
+/// parameters stay within the spec's own ranges.
+pub fn gen_mutations(spec: &ScenarioSpec, rng: &mut StdRng, k: usize) -> Vec<Mutation> {
+    let bridges = bridges(spec);
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k {
+        let has_events = !spec.events.is_empty();
+        let has_workloads = !spec.workloads.is_empty();
+        let m = loop {
+            match rng.gen_range(0..6u32) {
+                0 if has_events => {
+                    break Mutation::ShiftEvent {
+                        idx: rng.gen_range(0..spec.events.len()),
+                        delta_secs: rng.gen_range(-5.0..5.0),
+                    }
+                }
+                1 if has_events => {
+                    break Mutation::DuplicateEvent {
+                        idx: rng.gen_range(0..spec.events.len()),
+                        at_secs: rng.gen_range(0.0..spec.horizon_secs),
+                    }
+                }
+                2 if spec.events.len() >= 2 => {
+                    break Mutation::SwapEventTimes {
+                        i: rng.gen_range(0..spec.events.len()),
+                        j: rng.gen_range(0..spec.events.len()),
+                    }
+                }
+                3 if has_workloads => {
+                    break Mutation::ScaleCrowd {
+                        idx: rng.gen_range(0..spec.workloads.len()),
+                        factor: rng.gen_range(0.5..4.0),
+                    }
+                }
+                4 => {
+                    break Mutation::ScaleCapacity {
+                        factor: rng.gen_range(0.25..1.5),
+                    }
+                }
+                5 if has_events && !bridges.is_empty() => {
+                    let (a, b) = bridges[rng.gen_range(0..bridges.len())];
+                    break Mutation::RetargetLink {
+                        idx: rng.gen_range(0..spec.events.len()),
+                        a,
+                        b,
+                    };
+                }
+                _ => {} // infeasible for this spec; redraw
+            }
+        };
+        out.push(m);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec::from_toml_str(
+            r#"
+name = "mutate_base"
+horizon_secs = 30.0
+seed = 11
+capacity = 2e6
+
+[topology]
+kind = "line"
+n = 5
+
+[controller]
+attach = 3
+default_flow_rate = 100000.0
+
+[[workload]]
+kind = "constant"
+at = 2.0
+src = 1
+n = 8
+rate = 1e5
+video_secs = 60.0
+
+[[workload]]
+kind = "poisson"
+start = 4.0
+mean_gap_secs = 0.5
+n = 6
+src = 2
+rate = 1e5
+video_secs = 30.0
+
+[[event]]
+at = 10.0
+action = "fail_link"
+a = 2
+b = 3
+
+[[event]]
+at = 20.0
+action = "restore_link"
+a = 2
+b = 3
+"#,
+        )
+        .unwrap()
+    }
+
+    fn roundtrip(s: &ScenarioSpec) -> ScenarioSpec {
+        ScenarioSpec::from_toml_str(&s.to_toml_string()).unwrap()
+    }
+
+    #[test]
+    fn every_operator_round_trips_through_the_parser() {
+        let base = spec();
+        let ops = vec![
+            Mutation::ShiftEvent {
+                idx: 0,
+                delta_secs: 3.25,
+            },
+            Mutation::ShiftEvent {
+                idx: 1,
+                delta_secs: -40.0, // clamps to 0 and reorders
+            },
+            Mutation::DuplicateEvent {
+                idx: 0,
+                at_secs: 25.5,
+            },
+            Mutation::SwapEventTimes { i: 0, j: 1 },
+            Mutation::ScaleCrowd {
+                idx: 0,
+                factor: 2.5,
+            },
+            Mutation::ScaleCrowd {
+                idx: 1,
+                factor: 0.01, // floors at n = 1
+            },
+            Mutation::ScaleCapacity { factor: 0.5 },
+            Mutation::RetargetLink { idx: 1, a: 4, b: 5 },
+        ];
+        for m in &ops {
+            let mutated = apply(&base, m);
+            assert_eq!(
+                roundtrip(&mutated),
+                mutated,
+                "operator {m:?} must round-trip through emit→parse"
+            );
+        }
+        // And composed sequences round-trip too.
+        let mutated = apply_all(&base, &ops);
+        assert_eq!(roundtrip(&mutated), mutated);
+    }
+
+    #[test]
+    fn operators_respect_spec_bounds() {
+        let base = spec();
+        let s = apply(
+            &base,
+            &Mutation::ShiftEvent {
+                idx: 0,
+                delta_secs: 1e9,
+            },
+        );
+        assert!(s.events.iter().all(|e| e.at <= base.horizon_secs));
+        let s = apply(
+            &base,
+            &Mutation::ScaleCrowd {
+                idx: 1,
+                factor: 0.0,
+            },
+        );
+        let WorkloadSpec::Poisson { n, .. } = s.workloads[1] else {
+            panic!("workload kind changed");
+        };
+        assert_eq!(n, 1, "crowd floors at one session");
+        // Out-of-range indices are no-ops.
+        assert_eq!(
+            apply(
+                &base,
+                &Mutation::ShiftEvent {
+                    idx: 99,
+                    delta_secs: 1.0
+                }
+            ),
+            base
+        );
+    }
+
+    #[test]
+    fn line_topology_is_all_bridges() {
+        let b = bridges(&spec());
+        assert_eq!(b, vec![(1, 2), (2, 3), (3, 4), (4, 5)]);
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_in_range() {
+        let base = spec();
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        let a = gen_mutations(&base, &mut r1, 12);
+        let b = gen_mutations(&base, &mut r2, 12);
+        assert_eq!(a, b, "same seed, same mutations");
+        // Applying any generated sequence keeps the spec parseable.
+        let mutated = apply_all(&base, &a);
+        assert_eq!(roundtrip(&mutated), mutated);
+    }
+}

@@ -1,0 +1,68 @@
+//! The explorer's identity path must be invisible.
+//!
+//! Arming the kernel's tie-break hook with an empty plan (the
+//! explorer's baseline run) must not perturb the simulation at all:
+//! the pinned scenario artifacts — `summary_csv` and the full trace
+//! CSV — must be byte-identical to a stock run without any hook. This
+//! is the property that makes explorer baselines trustworthy: rank 0
+//! IS the schedule every other artifact in the repo was pinned under.
+
+use fib_adversary::prelude::*;
+use fib_scenario::prelude::*;
+
+fn artifacts(spec: &ScenarioSpec, armed: bool) -> (String, String) {
+    let opts = RunOptions {
+        horizon_secs: Some(25.0),
+        ..RunOptions::default()
+    };
+    let mut run = build(spec, opts).unwrap();
+    if armed {
+        let log = new_log();
+        run.sim
+            .set_tie_break(Some(Box::new(PlanHook::new((0.0, 25.0), Vec::new(), log))));
+    }
+    let report = run.finish();
+    (report.summary_csv(), report.trace_csv.clone())
+}
+
+#[test]
+fn identity_explorer_run_is_byte_identical_to_stock() {
+    for name in ["paper_demo", "link_failure_under_load"] {
+        let spec = load_scenario(name).unwrap();
+        let (stock_summary, stock_trace) = artifacts(&spec, false);
+        let (armed_summary, armed_trace) = artifacts(&spec, true);
+        assert_eq!(
+            stock_summary, armed_summary,
+            "{name}: identity hook must not change the summary"
+        );
+        assert_eq!(
+            stock_trace, armed_trace,
+            "{name}: identity hook must not change the trace"
+        );
+    }
+}
+
+#[test]
+fn identity_plan_has_the_identity_fingerprint() {
+    // A plan of explicit rank-0 entries and the empty plan record the
+    // same canonicalized decisions, so they fingerprint identically.
+    let spec = load_scenario("paper_demo").unwrap();
+    let opts = RunOptions {
+        horizon_secs: Some(20.0),
+        check_loops: true,
+        ..RunOptions::default()
+    };
+    let fp_of = |plan: Vec<u64>| {
+        let log = new_log();
+        let mut run = build(&spec, opts).unwrap();
+        run.sim.set_tie_break(Some(Box::new(PlanHook::new(
+            (14.0, 16.0),
+            plan,
+            log.clone(),
+        ))));
+        run.finish();
+        let l = log.lock();
+        fingerprint(&l)
+    };
+    assert_eq!(fp_of(Vec::new()), fp_of(vec![0, 0, 0]));
+}

@@ -1,0 +1,297 @@
+//! Adversarial campaign driver: schedule exploration and scenario
+//! fuzzing from the command line.
+//!
+//! Two modes, chosen by the positional argument:
+//!
+//! * `adversary explore --scenario paper_demo` — permute every batch
+//!   of same-timestamp events inside `--window lo:hi` (default
+//!   `14:16`, around the paper timeline's t=15 lie install):
+//!   bounded-exhaustive permutation plans up to `--depth` decision
+//!   points (at most `--perm-cap` permutations each, `--max-runs`
+//!   total), then `--walks` seeded random walks. Every interleaving
+//!   is checked for forwarding loops, blackout spikes, and stuck
+//!   lies; **any violation exits nonzero**. The distinct-schedule
+//!   digest is deterministic for a seed — CI double-runs the binary
+//!   and byte-compares the JSON (wall-time keys masked).
+//! * `adversary fuzz --scenario paper_demo --iters 32` — seeded
+//!   mutation campaign over the scenario spec; finds are minimized
+//!   by mutation-reversal and, with `--archive DIR`, serialized as
+//!   replayable regression scenarios (`pin_seed = true` plus an
+//!   `[expect]` stanza) that `scenario_suite --suite found` enforces.
+//!
+//! Shared flags: `--seed N`, `--horizon SECS` (shrink for faster
+//! campaigns). Artifacts land in `results/BENCH_adversary.json`;
+//! `wall_secs`/`per_sec` are the only non-deterministic keys.
+
+use fib_adversary::prelude::*;
+use fib_bench::cli::Cli;
+use fib_bench::results_dir;
+use fib_scenario::prelude::*;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn parse_window(s: &str) -> (f64, f64) {
+    let parts: Vec<&str> = s.split(':').collect();
+    let pair = (|| -> Option<(f64, f64)> {
+        let [lo, hi] = parts.as_slice() else {
+            return None;
+        };
+        let (lo, hi) = (lo.parse::<f64>().ok()?, hi.parse::<f64>().ok()?);
+        (lo < hi).then_some((lo, hi))
+    })();
+    pair.unwrap_or_else(|| {
+        eprintln!("--window expects `lo:hi` seconds with lo < hi, got `{s}`");
+        std::process::exit(2);
+    })
+}
+
+fn load(cli: &Cli) -> ScenarioSpec {
+    let name = cli.get("scenario").unwrap_or("paper_demo");
+    load_scenario(name).unwrap_or_else(|e| {
+        eprintln!("cannot load scenario `{name}`: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn write_json(body: String) {
+    let path = results_dir().join("BENCH_adversary.json");
+    std::fs::write(&path, body).expect("write BENCH json");
+    println!("[saved {}]", path.display());
+}
+
+fn run_explore(cli: &Cli) {
+    let spec = load(cli);
+    let mut cfg = ExploreConfig {
+        seed: cli.seed(ExploreConfig::default().seed),
+        horizon_secs: cli.f64_flag("horizon"),
+        ..ExploreConfig::default()
+    };
+    if let Some(w) = cli.get("window") {
+        cfg.window = parse_window(w);
+    }
+    if let Some(d) = cli.u64_flag("depth") {
+        cfg.max_depth = d as usize;
+    }
+    if let Some(p) = cli.u64_flag("perm-cap") {
+        cfg.perm_cap = p.max(1);
+    }
+    if let Some(r) = cli.u64_flag("max-runs") {
+        cfg.max_runs = (r as usize).max(1);
+    }
+    if let Some(w) = cli.u64_flag("walks") {
+        cfg.walks = w as usize;
+    }
+
+    let wall = Instant::now();
+    let out = explore(&spec, &cfg).unwrap_or_else(|e| {
+        eprintln!("explore failed: {e}");
+        std::process::exit(1);
+    });
+    let wall_secs = wall.elapsed().as_secs_f64();
+    eprintln!(
+        "[adversary] {}: {} runs ({} exhaustive + {} walks), {} distinct \
+         interleavings, {} decision point(s) deep, max batch {}, digest {:016x}",
+        out.scenario,
+        out.runs,
+        out.exhaustive_runs,
+        out.walk_runs,
+        out.distinct,
+        out.max_decisions,
+        out.max_batch,
+        out.digest
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"adversary\",\n  \"mode\": \"explore\",\n");
+    let _ = writeln!(json, "  \"scenario\": \"{}\",", out.scenario);
+    let _ = writeln!(json, "  \"seed\": {},", cfg.seed);
+    let _ = writeln!(
+        json,
+        "  \"window\": [{:?}, {:?}],",
+        out.window.0, out.window.1
+    );
+    let _ = writeln!(json, "  \"depth\": {},", cfg.max_depth);
+    let _ = writeln!(json, "  \"perm_cap\": {},", cfg.perm_cap);
+    let _ = writeln!(json, "  \"runs\": {},", out.runs);
+    let _ = writeln!(json, "  \"exhaustive_runs\": {},", out.exhaustive_runs);
+    let _ = writeln!(json, "  \"walk_runs\": {},", out.walk_runs);
+    let _ = writeln!(json, "  \"distinct\": {},", out.distinct);
+    let _ = writeln!(json, "  \"max_decisions\": {},", out.max_decisions);
+    let _ = writeln!(json, "  \"max_batch\": {},", out.max_batch);
+    let _ = writeln!(json, "  \"digest\": \"{:016x}\",", out.digest);
+    let _ = writeln!(
+        json,
+        "  \"baseline_unroutable_flow_secs\": {:.6},",
+        out.baseline.unroutable_flow_secs
+    );
+    let _ = writeln!(
+        json,
+        "  \"baseline_final_lies\": {},",
+        out.baseline.final_lies
+    );
+    let _ = writeln!(
+        json,
+        "  \"baseline_fwd_loop_settles\": {},",
+        out.baseline.fwd_loop_settles
+    );
+    let viols: Vec<String> = out
+        .violations
+        .iter()
+        .map(|v| format!("    \"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    if viols.is_empty() {
+        let _ = writeln!(json, "  \"violations\": [],");
+    } else {
+        let _ = writeln!(json, "  \"violations\": [\n{}\n  ],", viols.join(",\n"));
+    }
+    let _ = writeln!(json, "  \"wall_secs\": {wall_secs:.6},");
+    let _ = writeln!(
+        json,
+        "  \"per_sec\": {:.3}\n}}",
+        out.runs as f64 / wall_secs.max(1e-9)
+    );
+    write_json(json);
+
+    if !out.violations.is_empty() {
+        eprintln!(
+            "[adversary] {} invariant violation(s):",
+            out.violations.len()
+        );
+        for v in &out.violations {
+            eprintln!("[adversary]   FAIL {v}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!("[adversary] all {} interleavings safe", out.distinct);
+}
+
+fn run_fuzz(cli: &Cli) {
+    let spec = load(cli);
+    let mut cfg = FuzzConfig {
+        seed: cli.seed(FuzzConfig::default().seed),
+        horizon_secs: cli.f64_flag("horizon"),
+        ..FuzzConfig::default()
+    };
+    if let Some(i) = cli.u64_flag("iters") {
+        cfg.iters = i as usize;
+    }
+    if let Some(m) = cli.u64_flag("mutations") {
+        cfg.max_mutations = (m as usize).max(1);
+    }
+    if let Some(q) = cli.f64_flag("qoe-cliff") {
+        cfg.qoe_cliff = q;
+    }
+
+    let wall = Instant::now();
+    let out = fuzz(&spec, &cfg).unwrap_or_else(|e| {
+        eprintln!("fuzz failed: {e}");
+        std::process::exit(1);
+    });
+    let wall_secs = wall.elapsed().as_secs_f64();
+    eprintln!(
+        "[adversary] {}: {} iters, {} sim runs, {} find(s), baseline QoE {:.3}",
+        out.scenario,
+        out.iters,
+        out.runs,
+        out.finds.len(),
+        out.baseline_qoe
+    );
+    for f in &out.finds {
+        eprintln!(
+            "[adversary]   iter {:03} {}: {} mutation(s), qoe {:.3}, \
+             unroutable {:.3}s, loops {}, final lies {}",
+            f.iter,
+            f.signal,
+            f.mutations.len(),
+            f.mean_qoe,
+            f.unroutable_flow_secs,
+            f.fwd_loop_settles,
+            f.final_lies
+        );
+    }
+
+    let mut archived = Vec::new();
+    if let Some(dir) = cli.get("archive") {
+        let dir = std::path::PathBuf::from(dir);
+        for f in &out.finds {
+            match archive_find(f, &out.scenario, &dir) {
+                Ok(path) => {
+                    eprintln!("[adversary]   archived {}", path.display());
+                    archived.push(path);
+                }
+                Err(e) => {
+                    eprintln!("cannot archive find {:03}: {e}", f.iter);
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"adversary\",\n  \"mode\": \"fuzz\",\n");
+    let _ = writeln!(json, "  \"scenario\": \"{}\",", out.scenario);
+    let _ = writeln!(json, "  \"seed\": {},", out.seed);
+    let _ = writeln!(json, "  \"iters\": {},", out.iters);
+    let _ = writeln!(json, "  \"runs\": {},", out.runs);
+    let _ = writeln!(json, "  \"baseline_qoe\": {:.6},", out.baseline_qoe);
+    let finds: Vec<String> = out
+        .finds
+        .iter()
+        .map(|f| {
+            format!(
+                "    {{\"iter\": {}, \"signal\": \"{}\", \"mutations\": {}, \
+                 \"mean_qoe\": {:.6}, \"unroutable_flow_secs\": {:.6}, \
+                 \"fwd_loop_settles\": {}, \"final_lies\": {}}}",
+                f.iter,
+                f.signal,
+                f.mutations.len(),
+                f.mean_qoe,
+                f.unroutable_flow_secs,
+                f.fwd_loop_settles,
+                f.final_lies
+            )
+        })
+        .collect();
+    if finds.is_empty() {
+        let _ = writeln!(json, "  \"finds\": [],");
+    } else {
+        let _ = writeln!(json, "  \"finds\": [\n{}\n  ],", finds.join(",\n"));
+    }
+    let _ = writeln!(json, "  \"archived\": {},", archived.len());
+    let _ = writeln!(json, "  \"wall_secs\": {wall_secs:.6},");
+    let _ = writeln!(
+        json,
+        "  \"per_sec\": {:.3}\n}}",
+        out.runs as f64 / wall_secs.max(1e-9)
+    );
+    write_json(json);
+}
+
+fn main() {
+    let cli = Cli::from_env_with_positionals(
+        &[
+            "scenario",
+            "window",
+            "depth",
+            "perm-cap",
+            "max-runs",
+            "walks",
+            "seed",
+            "horizon",
+            "iters",
+            "mutations",
+            "qoe-cliff",
+            "archive",
+        ],
+        &["explore|fuzz"],
+    );
+    match cli.positionals() {
+        [mode] if mode == "explore" => run_explore(&cli),
+        [mode] if mode == "fuzz" => run_fuzz(&cli),
+        other => {
+            eprintln!(
+                "expected mode `explore` or `fuzz`, got `{}`",
+                other.first().map(String::as_str).unwrap_or("")
+            );
+            std::process::exit(2);
+        }
+    }
+}

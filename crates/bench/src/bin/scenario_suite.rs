@@ -9,7 +9,15 @@
 //! Run: `cargo run --release -p fib-bench --bin scenario_suite -- \
 //!         --suite all --seed 7`
 //!
-//! Flags: `--suite <all|smoke>` (default `all`), `--scenario <name>`
+//! Besides the static suites, `--suite found` runs the adversarial
+//! regression corpus under `scenarios/found/` — files archived by the
+//! `adversary` fuzzer, discovered dynamically so new finds need no
+//! code change. Any scenario carrying an `[expect]` stanza (every
+//! archived find does) has its bounds enforced after the run; a
+//! violated expectation fails the suite like a panic would.
+//!
+//! Flags: `--suite <all|smoke|scale|found>` (default `all`),
+//! `--scenario <name>`
 //! (run a single spec instead), `--seed N` (override every spec's
 //! seed), `--horizon SECS` (override every spec's horizon),
 //! `--trace-out PATH` (Chrome trace-event export of the whole run —
@@ -100,32 +108,45 @@ fn main() {
         ..RunOptions::default()
     };
 
-    let (names, suite_horizon): (Vec<&str>, Option<f64>) = match cli.get("scenario") {
-        Some(name) => {
-            let name = ALL_SCENARIOS
-                .iter()
-                .copied()
-                .find(|n| *n == name)
-                .unwrap_or_else(|| {
-                    eprintln!(
-                        "unknown scenario `{name}` (have: {})",
-                        ALL_SCENARIOS.join(", ")
+    let (names, suite_horizon, from_found): (Vec<String>, Option<f64>, bool) =
+        match cli.get("scenario") {
+            Some(name) => {
+                let name = ALL_SCENARIOS
+                    .iter()
+                    .copied()
+                    .find(|n| *n == name)
+                    .unwrap_or_else(|| {
+                        eprintln!(
+                            "unknown scenario `{name}` (have: {})",
+                            ALL_SCENARIOS.join(", ")
+                        );
+                        std::process::exit(2);
+                    });
+                (vec![name.to_string()], None, false)
+            }
+            None => {
+                let suite_name = cli.get("suite").unwrap_or("all");
+                if suite_name == "found" {
+                    let names = found_scenarios();
+                    println!(
+                        "== suite found: adversarial regression corpus \
+                         ({} find(s) under scenarios/found/) ==\n",
+                        names.len()
                     );
-                    std::process::exit(2);
-                });
-            (vec![name], None)
-        }
-        None => {
-            let suite_name = cli.get("suite").unwrap_or("all");
-            let suite = find_suite(suite_name).unwrap_or_else(|| {
-                let have: Vec<&str> = SUITES.iter().map(|s| s.name).collect();
-                eprintln!("unknown suite `{suite_name}` (have: {})", have.join(", "));
-                std::process::exit(2);
-            });
-            println!("== suite {}: {} ==\n", suite.name, suite.description);
-            (suite.scenarios.to_vec(), suite.horizon_secs)
-        }
-    };
+                    (names, None, true)
+                } else {
+                    let suite = find_suite(suite_name).unwrap_or_else(|| {
+                        let mut have: Vec<&str> = SUITES.iter().map(|s| s.name).collect();
+                        have.push("found");
+                        eprintln!("unknown suite `{suite_name}` (have: {})", have.join(", "));
+                        std::process::exit(2);
+                    });
+                    println!("== suite {}: {} ==\n", suite.name, suite.description);
+                    let names = suite.scenarios.iter().map(|s| s.to_string()).collect();
+                    (names, suite.horizon_secs, false)
+                }
+            }
+        };
     let opts = RunOptions {
         horizon_secs: opts.horizon_secs.or(suite_horizon),
         ..opts
@@ -146,7 +167,12 @@ fn main() {
     ]);
     let mut failures: Vec<(String, String)> = Vec::new();
     for name in names {
-        let spec = match load_scenario(name) {
+        let loaded = if from_found {
+            load_found(&name)
+        } else {
+            load_scenario(&name)
+        };
+        let spec = match loaded {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("[{name}] spec error: {e}");
@@ -211,6 +237,19 @@ fn main() {
                 continue;
             }
         };
+
+        // `[expect]` enforcement: the archived-find lifecycle's gate.
+        // Violated bounds fail the suite exactly like a panic would.
+        if let Some(expect) = &spec.expect {
+            let violations = expect.check(&report);
+            if violations.is_empty() {
+                println!("[{name}] expectations hold");
+            }
+            for v in violations {
+                eprintln!("[{name}] EXPECT FAILURE: {v}");
+                failures.push((name.to_string(), v));
+            }
+        }
 
         let summary_path = results_dir().join(format!("scenario_{name}.csv"));
         std::fs::write(&summary_path, report.summary_csv()).expect("write summary csv");

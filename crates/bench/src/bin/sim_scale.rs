@@ -224,6 +224,7 @@ fn generated_case(routers: u32, sessions: u32, seed: u64) -> Result<Case, SpecEr
         workloads: Vec::new(),
         events,
         trace_links: Vec::new(),
+        expect: None,
     };
     Ok(Case {
         name: format!("{routers}r/{sessions}s"),
@@ -412,6 +413,7 @@ fn main() {
             horizon_secs: horizon,
             disable_controller: false,
             settle: SettleMode::Lazy,
+            check_loops: false,
         };
         eprintln!("[sim_scale] {} …", case.name);
         // Best-of-`repeat`: every run is deterministic, so repeats

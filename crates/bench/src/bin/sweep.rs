@@ -31,8 +31,9 @@
 //! wall-clock *scheduling* visualization and is not deterministic).
 //!
 //! Exit status: non-zero if any cell failed a spec/`pin_seed` check or
-//! panicked, with a one-line `sweep FAILED:` summary naming the first
-//! failure — CI logs stay readable even when 200 cells ran.
+//! panicked, with a one-line `sweep FAILED:` summary naming **every**
+//! failed cell with its error — panic *messages* included, so a CI log
+//! diagnoses the failure without re-running 200 cells.
 
 use fib_bench::cli::Cli;
 use fib_bench::{f, results_dir, Table};
@@ -243,11 +244,50 @@ fn main() {
     );
 
     if summary.failed > 0 {
-        let (idx, label, error) = &summary.failures[0];
-        eprintln!(
-            "sweep FAILED: {}/{} cells failed; first: cell {idx} {label} ({error})",
-            summary.failed, summary.cells
-        );
+        eprintln!("{}", failure_summary(summary.cells, &summary.failures));
         std::process::exit(1);
+    }
+}
+
+/// The one-line exit summary naming every failed cell *with its
+/// error* — for panicking cells that is the caught panic message, not
+/// just the cell id, so CI logs are diagnosable without a re-run.
+fn failure_summary(cells: usize, failures: &[(usize, String, String)]) -> String {
+    let list: Vec<String> = failures
+        .iter()
+        .map(|(idx, label, error)| format!("cell {idx} {label} ({error})"))
+        .collect();
+    format!(
+        "sweep FAILED: {}/{cells} cells failed: {}",
+        failures.len(),
+        list.join("; ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_summary_carries_every_panic_message() {
+        let failures = vec![
+            (
+                1,
+                "grid_a/s7".to_string(),
+                "panic: index out of bounds: the len is 3".to_string(),
+            ),
+            (
+                3,
+                "grid_b/s9".to_string(),
+                "spec error: bad link".to_string(),
+            ),
+        ];
+        let line = failure_summary(4, &failures);
+        assert!(line.starts_with("sweep FAILED: 2/4 cells failed: "));
+        assert!(
+            line.contains("cell 1 grid_a/s7 (panic: index out of bounds: the len is 3)"),
+            "panic message must survive into the summary: {line}"
+        );
+        assert!(line.contains("cell 3 grid_b/s9 (spec error: bad link)"));
     }
 }

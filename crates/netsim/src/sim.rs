@@ -50,6 +50,7 @@ use bytes::Bytes;
 use fib_igp::instance::{Config as IgpConfig, Instance, Output};
 use fib_igp::time::{Dur, Timestamp};
 use fib_igp::types::{IfaceId, Metric, Prefix, RouterId};
+pub use fib_sim_kernel::TieBreak;
 use fib_sim_kernel::{ComponentId, DeadlineHeap, EventId, EventQueue, Registry};
 use fib_telemetry::counters::{CounterWidth, IfaceCounters};
 use fib_telemetry::mib::Agent;
@@ -96,6 +97,13 @@ pub struct SimConfig {
     pub carrier_detect: bool,
     /// Settlement schedule (see [`SettleMode`]).
     pub settle: SettleMode,
+    /// Run the forwarding loop-freedom probe at every settle point
+    /// (see [`Sim::loop_violations`]). Off by default: the probe is a
+    /// safety-invariant check for adversarial exploration, not part of
+    /// the pinned simulation schedule (it reads, never mutates, so
+    /// enabling it cannot change any artifact byte — it only costs
+    /// time).
+    pub check_loops: bool,
 }
 
 impl Default for SimConfig {
@@ -109,6 +117,7 @@ impl Default for SimConfig {
             counter_width: CounterWidth::C64,
             carrier_detect: true,
             settle: SettleMode::Eager,
+            check_loops: false,
         }
     }
 }
@@ -151,6 +160,25 @@ pub struct SimStats {
     /// stranded for 2 s contributes 2.0) — the scenario engine's
     /// blackout metric.
     pub unroutable_flow_secs: f64,
+    /// Settle points at which the loop-freedom probe found at least
+    /// one forwarding cycle (0 unless [`SimConfig::check_loops`] is
+    /// on). Deliberately *not* part of [`SimStats::rollup`]: pinned
+    /// sweep artifacts embed the rollup key set.
+    pub fwd_loop_settles: u64,
+}
+
+/// One forwarding cycle caught by the loop-freedom probe
+/// ([`SimConfig::check_loops`]): at a settle point, following every
+/// ECMP slot of each router's FIB entry for `prefix` closed a cycle
+/// through `cycle` (first router repeated implicitly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopViolation {
+    /// Simulation time of the settle point.
+    pub at: Timestamp,
+    /// The destination prefix whose forwarding graph is cyclic.
+    pub prefix: Prefix,
+    /// The routers on the cycle, in forwarding order.
+    pub cycle: Vec<RouterId>,
 }
 
 impl SimStats {
@@ -259,7 +287,15 @@ pub(crate) struct Core {
     pub(crate) sampled: Vec<(String, LinkKey)>,
     /// Aggregate statistics.
     pub stats: SimStats,
+    /// Forwarding cycles found by the loop-freedom probe, capped at
+    /// [`LOOP_LOG_CAP`] (the settle counter in [`SimStats`] keeps
+    /// counting past the cap).
+    pub(crate) loop_log: Vec<LoopViolation>,
 }
+
+/// Cap on retained [`LoopViolation`] records (deterministic prefix of
+/// the detection sequence; the counter keeps the true total).
+pub const LOOP_LOG_CAP: usize = 64;
 
 /// The simulator: the world plus its registered components.
 pub struct Sim {
@@ -302,6 +338,7 @@ impl Core {
             recorder: Recorder::new(),
             sampled: Vec::new(),
             stats: SimStats::default(),
+            loop_log: Vec::new(),
         }
     }
 
@@ -851,7 +888,98 @@ impl Core {
         for (k, &ix) in self.link_idx.iter() {
             self.link_recs[ix as usize].state.rate = self.alloc.load(k);
         }
+        if self.cfg.check_loops {
+            self.check_forwarding_loops();
+        }
     }
+
+    /// The loop-freedom probe: walk every announced prefix's live
+    /// forwarding graph (each router's FIB entry contributes an edge
+    /// per distinct ECMP next-hop router) and record any cycle. Pure
+    /// read over the FIBs — it never dirties or mutates the world, so
+    /// the settle schedule and all artifacts are unaffected.
+    fn check_forwarding_loops(&mut self) {
+        let mut prefixes: Vec<Prefix> = self.prefix_owners.iter().map(|(p, _)| *p).collect();
+        prefixes.sort();
+        prefixes.dedup();
+        let mut found_any = false;
+        for prefix in prefixes {
+            // Edges in RouterId order (deterministic walk).
+            let mut edges: BTreeMap<RouterId, Vec<RouterId>> = BTreeMap::new();
+            for (r, fib) in &self.fibs {
+                if let Some(crate::fib::FibEntry::Via(slots)) = fib.lookup(prefix) {
+                    let mut hops: Vec<RouterId> = slots.iter().map(|s| s.router).collect();
+                    hops.sort();
+                    hops.dedup();
+                    edges.insert(*r, hops);
+                }
+            }
+            if let Some(cycle) = find_cycle(&edges) {
+                found_any = true;
+                if self.loop_log.len() < LOOP_LOG_CAP {
+                    self.loop_log.push(LoopViolation {
+                        at: self.now,
+                        prefix,
+                        cycle,
+                    });
+                }
+            }
+        }
+        if found_any {
+            self.stats.fwd_loop_settles += 1;
+        }
+    }
+}
+
+/// Find one cycle in a next-hop multigraph (iterative colored DFS,
+/// deterministic: roots and neighbors visit in sorted order). Returns
+/// the routers on the cycle in forwarding order.
+fn find_cycle(edges: &BTreeMap<RouterId, Vec<RouterId>>) -> Option<Vec<RouterId>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color: BTreeMap<RouterId, Color> = edges.keys().map(|r| (*r, Color::White)).collect();
+    for &root in edges.keys() {
+        if color[&root] != Color::White {
+            continue;
+        }
+        // Stack of (node, next neighbor index); `path` mirrors the
+        // gray chain for cycle extraction.
+        let mut stack: Vec<(RouterId, usize)> = vec![(root, 0)];
+        color.insert(root, Color::Gray);
+        let mut path: Vec<RouterId> = vec![root];
+        while let Some((node, idx)) = stack.last_mut() {
+            let node = *node;
+            let hops = edges.get(&node).map(|v| v.as_slice()).unwrap_or(&[]);
+            if *idx >= hops.len() {
+                color.insert(node, Color::Black);
+                stack.pop();
+                path.pop();
+                continue;
+            }
+            let next = hops[*idx];
+            *idx += 1;
+            match color.get(&next).copied() {
+                // Terminal routers (Local entry or no entry) have no
+                // outgoing edges and cannot be on a cycle.
+                None => {}
+                Some(Color::White) => {
+                    color.insert(next, Color::Gray);
+                    stack.push((next, 0));
+                    path.push(next);
+                }
+                Some(Color::Gray) => {
+                    let start = path.iter().position(|r| *r == next).expect("gray on path");
+                    return Some(path[start..].to_vec());
+                }
+                Some(Color::Black) => {}
+            }
+        }
+    }
+    None
 }
 
 impl Sim {
@@ -928,6 +1056,22 @@ impl Sim {
     /// Cancel a scheduled event (`true` iff it was still pending).
     pub fn cancel(&mut self, id: EventId) -> bool {
         self.core.queue.cancel(id)
+    }
+
+    /// Arm (or disarm with `None`) the kernel queue's same-time
+    /// [`TieBreak`] hook — the adversarial schedule explorer's
+    /// injection point. Unarmed (the default), the queue is
+    /// byte-identical to stock FIFO.
+    pub fn set_tie_break(&mut self, hook: Option<Box<dyn TieBreak<Timestamp>>>) {
+        self.core.queue.set_tie_break(hook);
+    }
+
+    /// The forwarding cycles caught so far by the loop-freedom probe
+    /// (empty unless [`SimConfig::check_loops`] is set; capped at
+    /// [`LOOP_LOG_CAP`] records while
+    /// [`SimStats::fwd_loop_settles`] keeps counting).
+    pub fn loop_violations(&self) -> &[LoopViolation] {
+        &self.core.loop_log
     }
 
     /// Start the world: instances come up, components get
@@ -1559,5 +1703,75 @@ mod tests {
             st_l.reallocs,
             st_e.reallocs
         );
+    }
+
+    #[test]
+    fn find_cycle_detects_and_orders() {
+        let mut edges: BTreeMap<RouterId, Vec<RouterId>> = BTreeMap::new();
+        // 1 -> 2 -> 3 -> local (no cycle).
+        edges.insert(r(1), vec![r(2)]);
+        edges.insert(r(2), vec![r(3)]);
+        assert_eq!(find_cycle(&edges), None);
+        // Add 3 -> 1: cycle 1 -> 2 -> 3.
+        edges.insert(r(3), vec![r(1)]);
+        assert_eq!(find_cycle(&edges), Some(vec![r(1), r(2), r(3)]));
+        // ECMP branch where only one branch loops is still caught.
+        let mut edges: BTreeMap<RouterId, Vec<RouterId>> = BTreeMap::new();
+        edges.insert(r(1), vec![r(2), r(4)]);
+        edges.insert(r(4), vec![r(5)]);
+        edges.insert(r(5), vec![r(4)]);
+        assert_eq!(find_cycle(&edges), Some(vec![r(4), r(5)]));
+    }
+
+    #[test]
+    fn loop_probe_is_silent_on_a_healthy_world_and_changes_nothing() {
+        let run = |check_loops: bool| {
+            let mut sim = Sim::new(SimConfig {
+                check_loops,
+                ..SimConfig::default()
+            });
+            for i in 1..=3 {
+                sim.add_router(r(i));
+            }
+            sim.add_link(LinkSpec::new(r(1), r(2), Metric(1), 1e6));
+            sim.add_link(LinkSpec::new(r(2), r(3), Metric(1), 1e6));
+            sim.announce_prefix(r(3), Prefix::net24(1));
+            sched_flow(
+                &mut sim,
+                Timestamp::from_secs(10),
+                FlowSpec::new(r(1), Prefix::net24(1)),
+            );
+            sim.start();
+            sim.run_until(Timestamp::from_secs(15));
+            assert_eq!(sim.loop_violations(), &[] as &[LoopViolation]);
+            (sim.recorder().to_csv(), sim.stats().events)
+        };
+        assert_eq!(run(false), run(true), "probe must be read-only");
+    }
+
+    #[test]
+    fn armed_identity_tie_break_changes_nothing() {
+        struct Identity;
+        impl TieBreak<Timestamp> for Identity {
+            fn permute(&mut self, _at: Timestamp, _n: usize, _out: &mut Vec<u32>) {}
+        }
+        let run = |armed: bool| {
+            let mut sim = line_sim();
+            if armed {
+                sim.set_tie_break(Some(Box::new(Identity)));
+            }
+            for i in 0..4 {
+                sched_flow(
+                    &mut sim,
+                    Timestamp::from_secs(10),
+                    FlowSpec::new(r(1 + i % 2), Prefix::net24(1)),
+                );
+            }
+            sim.start();
+            sim.run_until(Timestamp::from_secs(20));
+            let stats = sim.stats();
+            (sim.recorder().to_csv(), stats.events, stats.ctrl_pkts)
+        };
+        assert_eq!(run(false), run(true));
     }
 }

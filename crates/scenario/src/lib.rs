@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod emit;
 pub mod report;
 pub mod runner;
 pub mod spec;
@@ -73,10 +74,12 @@ pub mod prelude {
     pub use crate::report::ScenarioReport;
     pub use crate::runner::{build, run, RunOptions, ScenarioRun, CONTROLLER_ID};
     pub use crate::spec::{
-        ControllerSpec, EventKind, EventSpec, ScenarioSpec, SpecError, TopologySpec, WorkloadSpec,
+        ControllerSpec, EventKind, EventSpec, ExpectSpec, ScenarioSpec, SpecError, TopologySpec,
+        WorkloadSpec,
     };
     pub use crate::suite::{
-        find_suite, load_scenario, scenarios_dir, Suite, ALL_SCENARIOS, SUITES,
+        find_suite, found_dir, found_scenarios, load_found, load_scenario, scenarios_dir, Suite,
+        ALL_SCENARIOS, SUITES,
     };
     pub use crate::sweep::{
         load_sweep, run_sweep, sweeps_dir, CellFailure, CellOutcome, SweepCell, SweepRun,

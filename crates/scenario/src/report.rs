@@ -45,6 +45,11 @@ pub struct ScenarioReport {
     pub reaction_secs: Option<f64>,
     /// Integrated flow-seconds without a usable path.
     pub unroutable_flow_secs: f64,
+    /// Settle points at which the forwarding-loop probe found a loop.
+    /// Always 0 unless the probe was armed (adversary runs, specs with
+    /// an `[expect]` stanza). Deliberately *not* part of
+    /// [`summary_csv`](Self::summary_csv): that byte format is pinned.
+    pub fwd_loop_settles: u64,
     /// Control-plane packets delivered.
     pub ctrl_pkts: u64,
     /// Control-plane bytes delivered.
@@ -125,6 +130,7 @@ mod tests {
             reactions: 1,
             reaction_secs: Some(1.25),
             unroutable_flow_secs: 0.0,
+            fwd_loop_settles: 0,
             ctrl_pkts: 100,
             ctrl_bytes: 5000,
             qoe: QoeSummary {

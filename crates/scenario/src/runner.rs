@@ -64,6 +64,11 @@ pub struct RunOptions {
     /// which collapses within-batch double settles; every observable
     /// (traces, rates, deliveries, QoE) is unchanged.
     pub settle: SettleMode,
+    /// Arm the per-settle forwarding-loop probe (read-only — it never
+    /// changes run artifacts, only fills `fwd_loop_settles` and the
+    /// sim's violation log). Armed automatically for specs carrying an
+    /// `[expect]` stanza; the adversary explorer arms it explicitly.
+    pub check_loops: bool,
 }
 
 /// A composed, started scenario, ready to advance.
@@ -216,6 +221,7 @@ pub fn build(spec: &ScenarioSpec, opts: RunOptions) -> Result<ScenarioRun, SpecE
     // pairs, uniform capacity.
     let mut sim = Sim::new(SimConfig {
         settle: opts.settle,
+        check_loops: opts.check_loops || spec.expect.is_some(),
         ..SimConfig::default()
     });
     for r in topo.routers() {
@@ -581,6 +587,7 @@ impl ScenarioRun {
             reactions: snap.map(|s| s.stats.reactions).unwrap_or(0),
             reaction_secs,
             unroutable_flow_secs: stats.unroutable_flow_secs,
+            fwd_loop_settles: stats.fwd_loop_settles,
             ctrl_pkts: stats.ctrl_pkts,
             ctrl_bytes: stats.ctrl_bytes,
             qoe,

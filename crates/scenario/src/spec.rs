@@ -249,6 +249,106 @@ pub enum EventKind {
     },
 }
 
+/// Expected-invariant bounds a run of the scenario must satisfy
+/// (the `[expect]` stanza).
+///
+/// Archived adversarial finds under `scenarios/found/` carry one of
+/// these so the regression suite *fails* when the nasty behaviour the
+/// fuzzer minimized stops reproducing — or when a fix regresses. All
+/// bounds are optional and inclusive; `fwd_loops` bounds compare
+/// against the loop-freedom probe's settle counter, which the suite
+/// runner arms automatically for specs that carry an `[expect]`
+/// stanza.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExpectSpec {
+    /// Upper bound on integrated unroutable flow-seconds.
+    pub max_unroutable_flow_secs: Option<f64>,
+    /// Lower bound on integrated unroutable flow-seconds (asserts the
+    /// find still reproduces its blackout).
+    pub min_unroutable_flow_secs: Option<f64>,
+    /// Upper bound on the mean QoE score.
+    pub max_mean_qoe: Option<f64>,
+    /// Lower bound on the mean QoE score.
+    pub min_mean_qoe: Option<f64>,
+    /// Upper bound on total stall events.
+    pub max_stalls: Option<u64>,
+    /// Lower bound on total stall events.
+    pub min_stalls: Option<u64>,
+    /// Upper bound on lies still installed at the horizon (eventual
+    /// retraction: `max_final_lies = 0`).
+    pub max_final_lies: Option<u64>,
+    /// Lower bound on the peak number of simultaneous lies.
+    pub min_peak_lies: Option<u64>,
+    /// Upper bound on settle points with a forwarding loop.
+    pub max_fwd_loops: Option<u64>,
+    /// Lower bound on settle points with a forwarding loop.
+    pub min_fwd_loops: Option<u64>,
+}
+
+impl ExpectSpec {
+    /// Check a report against the bounds; returns one human-readable
+    /// line per violated bound (empty = all expectations hold).
+    pub fn check(&self, report: &crate::report::ScenarioReport) -> Vec<String> {
+        let mut v = Vec::new();
+        let mut chk_f = |name: &str, actual: f64, min: Option<f64>, max: Option<f64>| {
+            if let Some(m) = min {
+                if actual < m {
+                    v.push(format!("expect: {name} = {actual:.6} < min {m:.6}"));
+                }
+            }
+            if let Some(m) = max {
+                if actual > m {
+                    v.push(format!("expect: {name} = {actual:.6} > max {m:.6}"));
+                }
+            }
+        };
+        chk_f(
+            "unroutable_flow_secs",
+            report.unroutable_flow_secs,
+            self.min_unroutable_flow_secs,
+            self.max_unroutable_flow_secs,
+        );
+        chk_f(
+            "mean_qoe",
+            report.qoe.mean_score,
+            self.min_mean_qoe,
+            self.max_mean_qoe,
+        );
+        let mut chk_u = |name: &str, actual: u64, min: Option<u64>, max: Option<u64>| {
+            if let Some(m) = min {
+                if actual < m {
+                    v.push(format!("expect: {name} = {actual} < min {m}"));
+                }
+            }
+            if let Some(m) = max {
+                if actual > m {
+                    v.push(format!("expect: {name} = {actual} > max {m}"));
+                }
+            }
+        };
+        chk_u(
+            "stalls",
+            u64::from(report.qoe.stalls),
+            self.min_stalls,
+            self.max_stalls,
+        );
+        chk_u("final_lies", report.final_lies, None, self.max_final_lies);
+        chk_u("peak_lies", report.peak_lies, self.min_peak_lies, None);
+        chk_u(
+            "fwd_loops",
+            report.fwd_loop_settles,
+            self.min_fwd_loops,
+            self.max_fwd_loops,
+        );
+        v
+    }
+
+    /// `true` if no bound is set (an empty `[expect]` stanza).
+    pub fn is_empty(&self) -> bool {
+        *self == ExpectSpec::default()
+    }
+}
+
 /// A complete declarative scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
@@ -281,6 +381,9 @@ pub struct ScenarioSpec {
     pub events: Vec<EventSpec>,
     /// Directed links to trace as named series (`ra-rb`).
     pub trace_links: Vec<(u32, u32)>,
+    /// Expected-invariant bounds the suite runner enforces (archived
+    /// adversarial finds carry these; hand-written scenarios may too).
+    pub expect: Option<ExpectSpec>,
 }
 
 /// Check `table` only contains `allowed` keys.
@@ -619,6 +722,59 @@ fn parse_event(t: &Table, idx: usize) -> Result<EventSpec, SpecError> {
     Ok(EventSpec { at, kind })
 }
 
+fn opt_f64_none(t: &Table, key: &str, ctx: &str) -> Result<Option<f64>, SpecError> {
+    if t.contains_key(key) {
+        Ok(Some(get_f64(t, key, ctx)?))
+    } else {
+        Ok(None)
+    }
+}
+
+fn opt_u64_none(t: &Table, key: &str, ctx: &str) -> Result<Option<u64>, SpecError> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(v) => match v.as_i64() {
+            Some(i) if i >= 0 => Ok(Some(i as u64)),
+            _ => fail(format!(
+                "`{ctx}.{key}` must be a non-negative integer, got {}",
+                v.type_name()
+            )),
+        },
+    }
+}
+
+fn parse_expect(t: &Table) -> Result<ExpectSpec, SpecError> {
+    let ctx = "expect";
+    check_keys(
+        t,
+        &[
+            "max_unroutable_flow_secs",
+            "min_unroutable_flow_secs",
+            "max_mean_qoe",
+            "min_mean_qoe",
+            "max_stalls",
+            "min_stalls",
+            "max_final_lies",
+            "min_peak_lies",
+            "max_fwd_loops",
+            "min_fwd_loops",
+        ],
+        ctx,
+    )?;
+    Ok(ExpectSpec {
+        max_unroutable_flow_secs: opt_f64_none(t, "max_unroutable_flow_secs", ctx)?,
+        min_unroutable_flow_secs: opt_f64_none(t, "min_unroutable_flow_secs", ctx)?,
+        max_mean_qoe: opt_f64_none(t, "max_mean_qoe", ctx)?,
+        min_mean_qoe: opt_f64_none(t, "min_mean_qoe", ctx)?,
+        max_stalls: opt_u64_none(t, "max_stalls", ctx)?,
+        min_stalls: opt_u64_none(t, "min_stalls", ctx)?,
+        max_final_lies: opt_u64_none(t, "max_final_lies", ctx)?,
+        min_peak_lies: opt_u64_none(t, "min_peak_lies", ctx)?,
+        max_fwd_loops: opt_u64_none(t, "max_fwd_loops", ctx)?,
+        min_fwd_loops: opt_u64_none(t, "min_fwd_loops", ctx)?,
+    })
+}
+
 fn parse_trace_links(v: &Value) -> Result<Vec<(u32, u32)>, SpecError> {
     let Some(items) = v.as_array() else {
         return fail("`trace_links` must be an array of \"a-b\" strings");
@@ -662,6 +818,7 @@ impl ScenarioSpec {
                 "workload",
                 "event",
                 "trace_links",
+                "expect",
             ],
             "scenario",
         )?;
@@ -750,6 +907,16 @@ impl ScenarioSpec {
             None => Vec::new(),
             Some(v) => parse_trace_links(v)?,
         };
+        let expect = match root.get("expect") {
+            None => None,
+            Some(Value::Table(t)) => Some(parse_expect(t)?),
+            Some(other) => {
+                return fail(format!(
+                    "`expect` must be a table, got {}",
+                    other.type_name()
+                ))
+            }
+        };
         let seed = match root.get("seed") {
             None => 0,
             Some(v) => match v.as_i64() {
@@ -782,6 +949,7 @@ impl ScenarioSpec {
             workloads,
             events,
             trace_links,
+            expect,
         };
         spec.validate()?;
         Ok(spec)
@@ -876,6 +1044,34 @@ impl ScenarioSpec {
             if let EventKind::SetCapacity { capacity, .. } = e.kind {
                 if capacity <= 0.0 {
                     return fail("`set_capacity` events need a positive capacity");
+                }
+            }
+        }
+        if let Some(x) = &self.expect {
+            let inverted_f = [
+                (
+                    "unroutable_flow_secs",
+                    x.min_unroutable_flow_secs,
+                    x.max_unroutable_flow_secs,
+                ),
+                ("mean_qoe", x.min_mean_qoe, x.max_mean_qoe),
+            ];
+            for (name, lo, hi) in inverted_f {
+                if let (Some(lo), Some(hi)) = (lo, hi) {
+                    if lo > hi {
+                        return fail(format!("`expect` {name} bounds are inverted"));
+                    }
+                }
+            }
+            let inverted_u = [
+                ("stalls", x.min_stalls, x.max_stalls),
+                ("fwd_loops", x.min_fwd_loops, x.max_fwd_loops),
+            ];
+            for (name, lo, hi) in inverted_u {
+                if let (Some(lo), Some(hi)) = (lo, hi) {
+                    if lo > hi {
+                        return fail(format!("`expect` {name} bounds are inverted"));
+                    }
                 }
             }
         }

@@ -74,7 +74,42 @@ pub fn scenarios_dir() -> PathBuf {
 
 /// Load and validate `scenarios/<name>.toml`.
 pub fn load_scenario(name: &str) -> Result<ScenarioSpec, SpecError> {
-    let path = scenarios_dir().join(format!("{name}.toml"));
+    load_from(scenarios_dir().join(format!("{name}.toml")), name)
+}
+
+/// The `scenarios/found/` directory: the adversarial fuzzer's archived
+/// regression corpus (see `docs/ADVERSARY.md`). Unlike the shipped
+/// list, this family is discovered dynamically so archiving a new find
+/// needs no code change.
+pub fn found_dir() -> PathBuf {
+    scenarios_dir().join("found")
+}
+
+/// Scenario names under `scenarios/found/`, sorted for a stable run
+/// order. Missing directory = empty corpus, not an error.
+pub fn found_scenarios() -> Vec<String> {
+    let mut names = Vec::new();
+    let Ok(entries) = std::fs::read_dir(found_dir()) else {
+        return names;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("toml") {
+            if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                names.push(stem.to_string());
+            }
+        }
+    }
+    names.sort();
+    names
+}
+
+/// Load and validate `scenarios/found/<name>.toml`.
+pub fn load_found(name: &str) -> Result<ScenarioSpec, SpecError> {
+    load_from(found_dir().join(format!("{name}.toml")), name)
+}
+
+fn load_from(path: PathBuf, name: &str) -> Result<ScenarioSpec, SpecError> {
     let src = std::fs::read_to_string(&path)
         .map_err(|e| SpecError(format!("cannot read {}: {e}", path.display())))?;
     let spec = ScenarioSpec::from_toml_str(&src)?;
@@ -112,6 +147,23 @@ mod tests {
         for name in ALL_SCENARIOS {
             let spec = load_scenario(name).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert_eq!(&spec.name, name);
+        }
+    }
+
+    #[test]
+    fn found_corpus_parses_and_carries_expectations() {
+        for name in found_scenarios() {
+            let spec = load_found(&name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(spec.name, name);
+            let expect = spec
+                .expect
+                .as_ref()
+                .unwrap_or_else(|| panic!("{name}: archived finds must carry [expect]"));
+            assert!(
+                !expect.is_empty(),
+                "{name}: the [expect] stanza must constrain something"
+            );
+            assert!(spec.pin_seed, "{name}: archived finds must pin their seed");
         }
     }
 }

@@ -27,5 +27,5 @@ pub mod sim;
 
 pub use component::{ComponentId, Registry};
 pub use deadline::DeadlineHeap;
-pub use queue::{EventId, EventQueue};
+pub use queue::{EventId, EventQueue, TieBreak};
 pub use sim::{EventHandler, SimContext, Simulation};

@@ -6,8 +6,42 @@
 //! an invariant rather than an accident. Every push returns an
 //! [`EventId`]; cancellation is O(1) (tombstone) and cancelled entries
 //! are skipped lazily on pop, so neither path disturbs the heap.
+//!
+//! ## Controlled nondeterminism
+//!
+//! The FIFO tie-break is also the one place where a real network's
+//! scheduling freedom hides: packets arriving "at the same instant"
+//! have no canonical order, and the simulator's stable order is just
+//! one of `n!` the physical world could serve. The queue therefore
+//! accepts an optional [`TieBreak`] hook ([`EventQueue::set_tie_break`])
+//! that, for every batch of two or more pending events sharing the
+//! earliest timestamp, chooses the serving permutation. Unarmed
+//! (default), the hook costs one branch per pop and the queue is
+//! byte-identical to the stock FIFO behaviour; armed, an adversarial
+//! explorer can enumerate or sample interleavings while cancellation,
+//! `len`, and `peek_time` semantics stay exact.
 
 use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+/// A controlled-nondeterminism hook over same-time event batches.
+///
+/// When armed via [`EventQueue::set_tie_break`], the queue calls
+/// [`TieBreak::permute`] once per batch of `n >= 2` pending events
+/// sharing the earliest time. The hook writes a permutation of
+/// `0..n` into `out` (index `0` = the event FIFO order would serve
+/// first); leaving `out` empty selects the identity permutation, i.e.
+/// stock FIFO. The hook observes every decision point it is asked
+/// about, so an implementation can also record the schedule trace for
+/// replay and distinctness accounting.
+pub trait TieBreak<T>: Send {
+    /// Choose the serving order for `n` events due at time `at`.
+    ///
+    /// `out` arrives empty; either leave it empty (identity) or fill
+    /// it with a permutation of `0..n`. Anything else is a programming
+    /// error and panics deterministically.
+    fn permute(&mut self, at: T, n: usize, out: &mut Vec<u32>);
+}
 
 /// Handle to a scheduled event, returned by [`EventQueue::push`].
 ///
@@ -62,6 +96,12 @@ pub struct EventQueue<T, E> {
     /// double-cancel / cancel-after-fire semantics.
     pending: Vec<bool>,
     live: usize,
+    /// The armed tie-break strategy, if any (`None` = stock FIFO).
+    hook: Option<Box<dyn TieBreak<T>>>,
+    /// A drained same-time batch, already permuted into serving order.
+    /// Entries here keep their `pending` bit set until actually served,
+    /// so cancellation keeps working on buffered events.
+    batch: VecDeque<Entry<T, E>>,
 }
 
 impl<T: Ord + Copy, E> EventQueue<T, E> {
@@ -71,7 +111,23 @@ impl<T: Ord + Copy, E> EventQueue<T, E> {
             heap: BinaryHeap::new(),
             pending: Vec::new(),
             live: 0,
+            hook: None,
+            batch: VecDeque::new(),
         }
+    }
+
+    /// Arm (or, with `None`, disarm) the same-time [`TieBreak`] hook.
+    ///
+    /// Disarming while a permuted batch is buffered keeps serving that
+    /// batch in its committed order; only future batches revert to
+    /// FIFO.
+    pub fn set_tie_break(&mut self, hook: Option<Box<dyn TieBreak<T>>>) {
+        self.hook = hook;
+    }
+
+    /// `true` while a [`TieBreak`] hook is armed.
+    pub fn tie_break_armed(&self) -> bool {
+        self.hook.is_some()
     }
 
     /// Schedule `ev` at time `at`; returns its cancellation handle.
@@ -100,17 +156,25 @@ impl<T: Ord + Copy, E> EventQueue<T, E> {
     /// The time of the earliest pending event, purging cancelled
     /// entries from the top of the heap.
     pub fn peek_time(&mut self) -> Option<T> {
-        loop {
-            let top = self.heap.peek()?;
-            if self.pending[top.seq as usize] {
-                return Some(top.at);
-            }
-            self.heap.pop();
+        if self.hook.is_some() || !self.batch.is_empty() {
+            self.purge_batch_front();
+            let batch_at = self.batch.front().map(|e| e.at);
+            let heap_at = self.peek_heap_time();
+            return match (batch_at, heap_at) {
+                (Some(b), Some(h)) => Some(if h < b { h } else { b }),
+                (b, h) => b.or(h),
+            };
         }
+        self.peek_heap_time()
     }
 
     /// Pop the earliest pending event.
     pub fn pop(&mut self) -> Option<(T, E)> {
+        if self.hook.is_some() || !self.batch.is_empty() {
+            return self.pop_with_batch();
+        }
+        // Stock FIFO fast path: two branches above are the whole cost
+        // of the unarmed hook.
         while let Some(e) = self.heap.pop() {
             let p = &mut self.pending[e.seq as usize];
             if *p {
@@ -120,6 +184,109 @@ impl<T: Ord + Copy, E> EventQueue<T, E> {
             }
         }
         None
+    }
+
+    /// The earliest pending time in the heap alone, purging cancelled
+    /// tops.
+    fn peek_heap_time(&mut self) -> Option<T> {
+        loop {
+            let top = self.heap.peek()?;
+            if self.pending[top.seq as usize] {
+                return Some(top.at);
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// Drop cancelled entries off the front of the buffered batch.
+    fn purge_batch_front(&mut self) {
+        while let Some(front) = self.batch.front() {
+            if self.pending[front.seq as usize] {
+                break;
+            }
+            self.batch.pop_front();
+        }
+    }
+
+    /// Serve an entry, clearing its pending bit.
+    fn serve(&mut self, e: Entry<T, E>) -> (T, E) {
+        self.pending[e.seq as usize] = false;
+        self.live -= 1;
+        (e.at, e.ev)
+    }
+
+    /// Pop on the armed (or batch-draining) path.
+    fn pop_with_batch(&mut self) -> Option<(T, E)> {
+        self.purge_batch_front();
+        if self.batch.is_empty() {
+            self.fill_batch();
+        } else if let Some(h) = self.peek_heap_time() {
+            // A push landed strictly *before* the buffered batch's
+            // time (never happens under a monotone simulation clock,
+            // but queue semantics must not depend on that): serve the
+            // earlier heap entries stock-FIFO until the batch is
+            // earliest again.
+            if h < self.batch.front().expect("batch nonempty").at {
+                let e = self.heap.pop().expect("peeked entry present");
+                return Some(self.serve(e));
+            }
+        }
+        let e = self.batch.pop_front()?;
+        Some(self.serve(e))
+    }
+
+    /// Drain the earliest same-time group of pending events into the
+    /// batch buffer, asking the hook for a serving permutation when
+    /// the group has two or more members.
+    fn fill_batch(&mut self) {
+        let Some(at) = self.peek_heap_time() else {
+            return;
+        };
+        let mut drained: Vec<Entry<T, E>> = Vec::new();
+        while let Some(top) = self.heap.peek() {
+            if top.at != at {
+                break;
+            }
+            let e = self.heap.pop().expect("peeked entry present");
+            if self.pending[e.seq as usize] {
+                drained.push(e);
+            }
+        }
+        if drained.len() >= 2 {
+            if let Some(hook) = self.hook.as_mut() {
+                let n = drained.len();
+                let mut perm: Vec<u32> = Vec::new();
+                hook.permute(at, n, &mut perm);
+                if !perm.is_empty() {
+                    assert_eq!(
+                        perm.len(),
+                        n,
+                        "TieBreak::permute wrote {} indices for a batch of {n}",
+                        perm.len()
+                    );
+                    let mut seen = vec![false; n];
+                    for &i in &perm {
+                        let i = i as usize;
+                        assert!(
+                            i < n && !seen[i],
+                            "TieBreak::permute output is not a permutation of 0..{n}"
+                        );
+                        seen[i] = true;
+                    }
+                    // `drained` is FIFO order (the heap pops equal-time
+                    // entries by ascending sequence number); apply the
+                    // chosen serving order on top of it.
+                    let mut slots: Vec<Option<Entry<T, E>>> =
+                        drained.into_iter().map(Some).collect();
+                    for &i in &perm {
+                        let entry = slots[i as usize].take().expect("validated permutation");
+                        self.batch.push_back(entry);
+                    }
+                    return;
+                }
+            }
+        }
+        self.batch.extend(drained);
     }
 
     /// Pop the earliest pending event if its time is `<= now`.
@@ -251,5 +418,136 @@ mod tests {
         q.cancel(b);
         assert_eq!(q.peek_time(), Some(3));
         assert_eq!(q.pop_due(3), Some((3, "c")));
+    }
+
+    /// Reverses every same-time batch.
+    struct Reverse;
+    impl TieBreak<u64> for Reverse {
+        fn permute(&mut self, _at: u64, n: usize, out: &mut Vec<u32>) {
+            out.extend((0..n as u32).rev());
+        }
+    }
+
+    /// Always identity, via the empty-`out` shorthand.
+    struct Identity;
+    impl TieBreak<u64> for Identity {
+        fn permute(&mut self, _at: u64, _n: usize, _out: &mut Vec<u32>) {}
+    }
+
+    #[test]
+    fn armed_reverse_hook_permutes_equal_time_batches() {
+        let mut q = EventQueue::new();
+        q.set_tie_break(Some(Box::new(Reverse)));
+        q.push(5u64, "a");
+        q.push(5, "b");
+        q.push(5, "c");
+        q.push(9, "z");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![(5, "c"), (5, "b"), (5, "a"), (9, "z")]);
+    }
+
+    #[test]
+    fn identity_hook_matches_stock_fifo() {
+        let mut armed = EventQueue::new();
+        armed.set_tie_break(Some(Box::new(Identity)));
+        let mut stock = EventQueue::new();
+        for (t, v) in [(7u64, 0), (3, 1), (7, 2), (3, 3), (7, 4), (1, 5)] {
+            armed.push(t, v);
+            stock.push(t, v);
+        }
+        let a: Vec<_> = std::iter::from_fn(|| armed.pop()).collect();
+        let s: Vec<_> = std::iter::from_fn(|| stock.pop()).collect();
+        assert_eq!(a, s);
+    }
+
+    /// Records decision points through a shared handle so tests can
+    /// inspect them after the boxed hook is owned by the queue.
+    struct SharedRecorder(std::sync::Arc<std::sync::Mutex<Vec<(u64, usize)>>>);
+    impl TieBreak<u64> for SharedRecorder {
+        fn permute(&mut self, at: u64, n: usize, out: &mut Vec<u32>) {
+            self.0.lock().unwrap().push((at, n));
+            out.extend((0..n as u32).rev());
+        }
+    }
+
+    #[test]
+    fn singleton_batches_do_not_consult_the_hook() {
+        let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut q = EventQueue::new();
+        q.set_tie_break(Some(Box::new(SharedRecorder(log.clone()))));
+        q.push(1u64, "a");
+        q.push(2, "b");
+        q.push(2, "c");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![(1, "a"), (2, "c"), (2, "b")]);
+        // Only the t=2 pair was a decision point; the t=1 singleton
+        // never reached the hook.
+        assert_eq!(*log.lock().unwrap(), vec![(2, 2)]);
+    }
+
+    #[test]
+    fn cancellation_works_on_buffered_batch_entries() {
+        let mut q = EventQueue::new();
+        q.set_tie_break(Some(Box::new(Reverse)));
+        q.push(4u64, "a");
+        let b = q.push(4, "b");
+        q.push(4, "c");
+        // First pop drains and reverses the batch: serves "c".
+        assert_eq!(q.pop(), Some((4, "c")));
+        // "b" is buffered in the batch; cancel must still bite.
+        assert!(q.cancel(b));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(4));
+        assert_eq!(q.pop(), Some((4, "a")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_time_pushes_during_a_batch_form_the_next_batch() {
+        let mut q = EventQueue::new();
+        q.set_tie_break(Some(Box::new(Reverse)));
+        q.push(4u64, "a");
+        q.push(4, "b");
+        assert_eq!(q.pop(), Some((4, "b")));
+        // A dispatch-time push at the same instant: joins a *new*
+        // batch rather than the committed one.
+        q.push(4, "x");
+        q.push(4, "y");
+        assert_eq!(q.pop(), Some((4, "a")));
+        let rest: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(rest, vec![(4, "y"), (4, "x")]);
+    }
+
+    #[test]
+    fn disarming_mid_batch_keeps_the_committed_order() {
+        let mut q = EventQueue::new();
+        q.set_tie_break(Some(Box::new(Reverse)));
+        q.push(1u64, "a");
+        q.push(1, "b");
+        q.push(1, "c");
+        assert_eq!(q.pop(), Some((1, "c")));
+        q.set_tie_break(None);
+        assert!(!q.tie_break_armed());
+        assert_eq!(q.pop(), Some((1, "b")));
+        assert_eq!(q.pop(), Some((1, "a")));
+        // Future batches are FIFO again.
+        q.push(2, "d");
+        q.push(2, "e");
+        assert_eq!(q.pop(), Some((2, "d")));
+        assert_eq!(q.pop(), Some((2, "e")));
+    }
+
+    #[test]
+    fn pop_due_respects_now_with_armed_hook() {
+        let mut q = EventQueue::new();
+        q.set_tie_break(Some(Box::new(Reverse)));
+        q.push(10u64, "a");
+        q.push(10, "b");
+        q.push(20, "z");
+        assert_eq!(q.pop_due(5), None);
+        assert_eq!(q.pop_due(10), Some((10, "b")));
+        assert_eq!(q.pop_due(10), Some((10, "a")));
+        assert_eq!(q.pop_due(10), None);
+        assert_eq!(q.pop_due(20), Some((20, "z")));
     }
 }

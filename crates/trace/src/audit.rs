@@ -53,6 +53,42 @@ pub struct AuditRecord {
     pub measured_max_util: f64,
 }
 
+/// One explored same-timestamp ordering decision.
+///
+/// Emitted through [`crate::order`] by the adversarial schedule
+/// explorer every time its `TieBreak` hook reorders a batch of
+/// equal-time events, so explored interleavings leave the same kind of
+/// deterministic audit trail the lie lifecycle does: replaying a seed
+/// reproduces the exact record sequence (see `docs/ADVERSARY.md`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderRecord {
+    /// Simulated time of the batch (nanoseconds).
+    pub sim_ns: u64,
+    /// Events in the tied batch.
+    pub batch: u32,
+    /// The permutation applied: `perm[k]` is the FIFO slot served
+    /// `k`-th. Empty means identity (the hook declined to reorder).
+    pub perm: Vec<u32>,
+}
+
+impl OrderRecord {
+    /// Compact stable rendering (`t=<ns> n=<batch> perm=<a.b.c>`),
+    /// the unit the explorer's schedule fingerprints are built from.
+    pub fn render(&self) -> String {
+        let perm: Vec<String> = self.perm.iter().map(|p| p.to_string()).collect();
+        format!(
+            "t={} n={} perm={}",
+            self.sim_ns,
+            self.batch,
+            if perm.is_empty() {
+                "id".to_string()
+            } else {
+                perm.join(".")
+            }
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,5 +112,21 @@ mod tests {
             measured_max_util: 0.95,
         };
         assert_eq!(r, r.clone());
+    }
+
+    #[test]
+    fn order_records_render_compactly() {
+        let r = OrderRecord {
+            sim_ns: 15_000_000_000,
+            batch: 3,
+            perm: vec![2, 0, 1],
+        };
+        assert_eq!(r.render(), "t=15000000000 n=3 perm=2.0.1");
+        let id = OrderRecord {
+            sim_ns: 5,
+            batch: 2,
+            perm: Vec::new(),
+        };
+        assert_eq!(id.render(), "t=5 n=2 perm=id");
     }
 }

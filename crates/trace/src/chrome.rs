@@ -7,7 +7,7 @@
 //! those, so two runs of the same seed compare byte-identical after
 //! masking (asserted in the workspace tests and diffed in CI).
 
-use crate::audit::AuditRecord;
+use crate::audit::{AuditRecord, OrderRecord};
 use crate::sink::{AggSink, PhaseAttribution, SpanWall, TraceSink};
 use crate::Phase;
 use std::any::Any;
@@ -35,6 +35,10 @@ enum Event {
     },
     Audit {
         record: AuditRecord,
+        ts_us: u64,
+    },
+    Order {
+        record: OrderRecord,
         ts_us: u64,
     },
 }
@@ -95,6 +99,11 @@ impl ChromeSink {
     /// The audit log.
     pub fn audits(&self) -> &[AuditRecord] {
         self.agg.audits()
+    }
+
+    /// The explored-ordering log.
+    pub fn orders(&self) -> &[OrderRecord] {
+        self.agg.orders()
     }
 
     /// Append another sink's events to this one (same epoch assumed;
@@ -185,6 +194,17 @@ impl ChromeSink {
                         record.measured_max_util,
                     );
                 }
+                Event::Order { record, ts_us } => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"sched.order\",\"ph\":\"i\",\"pid\":1,\"tid\":1,\
+                         \"ts\":{ts_us},\"s\":\"t\",\"args\":{{\"sim_ns\":{},\
+                         \"batch\":{},\"perm\":{}}}}}",
+                        record.sim_ns,
+                        record.batch,
+                        jstr(&record.render()),
+                    );
+                }
             }
         }
         out.push_str("\n]}\n");
@@ -230,6 +250,15 @@ impl TraceSink for ChromeSink {
         self.agg.audit(record);
         let ts_us = self.now_us();
         self.push(Event::Audit {
+            record: record.clone(),
+            ts_us,
+        });
+    }
+
+    fn order(&mut self, record: &OrderRecord) {
+        self.agg.order(record);
+        let ts_us = self.now_us();
+        self.push(Event::Order {
             record: record.clone(),
             ts_us,
         });

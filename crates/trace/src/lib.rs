@@ -44,7 +44,7 @@ mod audit;
 mod chrome;
 mod sink;
 
-pub use audit::{AuditAction, AuditRecord};
+pub use audit::{AuditAction, AuditRecord, OrderRecord};
 pub use chrome::{mask_wall_fields, ChromeSink};
 pub use sink::{AggSink, HistSummary, PhaseAttribution, SpanWall, TraceSink};
 
@@ -284,6 +284,22 @@ pub fn audit(record: AuditRecord) {
     });
 }
 
+/// Append an explored-ordering audit record (the schedule explorer's
+/// counterpart to [`audit`]: one record per reordered same-timestamp
+/// batch). Free when no sink is installed.
+#[inline]
+pub fn order(record: OrderRecord) {
+    if !enabled() {
+        return;
+    }
+    TL.with(|tl| {
+        let mut tl = tl.borrow_mut();
+        if let Some(sink) = tl.sink.as_mut() {
+            sink.order(&record);
+        }
+    });
+}
+
 /// Drop guard closing a span opened by [`span`]. Guards must drop in
 /// LIFO order (lexical scoping guarantees this); the type is `!Send`
 /// because the span stack is per-thread.
@@ -345,8 +361,27 @@ mod tests {
                 predicted_max_util: 0.0,
                 measured_max_util: 0.0,
             });
+            order(OrderRecord {
+                sim_ns: 0,
+                batch: 2,
+                perm: vec![1, 0],
+            });
         }
         assert_eq!(spans_started(), before, "no sink, no armed spans");
+    }
+
+    #[test]
+    fn order_records_reach_the_sink() {
+        install(Box::<AggSink>::default());
+        order(OrderRecord {
+            sim_ns: 7,
+            batch: 3,
+            perm: vec![2, 1, 0],
+        });
+        let sink = take().unwrap();
+        let agg = sink.as_any().downcast_ref::<AggSink>().unwrap();
+        assert_eq!(agg.orders().len(), 1);
+        assert_eq!(agg.orders()[0].render(), "t=7 n=3 perm=2.1.0");
     }
 
     #[test]

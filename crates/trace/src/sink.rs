@@ -1,6 +1,6 @@
 //! The sink trait and the in-memory aggregation sink.
 
-use crate::audit::AuditRecord;
+use crate::audit::{AuditRecord, OrderRecord};
 use crate::{Phase, PHASES, PHASE_COUNT};
 use std::any::Any;
 use std::collections::BTreeMap;
@@ -32,6 +32,10 @@ pub trait TraceSink {
     fn observe(&mut self, name: &'static str, sim_ns: u64, value: u64);
     /// One lie-lifecycle audit record.
     fn audit(&mut self, record: &AuditRecord);
+    /// One explored-ordering audit record (adversary runs only). The
+    /// default discards it, so sinks that predate the schedule
+    /// explorer keep working unchanged.
+    fn order(&mut self, _record: &OrderRecord) {}
     /// Downcast support (recover the concrete sink after [`crate::take`]).
     fn as_any(&self) -> &dyn Any;
     /// Owned downcast support.
@@ -111,6 +115,7 @@ pub struct AggSink {
     total_ns: [u64; PHASE_COUNT],
     hists: BTreeMap<&'static str, HistSummary>,
     audits: Vec<AuditRecord>,
+    orders: Vec<OrderRecord>,
 }
 
 impl AggSink {
@@ -168,6 +173,12 @@ impl AggSink {
         &self.audits
     }
 
+    /// The explored-ordering log, in emission order (empty outside
+    /// adversary runs).
+    pub fn orders(&self) -> &[OrderRecord] {
+        &self.orders
+    }
+
     /// Fold another sink's aggregates into this one (sweep rollup).
     pub fn merge(&mut self, other: &AggSink) {
         for i in 0..PHASE_COUNT {
@@ -179,6 +190,7 @@ impl AggSink {
             self.hists.entry(name).or_default().merge(h);
         }
         self.audits.extend(other.audits.iter().cloned());
+        self.orders.extend(other.orders.iter().cloned());
     }
 
     /// Rebuild an `AggSink` from pre-aggregated attribution rows
@@ -211,6 +223,10 @@ impl TraceSink for AggSink {
 
     fn audit(&mut self, record: &AuditRecord) {
         self.audits.push(record.clone());
+    }
+
+    fn order(&mut self, record: &OrderRecord) {
+        self.orders.push(record.clone());
     }
 
     fn as_any(&self) -> &dyn Any {
